@@ -1,0 +1,135 @@
+// E9 — Rem. 1: stochastic Kronecker / R-MAT graphs (the Graph500 generator
+// family [1],[4]) have relatively few triangles AT TYPICAL VERTICES because
+// edges are sampled (quasi-)independently: the combined probability of a
+// vertex triplet closing is tiny outside the dense hub core ([7],[13]).
+// Non-stochastic Kronecker products of triangle-rich factors keep triangles
+// everywhere, and local counts are tunable (add/delete triangles and self
+// loops in the factors).
+//
+// The table compares, at matched vertex/edge scale: total triangles,
+// the fraction of vertices and edges in NO triangle, and the average local
+// clustering coefficient. R-MAT's triangles concentrate in its hub core
+// (raw τ can even be larger) while most of its vertices see none — the
+// non-stochastic product keeps every metric real-world-shaped.
+#include "common.hpp"
+#include "kronotri.hpp"
+
+namespace {
+
+using namespace kronotri;
+
+struct Metrics {
+  count_t n, e, tau;
+  double tri_free_v, tri_free_e, avg_cc;
+};
+
+Metrics measure(const Graph& g) {
+  Metrics m;
+  m.n = g.num_vertices();
+  m.e = g.num_undirected_edges();
+  const auto t = triangle::participation_vertices(g);
+  std::size_t zv = 0;
+  count_t sum = 0;
+  for (const count_t v : t) {
+    zv += v == 0;
+    sum += v;
+  }
+  m.tau = sum / 3;
+  const auto d = triangle::edge_support_masked(g);
+  std::size_t ze = 0;
+  for (const count_t v : d.values()) ze += v == 0;
+  m.tri_free_v = static_cast<double>(zv) / static_cast<double>(t.size());
+  m.tri_free_e = d.values().empty()
+                     ? 0.0
+                     : static_cast<double>(ze) /
+                           static_cast<double>(d.values().size());
+  m.avg_cc = triangle::average_clustering(g);
+  return m;
+}
+
+void print_artifact() {
+  kt_bench::banner("E9 (Rem. 1)",
+                   "stochastic (R-MAT) vs non-stochastic Kronecker triangles");
+  // Sparse, real-world-shaped factor (avg clustering ≈ 0.5, like web
+  // graphs); product and R-MAT matched on vertices and edges.
+  const Graph f = gen::holme_kim(362, 2, 0.9, 53);
+  const Graph c = kron::kron_graph(f, f);
+  const Graph r = gen::rmat(
+      17, std::max<esz>(1, c.num_undirected_edges() / (vid{1} << 17)), {},
+      54);
+
+  util::Table t({"graph", "vertices", "edges", "triangles",
+                 "tri-free vertices", "tri-free edges", "avg local cc"});
+  auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f%%", 100.0 * v);
+    return std::string(buf);
+  };
+  auto fmc = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4f", v);
+    return std::string(buf);
+  };
+  auto h = [](count_t v) { return util::human(static_cast<double>(v)); };
+  auto row = [&](const char* name, const Metrics& m) {
+    t.row({name, h(m.n), h(m.e), h(m.tau), fmt(m.tri_free_v),
+           fmt(m.tri_free_e), fmc(m.avg_cc)});
+  };
+  row("factor F (Holme-Kim)", measure(f));
+  row("F (x) F (non-stochastic)", measure(c));
+  row("R-MAT (stochastic)", measure(r));
+  t.print(std::cout);
+
+  std::cout
+      << "\nRem. 1 reproduced: most R-MAT vertices participate in no "
+         "triangle (edge independence makes closing a typical triplet "
+         "vanishingly unlikely; its triangles concentrate in the hub "
+         "core), while the non-stochastic product keeps triangle "
+         "participation broad and TUNABLE — e.g. adding self loops to one "
+         "factor multiplies every local count:\n";
+  const count_t plain = kron::total_triangles(f, f);
+  const count_t boosted = kron::total_triangles(f, f.with_all_self_loops());
+  std::cout << "  tau(F (x) F) = " << util::commas(plain)
+            << "  ->  tau(F (x) (F+I)) = " << util::commas(boosted) << " ("
+            << util::human(static_cast<double>(boosted) /
+                           static_cast<double>(plain))
+            << "x, Rem. 3 self-loop boosting)\n";
+}
+
+void bm_rmat_generation(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const Graph r =
+        gen::rmat(static_cast<unsigned>(state.range(0)), 8, {}, seed++);
+    benchmark::DoNotOptimize(r.nnz());
+  }
+}
+BENCHMARK(bm_rmat_generation)->Arg(12)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void bm_rmat_triangle_count(benchmark::State& state) {
+  const Graph r = gen::rmat(static_cast<unsigned>(state.range(0)), 8, {}, 55);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(triangle::count_total(r));
+  }
+}
+BENCHMARK(bm_rmat_triangle_count)
+    ->Arg(12)
+    ->Arg(14)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_nonstochastic_triangle_count(benchmark::State& state) {
+  // Equivalent-scale count via the Kronecker formula: the factor is counted
+  // inside the loop to keep the comparison honest.
+  const Graph f = gen::holme_kim(static_cast<vid>(state.range(0)), 4, 0.7, 56);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kron::total_triangles(f, f));
+  }
+}
+BENCHMARK(bm_nonstochastic_triangle_count)
+    ->Arg(128)
+    ->Arg(320)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+KT_BENCH_MAIN(print_artifact)

@@ -1,0 +1,37 @@
+// Shared benchmark-harness glue: every bench binary prints its paper
+// artifact (table/figure) in main() and then runs its google-benchmark
+// timing suite, so `for b in build/bench/*; do $b; done` reads like the
+// paper's evaluation section with microbenchmarks attached.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+namespace kt_bench {
+
+inline void banner(const std::string& id, const std::string& what) {
+  std::cout << "\n==========================================================\n"
+            << id << " — " << what
+            << "\n==========================================================\n";
+}
+
+/// Standard main body: print the artifact, then run registered benchmarks.
+inline int run(int argc, char** argv, void (*print_artifact)()) {
+  print_artifact();
+  std::cout << "\n-- microbenchmarks "
+               "--------------------------------------------\n";
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace kt_bench
+
+#define KT_BENCH_MAIN(print_artifact)                      \
+  int main(int argc, char** argv) {                        \
+    return kt_bench::run(argc, argv, (print_artifact));    \
+  }

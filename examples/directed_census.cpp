@@ -1,0 +1,63 @@
+// Directed triangle census demo (§IV): split a directed factor into
+// reciprocal and directed parts, census all 15 triangle flavors at its
+// vertices, and lift the census to a Kronecker product with an undirected
+// right factor via Thm 4 — exactly the kind of diverse per-vertex ground
+// truth the paper proposes for validating directed-graph analytics.
+//
+//   ./directed_census [--n 2000] [--precip 0.3] [--seed 11]
+#include <iostream>
+
+#include "kronotri.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kronotri;
+  const util::Cli cli(argc, argv);
+  const vid n = cli.get_uint("n", 2000);
+  const double precip = cli.get_double("precip", 0.3);
+  const std::uint64_t seed = cli.get_uint("seed", 11);
+
+  // A: scale-free skeleton, randomly oriented with ~30% reciprocal edges.
+  const Graph skeleton = gen::holme_kim(n, 3, 0.5, seed);
+  const Graph a = gen::randomly_orient(skeleton, precip, seed + 1);
+  const Graph b = gen::clique(3);  // undirected right factor
+
+  const auto parts = triangle::split_directed(a);
+  std::cout << "factor A: " << a.num_vertices() << " vertices, " << a.nnz()
+            << " stored entries (" << parts.ar.nnz() << " reciprocal slots, "
+            << parts.ad.nnz() << " directed)\n";
+  std::cout << "product C = A (x) K3: " << a.num_vertices() * 3
+            << " vertices\n\n";
+
+  util::WallTimer timer;
+  const auto census = triangle::directed_vertex_census(a);
+  const auto lifted = kron::directed_vertex_triangles(a, b);
+  const double census_s = timer.seconds();
+
+  util::Table table({"flavor", "factor total", "product total (Thm 4)"});
+  count_t factor_sum = 0, product_sum = 0;
+  for (int f = 0; f < triangle::kNumVertexTriTypes; ++f) {
+    count_t ft = 0;
+    for (const count_t v : census[static_cast<std::size_t>(f)]) ft += v;
+    const count_t pt = lifted[static_cast<std::size_t>(f)].sum();
+    factor_sum += ft;
+    product_sum += pt;
+    table.row({std::string(triangle::to_string(
+                   static_cast<triangle::VertexTriType>(f))),
+               util::commas(ft), util::commas(pt)});
+  }
+  table.row({"(sum)", util::commas(factor_sum), util::commas(product_sum)});
+  table.print(std::cout);
+
+  // Each triangle is counted once per vertex: flavor sums / 3 = triangles.
+  std::cout << "\ntriangles in closure(A): " << util::commas(factor_sum / 3)
+            << ", in closure(C): " << util::commas(product_sum / 3) << "\n";
+  std::cout << "census + lift computed in " << census_s << " s\n";
+
+  // The directed degree formulas of §IV.B.
+  const auto dd = kron::directed_degrees(a, b);
+  std::cout << "\nsample product vertex 42: reciprocal degree "
+            << dd.reciprocal.at(42) << ", directed-out "
+            << dd.directed_out.at(42) << ", directed-in "
+            << dd.directed_in.at(42) << "\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Vertex-labeled triangle census demo (§V, Fig. 6): color a factor with
+// three labels, census every labeled triangle type, and lift to a product
+// graph via Thm 6/7 (labels inherited from the left factor).
+//
+//   ./labeled_census [--n 1500] [--labels 3] [--seed 13]
+#include <iostream>
+#include <string>
+
+#include "kronotri.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kronotri;
+  const util::Cli cli(argc, argv);
+  const vid n = cli.get_uint("n", 1500);
+  const auto big_l = static_cast<std::uint32_t>(cli.get_uint("labels", 3));
+  const std::uint64_t seed = cli.get_uint("seed", 13);
+
+  const Graph a = gen::holme_kim(n, 3, 0.6, seed);
+  const triangle::Labeling lab = gen::random_labels(n, big_l, seed + 1);
+  const Graph b = gen::clique(3).with_all_self_loops();
+
+  static const char* kColor[] = {"red", "green", "blue", "cyan", "plum"};
+  auto color = [&](std::uint32_t q) {
+    return q < 5 ? std::string(kColor[q]) : "label" + std::to_string(q);
+  };
+
+  std::cout << "A: " << n << " vertices, " << a.num_undirected_edges()
+            << " edges, " << big_l << " colors; C = A (x) (K3+I): "
+            << n * 3 << " vertices\n\n";
+
+  util::Table table({"type (center; others)", "factor total",
+                     "product total (Thm 6)"});
+  count_t factor_sum = 0;
+  for (std::uint32_t q1 = 0; q1 < big_l; ++q1) {
+    for (std::uint32_t q2 = 0; q2 < big_l; ++q2) {
+      for (std::uint32_t q3 = q2; q3 < big_l; ++q3) {
+        const auto tv =
+            triangle::labeled_vertex_participation(a, lab, q1, q2, q3);
+        count_t ft = 0;
+        for (const count_t v : tv) ft += v;
+        factor_sum += ft;
+        const auto lifted =
+            kron::labeled_vertex_triangles(a, lab, b, q1, q2, q3);
+        table.row({color(q1) + "; {" + color(q2) + "," + color(q3) + "}",
+                   util::commas(ft), util::commas(lifted.sum())});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nsum over all types = 3x triangles: "
+            << util::commas(factor_sum) << " = 3 x "
+            << util::commas(triangle::count_total(a)) << "\n";
+
+  // Edge-level flavor (Thm 7): triangles at red-green edges whose third
+  // vertex is blue, lifted to the product.
+  if (big_l >= 3) {
+    const auto de = kron::labeled_edge_triangles(a, lab, b, 0, 1, 2);
+    std::cout << "\nΔ^(red,green;blue) on C: total "
+              << util::commas(de.sum())
+              << " (entry count at green→red product edges)\n";
+  }
+  return 0;
+}

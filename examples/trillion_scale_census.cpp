@@ -1,0 +1,86 @@
+// Reproduction of the paper's §VI experiment (Table VI) at configurable
+// scale: build a scale-free factor A, let B = A + I, and compute the exact
+// vertex/edge/triangle counts of the trillion-edge-scale products A⊗A and
+// A⊗B from factor statistics alone — never materializing the products.
+//
+//   ./trillion_scale_census [--n 325729] [--m 3] [--ptriad 0.6]
+//                           [--seed 1803] [--graph file.txt]
+//
+// With --graph, the factor is read from an edge list (e.g. the real
+// web-NotreDame data) instead of being synthesized; the file is
+// symmetrized and stripped of self loops on ingest, matching the paper's
+// preprocessing.
+#include <iostream>
+
+#include "kronotri.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kronotri;
+  const util::Cli cli(argc, argv);
+
+  util::WallTimer total;
+  Graph a = [&] {
+    if (cli.has("graph")) {
+      io::ReadOptions opts;
+      opts.symmetrize = true;
+      opts.drop_self_loops = true;
+      return io::read_edge_list(cli.get("graph", ""), opts);
+    }
+    const vid n = cli.get_uint("n", 325729);
+    const vid m = cli.get_uint("m", 3);
+    const double pt = cli.get_double("ptriad", 0.6);
+    const std::uint64_t seed = cli.get_uint("seed", 1803);
+    std::cout << "generating scale-free factor (Holme–Kim, n=" << n
+              << ", m=" << m << ", p_triad=" << pt << ", seed=" << seed
+              << ") — web-NotreDame stand-in\n";
+    return gen::holme_kim(n, m, pt, seed);
+  }();
+  const Graph b = a.with_all_self_loops();
+  std::cout << "factor ready in " << total.seconds() << " s\n\n";
+
+  util::WallTimer census;
+  const auto stats_a = triangle::analyze(a);
+  const count_t tau_aa = kron::total_triangles(a, a);
+  const count_t tau_ab = kron::total_triangles(a, b);
+  const double census_s = census.seconds();
+
+  const kron::KronGraphView caa(a, a), cab(a, b);
+
+  auto row = [](const std::string& name, count_t v, count_t e, count_t t) {
+    return std::vector<std::string>{name, util::human(static_cast<double>(v)),
+                                    util::human(static_cast<double>(e)),
+                                    util::human(static_cast<double>(t)),
+                                    util::commas(t)};
+  };
+  util::Table table({"Matrix", "Vertices", "Edges", "Triangles", "(exact)"});
+  table.row(row("A", a.num_vertices(), a.num_undirected_edges(), stats_a.total));
+  table.row(row("B = A+I", b.num_vertices(), b.num_undirected_edges(),
+                stats_a.total));
+  table.row(row("A (x) A", caa.num_vertices(), caa.num_undirected_edges(),
+                tau_aa));
+  table.row(row("A (x) B", cab.num_vertices(), cab.num_undirected_edges(),
+                tau_ab));
+  table.print(std::cout);
+
+  std::cout << "\nKronecker triangle census of both products: " << census_s
+            << " s, " << util::commas(stats_a.wedge_checks)
+            << " wedge checks on the factor\n";
+  std::cout << "(paper, web-NotreDame on a laptop: ~10.5 s, 7,734,429 wedge "
+               "checks, 111.4T / 141.0T triangles)\n";
+
+  // Spot-verify the oracle at a few low-degree product vertices via egonets
+  // (egonet materialization is O(deg²); hubs of C have squared-hub degrees).
+  const kron::TriangleOracle oracle(a, b);
+  count_t checked = 0, ok = 0;
+  for (vid p = 1; p < cab.num_vertices() && checked < 5;
+       p += cab.num_vertices() / 23) {
+    if (cab.nonloop_degree(p) > 200) continue;
+    const auto ego = analysis::extract_egonet(cab, p);
+    ok += analysis::center_triangles(ego) == oracle.vertex_triangles(p) ? 1u
+                                                                        : 0u;
+    ++checked;
+  }
+  std::cout << "egonet spot checks on A (x) B: " << ok << "/" << checked
+            << " vertices match the formula\n";
+  return ok == checked ? 0 : 1;
+}

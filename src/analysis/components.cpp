@@ -1,0 +1,115 @@
+#include "analysis/components.hpp"
+
+#include <stdexcept>
+
+namespace kronotri::analysis {
+
+namespace {
+
+constexpr vid kUnvisited = ~vid{0};
+
+/// Per-component classification for the Weichsel count.
+struct CompClass {
+  count_t size = 0;
+  bool has_edge = false;   // any incident edge (self loops count)
+  bool bipartite = true;   // 2-colorable; loops break it
+};
+
+std::vector<CompClass> classify(const Graph& g, const Components& comps) {
+  std::vector<CompClass> cls(comps.count);
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    ++cls[comps.component[u]].size;
+  }
+  // Bipartiteness by BFS 2-coloring over the closure.
+  const Graph u = g.is_undirected() ? g : g.undirected_closure();
+  std::vector<std::uint8_t> color(u.num_vertices(), 2);  // 2 = uncolored
+  std::vector<vid> queue;
+  for (vid s = 0; s < u.num_vertices(); ++s) {
+    if (color[s] != 2) continue;
+    color[s] = 0;
+    queue.assign(1, s);
+    while (!queue.empty()) {
+      const vid x = queue.back();
+      queue.pop_back();
+      CompClass& c = cls[comps.component[x]];
+      for (const vid y : u.neighbors(x)) {
+        c.has_edge = true;
+        if (y == x) {
+          c.bipartite = false;  // self loop = odd closed walk
+          continue;
+        }
+        if (color[y] == 2) {
+          color[y] = static_cast<std::uint8_t>(1 - color[x]);
+          queue.push_back(y);
+        } else if (color[y] == color[x]) {
+          c.bipartite = false;
+        }
+      }
+    }
+  }
+  return cls;
+}
+
+}  // namespace
+
+Components connected_components(const Graph& g) {
+  const Graph u = g.is_undirected() ? g : g.undirected_closure();
+  Components out;
+  out.component.assign(u.num_vertices(), kUnvisited);
+  std::vector<vid> stack;
+  for (vid s = 0; s < u.num_vertices(); ++s) {
+    if (out.component[s] != kUnvisited) continue;
+    const vid id = out.count++;
+    out.component[s] = id;
+    stack.assign(1, s);
+    while (!stack.empty()) {
+      const vid x = stack.back();
+      stack.pop_back();
+      for (const vid y : u.neighbors(x)) {
+        if (out.component[y] == kUnvisited) {
+          out.component[y] = id;
+          stack.push_back(y);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  return g.num_vertices() == 0 || connected_components(g).count == 1;
+}
+
+bool is_bipartite(const Graph& g) {
+  const Components comps = connected_components(g);
+  for (const CompClass& c : classify(g, comps)) {
+    if (!c.bipartite) return false;
+  }
+  return true;
+}
+
+count_t kron_component_count(const Graph& a, const Graph& b) {
+  if (!a.is_undirected() || !b.is_undirected()) {
+    throw std::invalid_argument(
+        "kron_component_count requires undirected factors (Weichsel)");
+  }
+  const Components ca = connected_components(a);
+  const Components cb = connected_components(b);
+  const auto cls_a = classify(a, ca);
+  const auto cls_b = classify(b, cb);
+  count_t total = 0;
+  for (const CompClass& x : cls_a) {
+    for (const CompClass& y : cls_b) {
+      if (!x.has_edge || !y.has_edge) {
+        total += x.size * y.size;  // the whole block is isolated vertices
+      } else if (x.bipartite && y.bipartite) {
+        total += 2;  // Weichsel: bipartite × bipartite splits in two
+      } else {
+        total += 1;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace kronotri::analysis

@@ -1,0 +1,33 @@
+// The kronotri command-line tool, as a testable library.
+//
+// Each subcommand is a function of parsed flags plus explicit output
+// streams, so unit tests drive them without spawning processes; the thin
+// binary in tools/ dispatches to these.
+//
+//   kronotri generate --type hk --n 10000 --out A.txt
+//   kronotri census   --a A.txt --b B.txt [--truth t.txt] [--sample 9]
+//   kronotri validate --a A.txt --b B.txt --claims counts.txt
+//   kronotri egonet   --a A.txt --b B.txt --vertex 12345
+//   kronotri truss    --graph G.txt  |  --a A.txt --b B.txt (Thm 3)
+#pragma once
+
+#include <iosfwd>
+
+#include "util/cli.hpp"
+
+namespace kronotri::cli {
+
+/// Dispatch on argv[1]; returns a process exit code.
+int run(int argc, char** argv, std::ostream& out, std::ostream& err);
+
+// Individual subcommands (flags documented in usage()).
+int cmd_generate(const util::Cli& flags, std::ostream& out, std::ostream& err);
+int cmd_census(const util::Cli& flags, std::ostream& out, std::ostream& err);
+int cmd_validate(const util::Cli& flags, std::ostream& out, std::ostream& err);
+int cmd_egonet(const util::Cli& flags, std::ostream& out, std::ostream& err);
+int cmd_truss(const util::Cli& flags, std::ostream& out, std::ostream& err);
+
+/// Prints the full usage text.
+void usage(std::ostream& out);
+
+}  // namespace kronotri::cli

@@ -1,0 +1,10 @@
+// Explicit instantiations of the COO builder for the two value types used
+// throughout the library (adjacency bits and triangle counts).
+#include "core/coo.hpp"
+
+namespace kronotri {
+
+template class Coo<std::uint8_t>;
+template class Coo<count_t>;
+
+}  // namespace kronotri

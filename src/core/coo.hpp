@@ -1,0 +1,62 @@
+// Coordinate-format (triplet) sparse matrix builder.
+//
+// COO is the ingestion format: generators and file readers append entries in
+// arbitrary order; conversion to CSR sorts, merges duplicates and produces
+// the canonical sorted-row representation used by every kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace kronotri {
+
+/// One (row, col, value) triplet.
+template <typename T>
+struct CooEntry {
+  vid row;
+  vid col;
+  T value;
+};
+
+/// Duplicate handling policy when converting COO -> CSR.
+enum class DupPolicy {
+  kSum,   ///< duplicate entries are summed (numeric assembly)
+  kKeep,  ///< duplicates collapse to a single entry keeping the first value
+          ///< (adjacency-matrix semantics: an edge listed twice is one edge)
+};
+
+/// Growable triplet list with fixed logical dimensions.
+template <typename T>
+class Coo {
+ public:
+  Coo(vid rows, vid cols) : rows_(rows), cols_(cols) {}
+
+  void add(vid r, vid c, T v) { entries_.push_back({r, c, v}); }
+
+  /// Adds both (r,c) and (c,r); diagonal entries are added once.
+  void add_symmetric(vid r, vid c, T v) {
+    add(r, c, v);
+    if (r != c) add(c, r, v);
+  }
+
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  [[nodiscard]] vid rows() const noexcept { return rows_; }
+  [[nodiscard]] vid cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const std::vector<CooEntry<T>>& entries() const noexcept {
+    return entries_;
+  }
+  std::vector<CooEntry<T>>& entries() noexcept { return entries_; }
+
+ private:
+  vid rows_;
+  vid cols_;
+  std::vector<CooEntry<T>> entries_;
+};
+
+using BoolCoo = Coo<std::uint8_t>;
+
+}  // namespace kronotri

@@ -1,0 +1,10 @@
+// Explicit instantiations of CsrMatrix for the common value types, so most
+// translation units link against these rather than re-instantiating.
+#include "core/csr.hpp"
+
+namespace kronotri {
+
+template class CsrMatrix<std::uint8_t>;
+template class CsrMatrix<count_t>;
+
+}  // namespace kronotri

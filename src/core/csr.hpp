@@ -1,0 +1,173 @@
+// Compressed-sparse-row matrix with sorted rows.
+//
+// Canonical storage for adjacency matrices (T = uint8_t, all stored values 1)
+// and for count matrices such as the triangle-support matrix Δ
+// (T = count_t). Invariants maintained by every constructor:
+//   * row_ptr has rows()+1 entries, non-decreasing, row_ptr[rows()] == nnz,
+//   * column indices within each row are strictly increasing (no duplicate
+//     entries),
+//   * col_idx and values have exactly nnz entries.
+// Sorted rows give O(log d) membership queries and linear-merge set
+// operations, which the triangle kernels rely on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/coo.hpp"
+#include "core/types.hpp"
+
+namespace kronotri {
+
+template <typename T>
+class CsrMatrix {
+ public:
+  using value_type = T;
+
+  /// Empty matrix of the given dimensions (all zero).
+  CsrMatrix() : CsrMatrix(0, 0) {}
+  CsrMatrix(vid rows, vid cols)
+      : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+  /// Builds from triplets. Entries are sorted; duplicates are combined
+  /// according to `policy`. Zero values are kept (explicit zeros are legal
+  /// but none of our generators produce them).
+  static CsrMatrix from_coo(const Coo<T>& coo, DupPolicy policy = DupPolicy::kSum) {
+    CsrMatrix m(coo.rows(), coo.cols());
+    std::vector<CooEntry<T>> entries = coo.entries();
+    for (const auto& e : entries) {
+      if (e.row >= m.rows_ || e.col >= m.cols_) {
+        throw std::out_of_range("Coo entry outside matrix dimensions");
+      }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const CooEntry<T>& a, const CooEntry<T>& b) {
+                return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+    m.col_idx_.reserve(entries.size());
+    m.values_.reserve(entries.size());
+    vid last_row = ~vid{0};
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const auto& e = entries[i];
+      if (!m.col_idx_.empty() && last_row == e.row &&
+          m.col_idx_.back() == e.col) {
+        if (policy == DupPolicy::kSum) m.values_.back() = static_cast<T>(m.values_.back() + e.value);
+        continue;
+      }
+      last_row = e.row;
+      ++m.row_ptr_[e.row + 1];
+      m.col_idx_.push_back(e.col);
+      m.values_.push_back(e.value);
+    }
+    std::partial_sum(m.row_ptr_.begin(), m.row_ptr_.end(), m.row_ptr_.begin());
+    return m;
+  }
+
+  /// Builds directly from validated CSR arrays.
+  static CsrMatrix from_parts(vid rows, vid cols, std::vector<esz> row_ptr,
+                              std::vector<vid> col_idx, std::vector<T> values) {
+    if (row_ptr.size() != rows + 1 || row_ptr.front() != 0 ||
+        row_ptr.back() != col_idx.size() || col_idx.size() != values.size()) {
+      throw std::invalid_argument("inconsistent CSR arrays");
+    }
+    for (vid r = 0; r < rows; ++r) {
+      if (row_ptr[r] > row_ptr[r + 1]) {
+        throw std::invalid_argument("row_ptr not monotone");
+      }
+      for (esz k = row_ptr[r]; k + 1 < row_ptr[r + 1]; ++k) {
+        if (col_idx[k] >= col_idx[k + 1]) {
+          throw std::invalid_argument("row not strictly sorted");
+        }
+      }
+      if (row_ptr[r] < row_ptr[r + 1] && col_idx[row_ptr[r + 1] - 1] >= cols) {
+        throw std::invalid_argument("column index out of range");
+      }
+    }
+    CsrMatrix m(rows, cols);
+    m.row_ptr_ = std::move(row_ptr);
+    m.col_idx_ = std::move(col_idx);
+    m.values_ = std::move(values);
+    return m;
+  }
+
+  /// n×n identity scaled by `value`.
+  static CsrMatrix identity(vid n, T value = T{1}) {
+    std::vector<esz> rp(n + 1);
+    std::iota(rp.begin(), rp.end(), esz{0});
+    std::vector<vid> ci(n);
+    std::iota(ci.begin(), ci.end(), vid{0});
+    return from_parts(n, n, std::move(rp), std::move(ci),
+                      std::vector<T>(n, value));
+  }
+
+  [[nodiscard]] vid rows() const noexcept { return rows_; }
+  [[nodiscard]] vid cols() const noexcept { return cols_; }
+  [[nodiscard]] esz nnz() const noexcept { return row_ptr_.back(); }
+
+  [[nodiscard]] std::span<const vid> row_cols(vid i) const {
+    return {col_idx_.data() + row_ptr_[i],
+            static_cast<std::size_t>(row_ptr_[i + 1] - row_ptr_[i])};
+  }
+  [[nodiscard]] std::span<const T> row_vals(vid i) const {
+    return {values_.data() + row_ptr_[i],
+            static_cast<std::size_t>(row_ptr_[i + 1] - row_ptr_[i])};
+  }
+  [[nodiscard]] std::span<T> row_vals_mut(vid i) {
+    return {values_.data() + row_ptr_[i],
+            static_cast<std::size_t>(row_ptr_[i + 1] - row_ptr_[i])};
+  }
+
+  [[nodiscard]] esz row_degree(vid i) const {
+    return row_ptr_[i + 1] - row_ptr_[i];
+  }
+
+  /// Index into col_idx()/values() of entry (i,j), or nnz() when absent.
+  [[nodiscard]] esz find(vid i, vid j) const {
+    const auto cols_i = row_cols(i);
+    const auto it = std::lower_bound(cols_i.begin(), cols_i.end(), j);
+    if (it == cols_i.end() || *it != j) return nnz();
+    return row_ptr_[i] + static_cast<esz>(it - cols_i.begin());
+  }
+
+  [[nodiscard]] bool contains(vid i, vid j) const { return find(i, j) != nnz(); }
+
+  /// Value at (i,j), T{} when absent.
+  [[nodiscard]] T at(vid i, vid j) const {
+    const esz k = find(i, j);
+    return k == nnz() ? T{} : values_[k];
+  }
+
+  // Raw array access for kernels.
+  [[nodiscard]] const std::vector<esz>& row_ptr() const noexcept { return row_ptr_; }
+  [[nodiscard]] const std::vector<vid>& col_idx() const noexcept { return col_idx_; }
+  [[nodiscard]] const std::vector<T>& values() const noexcept { return values_; }
+  std::vector<T>& values_mut() noexcept { return values_; }
+
+  friend bool operator==(const CsrMatrix& a, const CsrMatrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           a.row_ptr_ == b.row_ptr_ && a.col_idx_ == b.col_idx_ &&
+           a.values_ == b.values_;
+  }
+
+  /// Same sparsity pattern (ignores values).
+  [[nodiscard]] bool same_structure(const CsrMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           row_ptr_ == other.row_ptr_ && col_idx_ == other.col_idx_;
+  }
+
+ private:
+  vid rows_;
+  vid cols_;
+  std::vector<esz> row_ptr_;
+  std::vector<vid> col_idx_;
+  std::vector<T> values_;
+};
+
+using BoolCsr = CsrMatrix<std::uint8_t>;
+using CountCsr = CsrMatrix<count_t>;
+
+}  // namespace kronotri

@@ -1,0 +1,115 @@
+#include "core/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace kronotri::io {
+
+namespace {
+
+bool is_comment_or_blank(const std::string& line) {
+  for (const char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r') continue;
+    return c == '#' || c == '%';
+  }
+  return true;
+}
+
+}  // namespace
+
+Graph read_edge_list(const std::string& path, const ReadOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+
+  std::string line;
+  bool matrix_market = false;
+  bool mm_symmetric = false;
+  // Sniff the header.
+  if (std::getline(in, line)) {
+    if (line.rfind("%%MatrixMarket", 0) == 0) {
+      matrix_market = true;
+      mm_symmetric = line.find("symmetric") != std::string::npos;
+    } else {
+      in.seekg(0);
+    }
+  }
+
+  std::vector<std::pair<vid, vid>> edges;
+  vid n = 0;
+  bool have_dims = false;
+
+  while (std::getline(in, line)) {
+    if (is_comment_or_blank(line)) continue;
+    std::istringstream ls(line);
+    if (matrix_market && !have_dims) {
+      std::uint64_t mm_rows = 0, mm_cols = 0, mm_nnz = 0;
+      if (!(ls >> mm_rows >> mm_cols >> mm_nnz)) {
+        throw std::runtime_error("bad MatrixMarket dimension line: " + line);
+      }
+      n = std::max(mm_rows, mm_cols);
+      edges.reserve(mm_nnz * (mm_symmetric || opts.symmetrize ? 2 : 1));
+      have_dims = true;
+      continue;
+    }
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error("bad edge line: " + line);
+    }
+    if (matrix_market || opts.one_based) {
+      if (u == 0 || v == 0) {
+        throw std::runtime_error("expected 1-based ids, got 0: " + line);
+      }
+      --u;
+      --v;
+    }
+    if (opts.drop_self_loops && u == v) continue;
+    edges.emplace_back(u, v);
+    if ((mm_symmetric || opts.symmetrize) && u != v) edges.emplace_back(v, u);
+    if (!have_dims) n = std::max({n, u + 1, v + 1});
+  }
+
+  return Graph::from_edges(n, edges, /*symmetrize=*/false);
+}
+
+void write_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << "# kronotri edge list: " << g.num_vertices() << " vertices, "
+      << g.nnz() << " stored nonzeros\n";
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    for (const vid v : g.neighbors(u)) out << u << ' ' << v << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void write_vertex_counts(const std::vector<count_t>& counts,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << "# kronotri per-vertex counts: " << counts.size() << " vertices\n";
+  for (std::size_t v = 0; v < counts.size(); ++v) {
+    out << v << ' ' << counts[v] << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<count_t> read_vertex_counts(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open counts file: " + path);
+  std::vector<count_t> counts;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (is_comment_or_blank(line)) continue;
+    std::istringstream ls(line);
+    std::uint64_t v = 0, c = 0;
+    if (!(ls >> v >> c)) throw std::runtime_error("bad counts line: " + line);
+    if (v >= counts.size()) counts.resize(v + 1, 0);
+    counts[v] = c;
+  }
+  return counts;
+}
+
+}  // namespace kronotri::io

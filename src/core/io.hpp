@@ -1,0 +1,41 @@
+// Graph file I/O.
+//
+// Supported on read (format sniffed from the first non-blank line):
+//   * plain edge lists: one "u v" pair per line, '#' or '%' comments,
+//     0-based by default (`one_based` converts),
+//   * MatrixMarket coordinate headers ("%%MatrixMarket matrix coordinate
+//     ..."): the dimension line is honored, symmetric storage is expanded,
+//     and indices are treated as 1-based per the MM spec.
+// The paper's §VI experiment reads web-NotreDame in SNAP edge-list form;
+// this reader accepts that format directly so the real dataset can be
+// substituted for our synthetic stand-in.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace kronotri::io {
+
+struct ReadOptions {
+  bool symmetrize = false;       ///< insert (v,u) for every (u,v)
+  bool drop_self_loops = false;  ///< discard diagonal entries on ingest
+  bool one_based = false;        ///< subtract 1 from plain edge-list ids
+};
+
+/// Reads a graph from `path`; throws std::runtime_error on parse errors.
+Graph read_edge_list(const std::string& path, const ReadOptions& opts = {});
+
+/// Writes "u v" per stored nonzero (0-based), with a size header comment.
+void write_edge_list(const Graph& g, const std::string& path);
+
+/// Ground-truth exchange format for the validation workflow: one
+/// "vertex count" pair per line, '#' comments. Used to hand exact
+/// per-vertex triangle counts to an implementation under test (and to read
+/// its answers back).
+void write_vertex_counts(const std::vector<count_t>& counts,
+                         const std::string& path);
+std::vector<count_t> read_vertex_counts(const std::string& path);
+
+}  // namespace kronotri::io

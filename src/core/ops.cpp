@@ -1,0 +1,61 @@
+#include "core/ops.hpp"
+
+#include <cstdint>
+
+namespace kronotri::ops {
+
+std::vector<count_t> diag_triple(const BoolCsr& x, const BoolCsr& y,
+                                 const BoolCsr& z) {
+  if (x.rows() != x.cols() || x.rows() != y.rows() ||
+      y.rows() != y.cols() || z.rows() != z.cols() || x.rows() != z.rows()) {
+    throw std::invalid_argument("diag_triple: matrices must be square, same n");
+  }
+  const vid n = x.rows();
+  std::vector<count_t> d(n, 0);
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(n); ++r) {
+    const vid i = static_cast<vid>(r);
+    count_t acc = 0;
+    for (const vid j : x.row_cols(i)) {
+      for (const vid k : y.row_cols(j)) {
+        if (z.contains(k, i)) ++acc;
+      }
+    }
+    d[i] = acc;
+  }
+  return d;
+}
+
+std::vector<count_t> diag_cube_symmetric(const BoolCsr& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("diag_cube_symmetric: matrix must be square");
+  }
+  const vid n = a.rows();
+  std::vector<count_t> d(n, 0);
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(n); ++r) {
+    const vid i = static_cast<vid>(r);
+    const auto ri = a.row_cols(i);
+    count_t acc = 0;
+    for (const vid j : ri) {
+      const auto rj = a.row_cols(j);
+      // |row(i) ∩ row(j)| by sorted merge.
+      std::size_t p = 0, q = 0;
+      while (p < ri.size() && q < rj.size()) {
+        if (ri[p] < rj[q]) {
+          ++p;
+        } else if (ri[p] > rj[q]) {
+          ++q;
+        } else {
+          ++acc;
+          ++p;
+          ++q;
+        }
+      }
+    }
+    d[i] = acc;
+  }
+  return d;
+}
+
+}  // namespace kronotri::ops

@@ -1,0 +1,320 @@
+// Sparse linear-algebra kernels over CsrMatrix.
+//
+// This is the minimal kernel set needed to state and evaluate every formula
+// in the paper: transpose, Hadamard product (Def. 2), structural set ops
+// (for the reciprocal/directed split of Def. 9), SpGEMM, diagonal operators
+// (Def. 4), masked products ((A·B)∘M without forming A·B, used for the
+// edge-participation matrices Δ), and diag of triple products
+// (diag(X·Y·Z), used for the directed census of Def. 10).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/csr.hpp"
+#include "core/types.hpp"
+
+namespace kronotri::ops {
+
+/// Aᵗ — counting-sort based transpose, O(nnz + rows + cols).
+template <typename T>
+CsrMatrix<T> transpose(const CsrMatrix<T>& a) {
+  const vid rows = a.rows(), cols = a.cols();
+  std::vector<esz> rp(cols + 1, 0);
+  for (esz k = 0; k < a.nnz(); ++k) ++rp[a.col_idx()[k] + 1];
+  for (vid c = 0; c < cols; ++c) rp[c + 1] += rp[c];
+  std::vector<vid> ci(a.nnz());
+  std::vector<T> vals(a.nnz());
+  std::vector<esz> cursor(rp.begin(), rp.end() - 1);
+  for (vid r = 0; r < rows; ++r) {
+    const auto rc = a.row_cols(r);
+    const auto rv = a.row_vals(r);
+    for (std::size_t k = 0; k < rc.size(); ++k) {
+      const esz pos = cursor[rc[k]]++;
+      ci[pos] = r;
+      vals[pos] = rv[k];
+    }
+  }
+  return CsrMatrix<T>::from_parts(cols, rows, std::move(rp), std::move(ci),
+                                  std::move(vals));
+}
+
+namespace detail {
+
+inline void require_same_shape(vid ar, vid ac, vid br, vid bc) {
+  if (ar != br || ac != bc) {
+    throw std::invalid_argument("matrix dimensions must agree");
+  }
+}
+
+/// Merge two sorted rows, invoking `on_a_only`, `on_b_only`, `on_both`.
+template <typename FA, typename FB, typename FAB>
+void merge_rows(std::span<const vid> ac, std::span<const vid> bc, FA&& on_a_only,
+                FB&& on_b_only, FAB&& on_both) {
+  std::size_t i = 0, j = 0;
+  while (i < ac.size() && j < bc.size()) {
+    if (ac[i] < bc[j]) {
+      on_a_only(i++);
+    } else if (ac[i] > bc[j]) {
+      on_b_only(j++);
+    } else {
+      on_both(i++, j++);
+    }
+  }
+  while (i < ac.size()) on_a_only(i++);
+  while (j < bc.size()) on_b_only(j++);
+}
+
+}  // namespace detail
+
+/// A + B (values summed on overlap).
+template <typename T>
+CsrMatrix<T> add(const CsrMatrix<T>& a, const CsrMatrix<T>& b) {
+  detail::require_same_shape(a.rows(), a.cols(), b.rows(), b.cols());
+  std::vector<esz> rp(a.rows() + 1, 0);
+  std::vector<vid> ci;
+  std::vector<T> vals;
+  ci.reserve(a.nnz() + b.nnz());
+  vals.reserve(a.nnz() + b.nnz());
+  for (vid r = 0; r < a.rows(); ++r) {
+    const auto ac = a.row_cols(r), bc = b.row_cols(r);
+    const auto av = a.row_vals(r), bv = b.row_vals(r);
+    detail::merge_rows(
+        ac, bc,
+        [&](std::size_t i) { ci.push_back(ac[i]); vals.push_back(av[i]); },
+        [&](std::size_t j) { ci.push_back(bc[j]); vals.push_back(bv[j]); },
+        [&](std::size_t i, std::size_t j) {
+          ci.push_back(ac[i]);
+          vals.push_back(static_cast<T>(av[i] + bv[j]));
+        });
+    rp[r + 1] = ci.size();
+  }
+  return CsrMatrix<T>::from_parts(a.rows(), a.cols(), std::move(rp),
+                                  std::move(ci), std::move(vals));
+}
+
+/// A ∘ B — Hadamard (entrywise) product, Def. 2. Structure = intersection.
+template <typename T, typename TB>
+CsrMatrix<T> hadamard(const CsrMatrix<T>& a, const CsrMatrix<TB>& b) {
+  detail::require_same_shape(a.rows(), a.cols(), b.rows(), b.cols());
+  std::vector<esz> rp(a.rows() + 1, 0);
+  std::vector<vid> ci;
+  std::vector<T> vals;
+  for (vid r = 0; r < a.rows(); ++r) {
+    const auto ac = a.row_cols(r), bc = b.row_cols(r);
+    const auto av = a.row_vals(r), bv = b.row_vals(r);
+    detail::merge_rows(
+        ac, bc, [](std::size_t) {}, [](std::size_t) {},
+        [&](std::size_t i, std::size_t j) {
+          ci.push_back(ac[i]);
+          vals.push_back(static_cast<T>(av[i] * bv[j]));
+        });
+    rp[r + 1] = ci.size();
+  }
+  return CsrMatrix<T>::from_parts(a.rows(), a.cols(), std::move(rp),
+                                  std::move(ci), std::move(vals));
+}
+
+/// Entries of A at positions not present in B (structural A \ B). Used for
+/// the directed part A_d = A − Aᵗ∘A of Def. 9.
+template <typename T, typename TB>
+CsrMatrix<T> structural_difference(const CsrMatrix<T>& a, const CsrMatrix<TB>& b) {
+  detail::require_same_shape(a.rows(), a.cols(), b.rows(), b.cols());
+  std::vector<esz> rp(a.rows() + 1, 0);
+  std::vector<vid> ci;
+  std::vector<T> vals;
+  for (vid r = 0; r < a.rows(); ++r) {
+    const auto ac = a.row_cols(r), bc = b.row_cols(r);
+    const auto av = a.row_vals(r);
+    detail::merge_rows(
+        ac, bc,
+        [&](std::size_t i) { ci.push_back(ac[i]); vals.push_back(av[i]); },
+        [](std::size_t) {}, [](std::size_t, std::size_t) {});
+    rp[r + 1] = ci.size();
+  }
+  return CsrMatrix<T>::from_parts(a.rows(), a.cols(), std::move(rp),
+                                  std::move(ci), std::move(vals));
+}
+
+/// A · B with Gustavson's algorithm and a dense sparse-accumulator (SPA).
+/// Output values are accumulated in TOut (defaults to count_t so 0/1 inputs
+/// produce path counts without overflow).
+template <typename TOut = count_t, typename TA, typename TB>
+CsrMatrix<TOut> spgemm(const CsrMatrix<TA>& a, const CsrMatrix<TB>& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("spgemm: inner dimensions must agree");
+  }
+  const vid rows = a.rows(), cols = b.cols();
+  std::vector<esz> rp(rows + 1, 0);
+  std::vector<vid> ci;
+  std::vector<TOut> vals;
+  std::vector<TOut> spa(cols, TOut{});
+  std::vector<vid> touched;
+  for (vid r = 0; r < rows; ++r) {
+    touched.clear();
+    const auto arc = a.row_cols(r);
+    const auto arv = a.row_vals(r);
+    for (std::size_t ka = 0; ka < arc.size(); ++ka) {
+      const vid mid = arc[ka];
+      const TOut av = static_cast<TOut>(arv[ka]);
+      const auto brc = b.row_cols(mid);
+      const auto brv = b.row_vals(mid);
+      for (std::size_t kb = 0; kb < brc.size(); ++kb) {
+        const vid c = brc[kb];
+        if (spa[c] == TOut{}) touched.push_back(c);
+        spa[c] = static_cast<TOut>(spa[c] + av * static_cast<TOut>(brv[kb]));
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (const vid c : touched) {
+      ci.push_back(c);
+      vals.push_back(spa[c]);
+      spa[c] = TOut{};
+    }
+    rp[r + 1] = ci.size();
+  }
+  return CsrMatrix<TOut>::from_parts(rows, cols, std::move(rp), std::move(ci),
+                                     std::move(vals));
+}
+
+/// diag(A) as a dense vector (Def. 4).
+template <typename T>
+std::vector<T> diag_vec(const CsrMatrix<T>& a) {
+  std::vector<T> d(std::min(a.rows(), a.cols()), T{});
+  for (vid r = 0; r < d.size(); ++r) d[r] = a.at(r, r);
+  return d;
+}
+
+/// D_A = I ∘ A — the diagonal of A as a sparse matrix (Def. 4).
+template <typename T>
+CsrMatrix<T> diag_matrix(const CsrMatrix<T>& a) {
+  Coo<T> coo(a.rows(), a.cols());
+  const vid n = std::min(a.rows(), a.cols());
+  for (vid r = 0; r < n; ++r) {
+    const T v = a.at(r, r);
+    if (v != T{}) coo.add(r, r, v);
+  }
+  return CsrMatrix<T>::from_coo(coo);
+}
+
+/// A − I∘A — drop the diagonal (self loops).
+template <typename T>
+CsrMatrix<T> remove_diag(const CsrMatrix<T>& a) {
+  std::vector<esz> rp(a.rows() + 1, 0);
+  std::vector<vid> ci;
+  std::vector<T> vals;
+  ci.reserve(a.nnz());
+  vals.reserve(a.nnz());
+  for (vid r = 0; r < a.rows(); ++r) {
+    const auto rc = a.row_cols(r);
+    const auto rv = a.row_vals(r);
+    for (std::size_t k = 0; k < rc.size(); ++k) {
+      if (rc[k] == r) continue;
+      ci.push_back(rc[k]);
+      vals.push_back(rv[k]);
+    }
+    rp[r + 1] = ci.size();
+  }
+  return CsrMatrix<T>::from_parts(a.rows(), a.cols(), std::move(rp),
+                                  std::move(ci), std::move(vals));
+}
+
+/// A with the full unit diagonal present (adjacency semantics of B = A + I:
+/// existing diagonal entries stay 1, missing ones are created).
+template <typename T>
+CsrMatrix<T> with_unit_diag(const CsrMatrix<T>& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("with_unit_diag: matrix must be square");
+  }
+  std::vector<esz> rp(a.rows() + 1, 0);
+  std::vector<vid> ci;
+  std::vector<T> vals;
+  ci.reserve(a.nnz() + a.rows());
+  vals.reserve(a.nnz() + a.rows());
+  for (vid r = 0; r < a.rows(); ++r) {
+    const auto rc = a.row_cols(r);
+    const auto rv = a.row_vals(r);
+    bool placed = false;
+    for (std::size_t k = 0; k < rc.size(); ++k) {
+      if (!placed && rc[k] >= r) {
+        ci.push_back(r);
+        vals.push_back(T{1});
+        placed = true;
+        if (rc[k] == r) continue;  // overwrite existing loop with 1
+      }
+      ci.push_back(rc[k]);
+      vals.push_back(rv[k]);
+    }
+    if (!placed) {
+      ci.push_back(r);
+      vals.push_back(T{1});
+    }
+    rp[r + 1] = ci.size();
+  }
+  return CsrMatrix<T>::from_parts(a.rows(), a.cols(), std::move(rp),
+                                  std::move(ci), std::move(vals));
+}
+
+/// Row sums A·1 as TOut.
+template <typename TOut = count_t, typename T>
+std::vector<TOut> row_sums(const CsrMatrix<T>& a) {
+  std::vector<TOut> s(a.rows(), TOut{});
+  for (vid r = 0; r < a.rows(); ++r) {
+    for (const T v : a.row_vals(r)) s[r] = static_cast<TOut>(s[r] + static_cast<TOut>(v));
+  }
+  return s;
+}
+
+template <typename T>
+bool is_symmetric(const CsrMatrix<T>& a) {
+  if (a.rows() != a.cols()) return false;
+  return a == transpose(a);
+}
+
+/// (A·B) ∘ M computed without forming A·B: for every stored (i,j) of M the
+/// value is the sorted-merge dot product  Σ_k A(i,k)·Bᵗ(j,k).  Pass B
+/// pre-transposed. Structure of the result equals the structure of M; the
+/// mask's own values are NOT multiplied in (all our masks are 0/1).
+template <typename TM, typename TA, typename TB>
+CsrMatrix<count_t> masked_product(const CsrMatrix<TM>& m, const CsrMatrix<TA>& a,
+                                  const CsrMatrix<TB>& bt) {
+  if (m.rows() != a.rows() || m.cols() != bt.rows() || a.cols() != bt.cols()) {
+    throw std::invalid_argument("masked_product: dimension mismatch");
+  }
+  std::vector<count_t> vals(m.nnz(), 0);
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(m.rows()); ++r) {
+    const vid i = static_cast<vid>(r);
+    const auto mc = m.row_cols(i);
+    const auto ac = a.row_cols(i);
+    const auto av = a.row_vals(i);
+    for (std::size_t k = 0; k < mc.size(); ++k) {
+      const vid j = mc[k];
+      const auto bc = bt.row_cols(j);
+      const auto bv = bt.row_vals(j);
+      count_t acc = 0;
+      detail::merge_rows(
+          ac, bc, [](std::size_t) {}, [](std::size_t) {},
+          [&](std::size_t x, std::size_t y) {
+            acc += static_cast<count_t>(av[x]) * static_cast<count_t>(bv[y]);
+          });
+      vals[m.row_ptr()[i] + k] = acc;
+    }
+  }
+  return CsrMatrix<count_t>::from_parts(
+      m.rows(), m.cols(), m.row_ptr(), m.col_idx(), std::move(vals));
+}
+
+/// diag(X·Y·Z) for 0/1 matrices via wedge enumeration with membership test:
+/// diag(XYZ)_i = Σ_{j∈X(i)} Σ_{k∈Y(j)} Z(k,i). Avoids materializing any
+/// product; cost O(Σ_{(i,j)∈X} deg_Y(j) · log deg_Z).
+std::vector<count_t> diag_triple(const BoolCsr& x, const BoolCsr& y,
+                                 const BoolCsr& z);
+
+/// diag(A³) for a symmetric 0/1 matrix (self loops allowed), via sorted row
+/// intersections: diag(A³)_i = Σ_{j∈row(i)} |row(j) ∩ row(i)|.
+std::vector<count_t> diag_cube_symmetric(const BoolCsr& a);
+
+}  // namespace kronotri::ops

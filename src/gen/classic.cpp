@@ -1,0 +1,78 @@
+#include "gen/classic.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace kronotri::gen {
+
+namespace {
+
+Graph from_pairs(vid n, const std::vector<std::pair<vid, vid>>& edges,
+                 bool symmetrize = true) {
+  return Graph::from_edges(n, edges, symmetrize);
+}
+
+}  // namespace
+
+Graph clique(vid n) {
+  std::vector<std::pair<vid, vid>> e;
+  e.reserve(n * (n - 1) / 2);
+  for (vid u = 0; u < n; ++u) {
+    for (vid v = u + 1; v < n; ++v) e.emplace_back(u, v);
+  }
+  return from_pairs(n, e);
+}
+
+Graph clique_with_loops(vid n) {
+  std::vector<std::pair<vid, vid>> e;
+  e.reserve(n * (n + 1) / 2);
+  for (vid u = 0; u < n; ++u) {
+    e.emplace_back(u, u);
+    for (vid v = u + 1; v < n; ++v) e.emplace_back(u, v);
+  }
+  return from_pairs(n, e);
+}
+
+Graph cycle(vid n) {
+  if (n < 3) throw std::invalid_argument("cycle needs n >= 3");
+  std::vector<std::pair<vid, vid>> e;
+  e.reserve(n);
+  for (vid u = 0; u < n; ++u) e.emplace_back(u, (u + 1) % n);
+  return from_pairs(n, e);
+}
+
+Graph path(vid n) {
+  std::vector<std::pair<vid, vid>> e;
+  if (n > 0) e.reserve(n - 1);
+  for (vid u = 0; u + 1 < n; ++u) e.emplace_back(u, u + 1);
+  return from_pairs(n, e);
+}
+
+Graph star(vid n) {
+  if (n == 0) throw std::invalid_argument("star needs n >= 1");
+  std::vector<std::pair<vid, vid>> e;
+  e.reserve(n - 1);
+  for (vid u = 1; u < n; ++u) e.emplace_back(0, u);
+  return from_pairs(n, e);
+}
+
+Graph complete_bipartite(vid a, vid b) {
+  std::vector<std::pair<vid, vid>> e;
+  e.reserve(a * b);
+  for (vid u = 0; u < a; ++u) {
+    for (vid v = 0; v < b; ++v) e.emplace_back(u, a + v);
+  }
+  return from_pairs(a + b, e);
+}
+
+Graph hub_cycle() {
+  // Hub 0 to all of the 4-cycle 1-2-3-4-1. The paper removes K_5 edges
+  // {2,4} and {3,5} (1-based), i.e. the two chords {1,3} and {2,4} here.
+  const std::vector<std::pair<vid, vid>> e = {
+      {0, 1}, {0, 2}, {0, 3}, {0, 4},  // hub edges
+      {1, 2}, {2, 3}, {3, 4}, {4, 1},  // cycle edges
+  };
+  return from_pairs(5, e);
+}
+
+}  // namespace kronotri::gen

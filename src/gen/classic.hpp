@@ -1,0 +1,38 @@
+// Deterministic graph families.
+//
+// These are the closed-form validation instruments of the paper: the clique
+// K_n and looped clique J_n = K_n + I of Ex. 1(a)–(c), and the hub-cycle
+// graph of Ex. 2 / Fig. 3 (the counterexample showing the truss
+// decomposition of a Kronecker product is not a simple product).
+#pragma once
+
+#include "core/graph.hpp"
+
+namespace kronotri::gen {
+
+/// K_n — complete graph, no self loops. Every vertex has degree n−1,
+/// participates in C(n−1, 2) triangles; every edge in n−2 triangles.
+Graph clique(vid n);
+
+/// J_n = 1·1ᵗ — complete graph plus a self loop at every vertex (Ex. 1).
+Graph clique_with_loops(vid n);
+
+/// Cycle on n ≥ 3 vertices (triangle-free for n > 3).
+Graph cycle(vid n);
+
+/// Path on n vertices (always triangle-free).
+Graph path(vid n);
+
+/// Star: vertex 0 joined to vertices 1…n−1 (triangle-free).
+Graph star(vid n);
+
+/// Complete bipartite K_{a,b} (triangle-free).
+Graph complete_bipartite(vid a, vid b);
+
+/// The Ex. 2 graph: K_5 minus the two cycle chords — a 4-cycle {1,2,3,4}
+/// plus hub vertex 0 joined to all (0-based ids; the paper's Fig. 3 uses
+/// 1-based). 5 vertices, 8 undirected edges, 4 triangles; hub edges close 2
+/// triangles, cycle edges 1.
+Graph hub_cycle();
+
+}  // namespace kronotri::gen

@@ -1,0 +1,44 @@
+#include "gen/one_triangle_pa.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace kronotri::gen {
+
+Graph one_triangle_pa(vid n, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("one_triangle_pa needs n >= 2");
+  util::Xoshiro256 rng(seed);
+
+  struct Edge {
+    vid u, v;
+    bool in_triangle;
+  };
+  std::vector<Edge> edges;
+  edges.push_back({0, 1, false});
+
+  for (vid u = 2; u < n; ++u) {
+    const std::size_t pick = rng.bounded(edges.size());
+    // Copy endpoints: push_back below may reallocate `edges`.
+    const vid i = edges[pick].u;
+    const vid j = edges[pick].v;
+    const bool saturated = edges[pick].in_triangle;
+    const bool pick_i = rng.bernoulli(0.5);
+    const vid v = pick_i ? i : j;
+    edges.push_back({u, v, false});
+    if (!saturated) {
+      const vid w = pick_i ? j : i;
+      edges[pick].in_triangle = true;       // (i,j)
+      edges[edges.size() - 1].in_triangle = true;  // (u,v)
+      edges.push_back({u, w, true});        // (u,w)
+    }
+  }
+
+  std::vector<std::pair<vid, vid>> pairs;
+  pairs.reserve(edges.size());
+  for (const Edge& e : edges) pairs.emplace_back(e.u, e.v);
+  return Graph::from_edges(n, pairs, /*symmetrize=*/true);
+}
+
+}  // namespace kronotri::gen

@@ -1,0 +1,25 @@
+// The §III.D(b) generator: scale-free graphs whose every edge participates
+// in at most one triangle (Δ ≤ 1) — the B factors Thm 3 needs for products
+// with a known truss decomposition.
+//
+// Paper's procedure, verbatim: start with a single edge. For each new node
+// u, pick an existing edge (i,j) uniformly at random and a vertex v ∈ {i,j}
+// uniformly; add (u,v). If (i,j) participates in no triangle yet, also add
+// (u,w) for the other endpoint w, closing exactly one new triangle and
+// marking (i,j), (u,v), (u,w) as saturated. Repeat until n vertices exist.
+// Picking an edge uniformly and then an endpoint is preferential attachment
+// (degree-proportional), so degrees are power-law distributed.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+
+namespace kronotri::gen {
+
+/// n ≥ 2 vertices; deterministic in `seed`. The result is connected,
+/// loop-free, undirected, and satisfies Δ ≤ 1 by construction (asserted in
+/// tests via truss::edges_in_at_most_one_triangle).
+Graph one_triangle_pa(vid n, std::uint64_t seed);
+
+}  // namespace kronotri::gen

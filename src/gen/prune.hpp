@@ -1,0 +1,24 @@
+// §III.D strategy (a): make an existing (real-world) graph satisfy the
+// Thm 3 precondition by deleting edges until every edge participates in at
+// most one triangle, while maintaining connectivity via a spanning tree.
+//
+// Every triangle contains at least one non-tree edge (a tree is acyclic),
+// so deleting only non-tree edges can always reach Δ ≤ 1 without
+// disconnecting anything. The implementation enumerates all triangles
+// once, then greedily deletes the non-tree edge that kills the most
+// remaining excess triangles until every edge closes at most one.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+
+namespace kronotri::gen {
+
+/// Returns a spanning-connected subgraph of `g` (per component) with
+/// Δ ≤ 1. Requires an undirected graph; self loops are dropped.
+/// Deterministic in `seed` (used only for tie-breaking among equal-damage
+/// deletions).
+Graph prune_to_one_triangle(const Graph& g, std::uint64_t seed = 0);
+
+}  // namespace kronotri::gen

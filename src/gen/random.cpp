@@ -1,0 +1,178 @@
+#include "gen/random.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace kronotri::gen {
+
+namespace {
+
+using util::Xoshiro256;
+
+std::uint64_t pack_pair(vid u, vid v) {
+  if (u > v) std::swap(u, v);
+  return (u << 32) | v;
+}
+
+}  // namespace
+
+Graph erdos_renyi(vid n, double p, std::uint64_t seed) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("p must be in [0,1]");
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<vid, vid>> edges;
+  if (p > 0.0) {
+    // Geometric skipping over the strict upper triangle.
+    const double log1mp = std::log1p(-p);
+    const std::uint64_t total = n * (n - 1) / 2;
+    std::uint64_t idx = 0;
+    auto unrank = [n](std::uint64_t t) {
+      // Row-major strict upper triangle: row u has n-1-u entries.
+      vid u = 0;
+      std::uint64_t remaining = t;
+      while (remaining >= n - 1 - u) {
+        remaining -= n - 1 - u;
+        ++u;
+      }
+      return std::pair<vid, vid>{u, u + 1 + remaining};
+    };
+    while (true) {
+      if (p >= 1.0) {
+        if (idx >= total) break;
+        edges.push_back(unrank(idx));
+        ++idx;
+        continue;
+      }
+      // Gap to the next success ~ Geometric(p): floor(log(1−r)/log(1−p)).
+      const double r = rng.uniform();
+      const auto skip =
+          static_cast<std::uint64_t>(std::floor(std::log1p(-r) / log1mp));
+      idx += skip;
+      if (idx >= total) break;
+      edges.push_back(unrank(idx));
+      ++idx;
+    }
+  }
+  return Graph::from_edges(n, edges, /*symmetrize=*/true);
+}
+
+Graph erdos_renyi_m(vid n, esz m, std::uint64_t seed) {
+  const std::uint64_t total = n * (n - 1) / 2;
+  if (m > total) throw std::invalid_argument("m exceeds possible edge count");
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::pair<vid, vid>> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    const vid u = rng.bounded(n);
+    const vid v = rng.bounded(n);
+    if (u == v) continue;
+    if (seen.insert(pack_pair(u, v)).second) {
+      edges.emplace_back(u, v);
+    }
+  }
+  return Graph::from_edges(n, edges, /*symmetrize=*/true);
+}
+
+Graph barabasi_albert(vid n, vid m, std::uint64_t seed) {
+  return holme_kim(n, m, 0.0, seed);
+}
+
+Graph holme_kim(vid n, vid m, double p_triad, std::uint64_t seed) {
+  if (m < 1 || n < m + 1) {
+    throw std::invalid_argument("holme_kim requires n > m >= 1");
+  }
+  Xoshiro256 rng(seed);
+  // `targets` doubles as the preferential-attachment urn: every endpoint of
+  // every edge appears once, so sampling uniformly from it is
+  // degree-proportional sampling.
+  std::vector<vid> urn;
+  std::vector<std::pair<vid, vid>> edges;
+  std::vector<std::vector<vid>> adj(n);
+  edges.reserve(n * m);
+  urn.reserve(2 * n * m);
+
+  auto connect = [&](vid u, vid v) {
+    edges.emplace_back(u, v);
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+    urn.push_back(u);
+    urn.push_back(v);
+  };
+
+  // Seed clique on m+1 vertices keeps early sampling well-defined.
+  for (vid u = 0; u <= m; ++u) {
+    for (vid v = u + 1; v <= m; ++v) connect(u, v);
+  }
+
+  for (vid u = m + 1; u < n; ++u) {
+    std::unordered_set<vid> picked;
+    vid last_target = ~vid{0};
+    while (picked.size() < m) {
+      vid target;
+      const bool try_triad =
+          last_target != ~vid{0} && rng.bernoulli(p_triad);
+      if (try_triad) {
+        // Triad step: connect to a random neighbor of the last target.
+        const auto& nb = adj[last_target];
+        target = nb[rng.bounded(nb.size())];
+      } else {
+        target = urn[rng.bounded(urn.size())];
+      }
+      if (target == u || picked.count(target)) {
+        // Fall back to pure PA on collisions to guarantee progress.
+        target = urn[rng.bounded(urn.size())];
+        if (target == u || picked.count(target)) continue;
+      }
+      picked.insert(target);
+      connect(u, target);
+      last_target = target;
+    }
+  }
+  return Graph::from_edges(n, edges, /*symmetrize=*/true);
+}
+
+triangle::Labeling random_labels(vid n, std::uint32_t num_labels,
+                                 std::uint64_t seed) {
+  if (num_labels == 0) throw std::invalid_argument("need >= 1 label");
+  Xoshiro256 rng(seed);
+  triangle::Labeling lab;
+  lab.num_labels = num_labels;
+  lab.label.resize(n);
+  for (auto& q : lab.label) {
+    q = static_cast<std::uint32_t>(rng.bounded(num_labels));
+  }
+  return lab;
+}
+
+Graph randomly_orient(const Graph& g, double p_reciprocal, std::uint64_t seed) {
+  if (!g.is_undirected()) {
+    throw std::invalid_argument("randomly_orient expects an undirected graph");
+  }
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<vid, vid>> edges;
+  edges.reserve(g.nnz());
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    for (const vid v : g.neighbors(u)) {
+      if (v < u) continue;
+      if (v == u) {
+        edges.emplace_back(u, u);
+        continue;
+      }
+      if (rng.bernoulli(p_reciprocal)) {
+        edges.emplace_back(u, v);
+        edges.emplace_back(v, u);
+      } else if (rng.bernoulli(0.5)) {
+        edges.emplace_back(u, v);
+      } else {
+        edges.emplace_back(v, u);
+      }
+    }
+  }
+  return Graph::from_edges(g.num_vertices(), edges, /*symmetrize=*/false);
+}
+
+}  // namespace kronotri::gen

@@ -1,0 +1,45 @@
+#include "gen/rmat.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace kronotri::gen {
+
+Graph rmat(unsigned scale, esz edge_factor, const RmatParams& params,
+           std::uint64_t seed) {
+  const double sum = params.a + params.b + params.c + params.d;
+  if (std::abs(sum - 1.0) > 1e-9) {
+    throw std::invalid_argument("R-MAT probabilities must sum to 1");
+  }
+  if (scale >= 40) throw std::invalid_argument("scale too large");
+  util::Xoshiro256 rng(seed);
+  const vid n = vid{1} << scale;
+  const esz m = edge_factor * n;
+  std::vector<std::pair<vid, vid>> edges;
+  edges.reserve(m);
+  for (esz e = 0; e < m; ++e) {
+    vid u = 0, v = 0;
+    for (unsigned bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < params.a) {
+        // top-left quadrant: no bits set
+      } else if (r < params.a + params.b) {
+        v |= 1;
+      } else if (r < params.a + params.b + params.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) edges.emplace_back(u, v);  // drop self loops
+  }
+  return Graph::from_edges(n, edges, /*symmetrize=*/true);
+}
+
+}  // namespace kronotri::gen

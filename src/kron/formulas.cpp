@@ -1,0 +1,377 @@
+#include "kron/formulas.hpp"
+
+#include <stdexcept>
+
+#include "core/ops.hpp"
+#include "kron/product.hpp"
+#include "triangle/count.hpp"
+#include "triangle/support.hpp"
+
+namespace kronotri::kron {
+
+namespace {
+
+using i128 = __int128;
+
+[[noreturn]] void formula_misuse() {
+  throw std::logic_error(
+      "Kronecker formula evaluated to a negative or non-divisible value — "
+      "factor statistics do not match the formula's preconditions");
+}
+
+count_t checked_result(i128 acc, std::int64_t divisor) {
+  if (acc < 0 || acc % divisor != 0) formula_misuse();
+  return static_cast<count_t>(acc / divisor);
+}
+
+/// 0/1 self-loop indicator vector diag(D_A).
+std::vector<count_t> loop_vector(const Graph& g) {
+  std::vector<count_t> v(g.num_vertices(), 0);
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    v[u] = g.has_edge(u, u) ? 1u : 0u;
+  }
+  return v;
+}
+
+/// diag(A²·D_A): (A²)_ii·loop_i; for symmetric 0/1 A, (A²)_ii is the row
+/// degree (each stored neighbor j contributes A_ij·A_ji = 1).
+std::vector<count_t> diag_a2_d(const Graph& g) {
+  std::vector<count_t> v(g.num_vertices(), 0);
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    if (g.has_edge(u, u)) v[u] = g.out_degree(u);
+  }
+  return v;
+}
+
+/// diag(A·D_A·A): Σ_{j ∈ row(i)} loop_j for symmetric 0/1 A.
+std::vector<count_t> diag_ada(const Graph& g) {
+  std::vector<count_t> v(g.num_vertices(), 0);
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    count_t acc = 0;
+    for (const vid j : g.neighbors(u)) acc += g.has_edge(j, j) ? 1u : 0u;
+    v[u] = acc;
+  }
+  return v;
+}
+
+/// A ∘ A² including self-loop structure (the un-stripped variant the general
+/// Δ formula needs; for loop-free graphs this IS Δ_A).
+CountCsr a_hadamard_a2(const Graph& g) {
+  const BoolCsr& m = g.matrix();
+  return ops::masked_product(m, m, m);  // symmetric: m is its own transpose
+}
+
+/// D_A·A — rows of A kept only where a self loop exists.
+CountCsr rows_where_loop(const Graph& g) {
+  const BoolCsr& m = g.matrix();
+  std::vector<esz> rp(m.rows() + 1, 0);
+  std::vector<vid> ci;
+  std::vector<count_t> vals;
+  for (vid r = 0; r < m.rows(); ++r) {
+    if (g.has_edge(r, r)) {
+      for (const vid c : m.row_cols(r)) {
+        ci.push_back(c);
+        vals.push_back(1);
+      }
+    }
+    rp[r + 1] = ci.size();
+  }
+  return CountCsr::from_parts(m.rows(), m.cols(), std::move(rp), std::move(ci),
+                              std::move(vals));
+}
+
+/// A·D_A — columns of A kept only where a self loop exists.
+CountCsr cols_where_loop(const Graph& g) {
+  const BoolCsr& m = g.matrix();
+  std::vector<esz> rp(m.rows() + 1, 0);
+  std::vector<vid> ci;
+  std::vector<count_t> vals;
+  for (vid r = 0; r < m.rows(); ++r) {
+    for (const vid c : m.row_cols(r)) {
+      if (g.has_edge(c, c)) {
+        ci.push_back(c);
+        vals.push_back(1);
+      }
+    }
+    rp[r + 1] = ci.size();
+  }
+  return CountCsr::from_parts(m.rows(), m.cols(), std::move(rp), std::move(ci),
+                              std::move(vals));
+}
+
+/// D_A as a count matrix.
+CountCsr loop_matrix(const Graph& g) {
+  Coo<count_t> coo(g.num_vertices(), g.num_vertices());
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    if (g.has_edge(u, u)) coo.add(u, u, 1);
+  }
+  return CountCsr::from_coo(coo);
+}
+
+/// D_A ∘ A² — diagonal matrix with (A²)_ii at looped vertices.
+CountCsr diag_hadamard_a2(const Graph& g) {
+  Coo<count_t> coo(g.num_vertices(), g.num_vertices());
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    if (g.has_edge(u, u)) coo.add(u, u, g.out_degree(u));
+  }
+  return CountCsr::from_coo(coo);
+}
+
+void require_undirected(const Graph& a, const Graph& b, const char* what) {
+  if (!a.is_undirected() || !b.is_undirected()) {
+    throw std::invalid_argument(std::string(what) +
+                                ": §III formulas require undirected factors");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// KronVectorExpr
+// ---------------------------------------------------------------------------
+
+KronVectorExpr::KronVectorExpr(std::int64_t divisor, std::vector<Term> terms)
+    : divisor_(divisor), terms_(std::move(terms)) {
+  if (divisor_ <= 0) throw std::invalid_argument("divisor must be positive");
+  if (terms_.empty()) throw std::invalid_argument("expression needs >= 1 term");
+  na_ = terms_.front().a.size();
+  nb_ = terms_.front().b.size();
+  for (const Term& t : terms_) {
+    if (t.a.size() != na_ || t.b.size() != nb_) {
+      throw std::invalid_argument("terms must have equal factor sizes");
+    }
+  }
+}
+
+count_t KronVectorExpr::at(vid p) const {
+  const KronIndex idx(nb_);
+  const vid i = idx.a_of(p), k = idx.b_of(p);
+  i128 acc = 0;
+  for (const Term& t : terms_) {
+    acc += static_cast<i128>(t.coeff) * static_cast<i128>(t.a[i]) *
+           static_cast<i128>(t.b[k]);
+  }
+  return checked_result(acc, divisor_);
+}
+
+std::vector<count_t> KronVectorExpr::expand() const {
+  std::vector<count_t> out;
+  out.reserve(size());
+  for (vid i = 0; i < na_; ++i) {
+    for (vid k = 0; k < nb_; ++k) {
+      i128 acc = 0;
+      for (const Term& t : terms_) {
+        acc += static_cast<i128>(t.coeff) * static_cast<i128>(t.a[i]) *
+               static_cast<i128>(t.b[k]);
+      }
+      out.push_back(checked_result(acc, divisor_));
+    }
+  }
+  return out;
+}
+
+count_t KronVectorExpr::sum() const {
+  i128 acc = 0;
+  for (const Term& t : terms_) {
+    i128 sa = 0, sb = 0;
+    for (const count_t v : t.a) sa += v;
+    for (const count_t v : t.b) sb += v;
+    acc += static_cast<i128>(t.coeff) * sa * sb;
+  }
+  return checked_result(acc, divisor_);
+}
+
+std::map<count_t, count_t> KronVectorExpr::histogram() const {
+  if (terms_.size() != 1 || terms_.front().coeff < 0) {
+    throw std::logic_error(
+        "KronVectorExpr::histogram needs a single nonnegative term "
+        "(multi-term self-loop formulas do not convolve)");
+  }
+  const Term& t = terms_.front();
+  std::map<count_t, count_t> ha, hb;
+  for (const count_t v : t.a) ++ha[v];
+  for (const count_t v : t.b) ++hb[v];
+  std::map<count_t, count_t> out;
+  const auto coeff = static_cast<count_t>(t.coeff);
+  const auto div = static_cast<count_t>(divisor_);
+  for (const auto& [va, ca] : ha) {
+    for (const auto& [vb, cb] : hb) {
+      const count_t raw = coeff * va * vb;
+      if (raw % div != 0) formula_misuse();
+      out[raw / div] += ca * cb;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// KronMatrixExpr
+// ---------------------------------------------------------------------------
+
+KronMatrixExpr::KronMatrixExpr(std::int64_t divisor, std::vector<Term> terms)
+    : divisor_(divisor), terms_(std::move(terms)) {
+  if (divisor_ <= 0) throw std::invalid_argument("divisor must be positive");
+  if (terms_.empty()) throw std::invalid_argument("expression needs >= 1 term");
+  ra_ = terms_.front().a.rows();
+  rb_ = terms_.front().b.rows();
+  for (const Term& t : terms_) {
+    if (t.a.rows() != ra_ || t.b.rows() != rb_) {
+      throw std::invalid_argument("terms must have equal factor sizes");
+    }
+  }
+}
+
+count_t KronMatrixExpr::at(vid p, vid q) const {
+  const KronIndex idx(rb_);
+  const vid i = idx.a_of(p), j = idx.a_of(q);
+  const vid k = idx.b_of(p), l = idx.b_of(q);
+  i128 acc = 0;
+  for (const Term& t : terms_) {
+    acc += static_cast<i128>(t.coeff) * static_cast<i128>(t.a.at(i, j)) *
+           static_cast<i128>(t.b.at(k, l));
+  }
+  return checked_result(acc, divisor_);
+}
+
+CountCsr KronMatrixExpr::expand() const {
+  // Expand each term over signed values, sum, check, and compact.
+  using SignedCsr = CsrMatrix<long long>;
+  auto to_signed = [](const CountCsr& m, std::int64_t coeff) {
+    std::vector<long long> vals(m.values().size());
+    for (std::size_t k = 0; k < vals.size(); ++k) {
+      vals[k] = coeff * static_cast<long long>(m.values()[k]);
+    }
+    return SignedCsr::from_parts(m.rows(), m.cols(), m.row_ptr(), m.col_idx(),
+                                 std::move(vals));
+  };
+  SignedCsr acc;
+  bool first = true;
+  for (const Term& t : terms_) {
+    SignedCsr term = kron_matrix<long long>(to_signed(t.a, t.coeff),
+                                            to_signed(t.b, 1));
+    acc = first ? std::move(term) : ops::add(acc, term);
+    first = false;
+  }
+  Coo<count_t> out(acc.rows(), acc.cols());
+  for (vid r = 0; r < acc.rows(); ++r) {
+    const auto rc = acc.row_cols(r);
+    const auto rv = acc.row_vals(r);
+    for (std::size_t k = 0; k < rc.size(); ++k) {
+      if (rv[k] == 0) continue;
+      if (rv[k] < 0 || rv[k] % divisor_ != 0) formula_misuse();
+      out.add(r, rc[k], static_cast<count_t>(rv[k] / divisor_));
+    }
+  }
+  return CountCsr::from_coo(out);
+}
+
+count_t KronMatrixExpr::sum() const {
+  i128 acc = 0;
+  for (const Term& t : terms_) {
+    i128 sa = 0, sb = 0;
+    for (const count_t v : t.a.values()) sa += v;
+    for (const count_t v : t.b.values()) sb += v;
+    acc += static_cast<i128>(t.coeff) * sa * sb;
+  }
+  return checked_result(acc, divisor_);
+}
+
+// ---------------------------------------------------------------------------
+// §III.A — degrees
+// ---------------------------------------------------------------------------
+
+KronVectorExpr degrees(const Graph& a, const Graph& b) {
+  std::vector<KronVectorExpr::Term> terms;
+  terms.push_back({1, ops::row_sums<count_t>(a.matrix()),
+                   ops::row_sums<count_t>(b.matrix())});
+  if (a.has_self_loops() && b.has_self_loops()) {
+    terms.push_back({-1, loop_vector(a), loop_vector(b)});
+  }
+  return KronVectorExpr(1, std::move(terms));
+}
+
+KronVectorExpr in_degrees(const Graph& a, const Graph& b) {
+  std::vector<KronVectorExpr::Term> terms;
+  terms.push_back({1, ops::row_sums<count_t>(ops::transpose(a.matrix())),
+                   ops::row_sums<count_t>(ops::transpose(b.matrix()))});
+  if (a.has_self_loops() && b.has_self_loops()) {
+    terms.push_back({-1, loop_vector(a), loop_vector(b)});
+  }
+  return KronVectorExpr(1, std::move(terms));
+}
+
+// ---------------------------------------------------------------------------
+// Thm 1 / Cor 1 / general — t_C
+// ---------------------------------------------------------------------------
+
+KronVectorExpr vertex_triangles(const Graph& a, const Graph& b) {
+  require_undirected(a, b, "vertex_triangles");
+  const bool la = a.has_self_loops(), lb = b.has_self_loops();
+  std::vector<KronVectorExpr::Term> terms;
+  if (!la && !lb) {
+    // Thm 1: t_C = 2·t_A ⊗ t_B.
+    terms.push_back({2, triangle::participation_vertices(a),
+                     triangle::participation_vertices(b)});
+    return KronVectorExpr(1, std::move(terms));
+  }
+  if (!la) {
+    // Cor 1: t_C = t_A ⊗ diag(B³).
+    terms.push_back(
+        {1, triangle::participation_vertices(a), triangle::diag_cube(b)});
+    return KronVectorExpr(1, std::move(terms));
+  }
+  if (!lb) {
+    // Cor 1 mirrored: t_C = diag(A³) ⊗ t_B.
+    terms.push_back(
+        {1, triangle::diag_cube(a), triangle::participation_vertices(b)});
+    return KronVectorExpr(1, std::move(terms));
+  }
+  // General case (§III.B): ½[diag(A³)⊗diag(B³) − 2·diag(A²D_A)⊗diag(B²D_B)
+  //                          − diag(A D_A A)⊗diag(B D_B B)
+  //                          + 2·diag(D_A)⊗diag(D_B)].
+  terms.push_back({1, triangle::diag_cube(a), triangle::diag_cube(b)});
+  terms.push_back({-2, diag_a2_d(a), diag_a2_d(b)});
+  terms.push_back({-1, diag_ada(a), diag_ada(b)});
+  terms.push_back({2, loop_vector(a), loop_vector(b)});
+  return KronVectorExpr(2, std::move(terms));
+}
+
+// ---------------------------------------------------------------------------
+// Thm 2 / Cor 2 / general — Δ_C
+// ---------------------------------------------------------------------------
+
+KronMatrixExpr edge_triangles(const Graph& a, const Graph& b) {
+  require_undirected(a, b, "edge_triangles");
+  const bool la = a.has_self_loops(), lb = b.has_self_loops();
+  std::vector<KronMatrixExpr::Term> terms;
+  if (!la && !lb) {
+    // Thm 2: Δ_C = Δ_A ⊗ Δ_B.
+    terms.push_back({1, triangle::edge_support_masked(a),
+                     triangle::edge_support_masked(b)});
+    return KronMatrixExpr(1, std::move(terms));
+  }
+  if (!la) {
+    // Cor 2: Δ_C = Δ_A ⊗ (B ∘ B²).
+    terms.push_back({1, triangle::edge_support_masked(a), a_hadamard_a2(b)});
+    return KronMatrixExpr(1, std::move(terms));
+  }
+  if (!lb) {
+    // Cor 2 mirrored.
+    terms.push_back({1, a_hadamard_a2(a), triangle::edge_support_masked(b)});
+    return KronMatrixExpr(1, std::move(terms));
+  }
+  // General case (§III.C): (A∘A²)⊗(B∘B²) − (D_A A)⊗(D_B B) − (A D_A)⊗(B D_B)
+  //                        + 2·D_A⊗D_B − (D_A∘A²)⊗(D_B∘B²).
+  terms.push_back({1, a_hadamard_a2(a), a_hadamard_a2(b)});
+  terms.push_back({-1, rows_where_loop(a), rows_where_loop(b)});
+  terms.push_back({-1, cols_where_loop(a), cols_where_loop(b)});
+  terms.push_back({2, loop_matrix(a), loop_matrix(b)});
+  terms.push_back({-1, diag_hadamard_a2(a), diag_hadamard_a2(b)});
+  return KronMatrixExpr(1, std::move(terms));
+}
+
+count_t total_triangles(const Graph& a, const Graph& b) {
+  return vertex_triangles(a, b).sum() / 3;
+}
+
+}  // namespace kronotri::kron

@@ -1,0 +1,37 @@
+// Index maps for block-structured Kronecker products (§II of the paper).
+//
+// The paper defines, for block size n and 1-based indices,
+//   α_n(i) = ⌊(i−1)/n⌋ + 1,  β_n(i) = ((i−1) mod n) + 1,
+//   γ_n(x, y) = (x−1)·n + y,
+// with i = γ_n(α_n(i), β_n(i)). The whole library is 0-based, so these
+// become plain division/modulus: a product vertex p of C = A ⊗ B
+// corresponds to the factor pair (i, k) = (p / n_B, p mod n_B), and
+// C[p,q] = A[i(p), i(q)] · B[k(p), k(q)].
+#pragma once
+
+#include "core/types.hpp"
+
+namespace kronotri::kron {
+
+/// Bijection between product indices and factor index pairs for block size
+/// nb (= number of vertices of the right factor B).
+class KronIndex {
+ public:
+  explicit constexpr KronIndex(vid nb) noexcept : nb_(nb) {}
+
+  /// γ: (A-vertex i, B-vertex k) → product vertex.
+  [[nodiscard]] constexpr vid compose(vid i, vid k) const noexcept {
+    return i * nb_ + k;
+  }
+  /// α: product vertex → A-vertex.
+  [[nodiscard]] constexpr vid a_of(vid p) const noexcept { return p / nb_; }
+  /// β: product vertex → B-vertex.
+  [[nodiscard]] constexpr vid b_of(vid p) const noexcept { return p % nb_; }
+
+  [[nodiscard]] constexpr vid block_size() const noexcept { return nb_; }
+
+ private:
+  vid nb_;
+};
+
+}  // namespace kronotri::kron

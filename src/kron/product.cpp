@@ -1,0 +1,9 @@
+#include "kron/product.hpp"
+
+namespace kronotri::kron {
+
+Graph kron_graph(const Graph& a, const Graph& b) {
+  return Graph(kron_matrix<std::uint8_t>(a.matrix(), b.matrix()));
+}
+
+}  // namespace kronotri::kron

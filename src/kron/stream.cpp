@@ -1,0 +1,42 @@
+#include "kron/stream.hpp"
+
+#include <stdexcept>
+
+namespace kronotri::kron {
+
+namespace {
+
+std::vector<std::pair<vid, vid>> flatten(const Graph& g) {
+  std::vector<std::pair<vid, vid>> out;
+  out.reserve(g.nnz());
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    for (const vid v : g.neighbors(u)) out.emplace_back(u, v);
+  }
+  return out;
+}
+
+}  // namespace
+
+EdgeStream::EdgeStream(const Graph& a, const Graph& b, std::uint64_t part,
+                       std::uint64_t nparts)
+    : a_edges_(flatten(a)), b_edges_(flatten(b)), index_(b.num_vertices()) {
+  if (nparts == 0 || part >= nparts) {
+    throw std::invalid_argument("EdgeStream: part must be < nparts");
+  }
+  const esz total = a_edges_.size() * b_edges_.size();
+  // Contiguous split with remainder spread over the first partitions.
+  const esz base = total / nparts, rem = total % nparts;
+  lo_ = part * base + std::min<esz>(part, rem);
+  hi_ = lo_ + base + (part < rem ? 1 : 0);
+  cursor_ = lo_;
+}
+
+std::optional<EdgeRecord> EdgeStream::next() {
+  if (cursor_ >= hi_) return std::nullopt;
+  const esz t = cursor_++;
+  const auto& [i, j] = a_edges_[t / b_edges_.size()];
+  const auto& [k, l] = b_edges_[t % b_edges_.size()];
+  return EdgeRecord{index_.compose(i, k), index_.compose(j, l)};
+}
+
+}  // namespace kronotri::kron

@@ -1,0 +1,53 @@
+// Communication-free edge-stream generation of C = A ⊗ B.
+//
+// The nonzeros of C are in bijection with pairs (nonzero of A, nonzero of
+// B): C[γ(i,k), γ(j,l)] = A[i,j]·B[k,l]. Enumerating the pair space
+// [0, nnz(A)·nnz(B)) therefore emits every stored edge of C exactly once,
+// and splitting that space into contiguous ranges gives the
+// "essentially communication-free" distributed generation of [3]: each
+// worker needs only the two small factors and its range bounds. This class
+// is one such worker.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "kron/index.hpp"
+
+namespace kronotri::kron {
+
+struct EdgeRecord {
+  vid u;  ///< source product vertex
+  vid v;  ///< destination product vertex
+};
+
+class EdgeStream {
+ public:
+  /// Stream partition `part` of `nparts` (contiguous split of the nonzero
+  /// pair space). Factors must outlive the stream.
+  EdgeStream(const Graph& a, const Graph& b, std::uint64_t part = 0,
+             std::uint64_t nparts = 1);
+
+  /// Next edge of C in this partition, or nullopt when exhausted.
+  std::optional<EdgeRecord> next();
+
+  /// Total number of edges this partition will emit.
+  [[nodiscard]] esz partition_size() const noexcept { return hi_ - lo_; }
+
+  /// Edges already emitted from this partition.
+  [[nodiscard]] esz emitted() const noexcept { return cursor_ - lo_; }
+
+  void reset() noexcept { cursor_ = lo_; }
+
+ private:
+  std::vector<std::pair<vid, vid>> a_edges_;  // flattened nonzeros of A
+  std::vector<std::pair<vid, vid>> b_edges_;  // flattened nonzeros of B
+  KronIndex index_;
+  esz lo_ = 0;
+  esz hi_ = 0;
+  esz cursor_ = 0;
+};
+
+}  // namespace kronotri::kron

@@ -1,0 +1,38 @@
+#include "kron/view.hpp"
+
+#include <stdexcept>
+
+#include "kron/product.hpp"
+
+namespace kronotri::kron {
+
+count_t KronGraphView::num_undirected_edges() const {
+  if (!is_undirected()) {
+    throw std::logic_error("num_undirected_edges: product graph is directed");
+  }
+  const count_t loops = num_self_loops();
+  return (nnz() - loops) / 2 + loops;
+}
+
+esz KronGraphView::nonloop_degree(vid p) const {
+  const vid i = index_.a_of(p), k = index_.b_of(p);
+  const esz loop =
+      (a_->has_edge(i, i) && b_->has_edge(k, k)) ? esz{1} : esz{0};
+  return a_->out_degree(i) * b_->out_degree(k) - loop;
+}
+
+std::vector<vid> KronGraphView::neighbors(vid p) const {
+  const vid i = index_.a_of(p), k = index_.b_of(p);
+  std::vector<vid> out;
+  out.reserve(a_->out_degree(i) * b_->out_degree(k));
+  for (const vid j : a_->neighbors(i)) {
+    for (const vid l : b_->neighbors(k)) {
+      out.push_back(index_.compose(j, l));  // ascending: j asc, l asc
+    }
+  }
+  return out;
+}
+
+Graph KronGraphView::materialize() const { return kron_graph(*a_, *b_); }
+
+}  // namespace kronotri::kron

@@ -1,0 +1,72 @@
+// Implicit view of the product graph C = A ⊗ B.
+//
+// This is the "highly compressible" representation the paper's abstract
+// highlights: |E_C| = nnz(A)·nnz(B) edges are represented by the O(|E_C|^½)
+// storage of the two factors. The view answers vertex/edge queries directly
+// from the factors — degree in O(1), edge membership in O(log d), neighbor
+// enumeration in output-linear time — without ever materializing C.
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+#include "kron/index.hpp"
+
+namespace kronotri::kron {
+
+class KronGraphView {
+ public:
+  /// The view keeps references; both factors must outlive it.
+  KronGraphView(const Graph& a, const Graph& b)
+      : a_(&a), b_(&b), index_(b.num_vertices()) {}
+
+  [[nodiscard]] vid num_vertices() const {
+    return a_->num_vertices() * b_->num_vertices();
+  }
+
+  /// Stored adjacency nonzeros of C: nnz(A)·nnz(B).
+  [[nodiscard]] esz nnz() const { return a_->nnz() * b_->nnz(); }
+
+  /// Self loops of C: one per (loop in A) × (loop in B).
+  [[nodiscard]] count_t num_self_loops() const {
+    return a_->num_self_loops() * b_->num_self_loops();
+  }
+
+  [[nodiscard]] bool is_undirected() const {
+    return a_->is_undirected() && b_->is_undirected();
+  }
+
+  /// Undirected edge count of C (off-diagonal nonzeros / 2 + loops).
+  /// Requires undirected factors.
+  [[nodiscard]] count_t num_undirected_edges() const;
+
+  /// Out-degree of product vertex p, including a self loop if present.
+  [[nodiscard]] esz out_degree(vid p) const {
+    return a_->out_degree(index_.a_of(p)) * b_->out_degree(index_.b_of(p));
+  }
+
+  /// Non-loop degree d_C(p) (§III.A).
+  [[nodiscard]] esz nonloop_degree(vid p) const;
+
+  [[nodiscard]] bool has_edge(vid p, vid q) const {
+    return a_->has_edge(index_.a_of(p), index_.a_of(q)) &&
+           b_->has_edge(index_.b_of(p), index_.b_of(q));
+  }
+
+  /// Sorted out-neighbor list of p (materialized per call; size = degree).
+  [[nodiscard]] std::vector<vid> neighbors(vid p) const;
+
+  /// Materializes the full product graph — small factors only.
+  [[nodiscard]] Graph materialize() const;
+
+  [[nodiscard]] const Graph& factor_a() const noexcept { return *a_; }
+  [[nodiscard]] const Graph& factor_b() const noexcept { return *b_; }
+  [[nodiscard]] const KronIndex& index() const noexcept { return index_; }
+
+ private:
+  const Graph* a_;
+  const Graph* b_;
+  KronIndex index_;
+};
+
+}  // namespace kronotri::kron

@@ -1,0 +1,245 @@
+#include "triangle/bruteforce.hpp"
+
+#include <algorithm>
+
+#include "core/ops.hpp"
+
+namespace kronotri::triangle::brute {
+
+namespace {
+
+BoolCsr simple_part(const Graph& a) {
+  if (!a.is_undirected()) {
+    throw std::invalid_argument("brute undirected oracle: graph is directed");
+  }
+  return a.has_self_loops() ? ops::remove_diag(a.matrix()) : a.matrix();
+}
+
+char vertex_role(const Graph& a, vid v, vid x) {
+  const bool out = a.has_edge(v, x), in = a.has_edge(x, v);
+  if (out && in) return 'u';
+  return out ? 's' : 't';
+}
+
+char pair_direction(const Graph& a, vid u, vid w) {
+  const bool fwd = a.has_edge(u, w), bwd = a.has_edge(w, u);
+  if (fwd && bwd) return 'o';
+  return fwd ? '+' : '-';
+}
+
+bool connected_any(const Graph& a, vid u, vid w) {
+  return a.has_edge(u, w) || a.has_edge(w, u);
+}
+
+int role_rank(char r) { return r == 's' ? 0 : r == 'u' ? 1 : 2; }
+char flip(char d) { return d == '+' ? '-' : d == '-' ? '+' : 'o'; }
+
+VertexTriType classify_vertex(char r1, char r2, char d) {
+  if (role_rank(r1) > role_rank(r2)) {
+    std::swap(r1, r2);
+    d = flip(d);
+  }
+  if (r1 == r2 && d == '-') d = '+';
+  struct Key {
+    char r1, r2, d;
+    VertexTriType t;
+  };
+  static constexpr Key kKeys[] = {
+      {'s', 's', '+', VertexTriType::kSSp}, {'s', 's', 'o', VertexTriType::kSSo},
+      {'s', 'u', '+', VertexTriType::kSUp}, {'s', 'u', '-', VertexTriType::kSUm},
+      {'s', 'u', 'o', VertexTriType::kSUo}, {'s', 't', '+', VertexTriType::kSTp},
+      {'s', 't', '-', VertexTriType::kSTm}, {'s', 't', 'o', VertexTriType::kSTo},
+      {'u', 'u', '+', VertexTriType::kUUp}, {'u', 'u', 'o', VertexTriType::kUUo},
+      {'u', 't', '+', VertexTriType::kUTp}, {'u', 't', '-', VertexTriType::kUTm},
+      {'u', 't', 'o', VertexTriType::kUTo}, {'t', 't', '+', VertexTriType::kTTp},
+      {'t', 't', 'o', VertexTriType::kTTo},
+  };
+  for (const Key& k : kKeys) {
+    if (k.r1 == r1 && k.r2 == r2 && k.d == d) return k.t;
+  }
+  throw std::logic_error("unreachable vertex flavor");
+}
+
+}  // namespace
+
+std::vector<count_t> vertex_participation(const Graph& a) {
+  const BoolCsr s = simple_part(a);
+  const vid n = s.rows();
+  std::vector<count_t> t(n, 0);
+  for (vid v = 0; v < n; ++v) {
+    const auto nb = s.row_cols(v);
+    for (std::size_t x = 0; x < nb.size(); ++x) {
+      for (std::size_t y = x + 1; y < nb.size(); ++y) {
+        if (s.contains(nb[x], nb[y])) ++t[v];
+      }
+    }
+  }
+  return t;
+}
+
+CountCsr edge_participation(const Graph& a) {
+  const BoolCsr s = simple_part(a);
+  std::vector<count_t> vals(s.nnz(), 0);
+  for (vid i = 0; i < s.rows(); ++i) {
+    const auto row = s.row_cols(i);
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      const vid j = row[k];
+      count_t c = 0;
+      for (const vid w : s.row_cols(i)) {
+        if (w != j && s.contains(j, w)) ++c;
+      }
+      vals[s.row_ptr()[i] + k] = c;
+    }
+  }
+  return CountCsr::from_parts(s.rows(), s.cols(), s.row_ptr(), s.col_idx(),
+                              std::move(vals));
+}
+
+count_t total(const Graph& a) {
+  const std::vector<count_t> t = vertex_participation(a);
+  count_t sum = 0;
+  for (const count_t v : t) sum += v;
+  return sum / 3;
+}
+
+std::array<std::vector<count_t>, kNumVertexTriTypes> directed_vertex_census(
+    const Graph& a) {
+  if (a.has_self_loops()) {
+    throw std::invalid_argument("brute directed census: self loops present");
+  }
+  const Graph u = a.undirected_closure();
+  const vid n = a.num_vertices();
+  std::array<std::vector<count_t>, kNumVertexTriTypes> out;
+  for (auto& v : out) v.assign(n, 0);
+  for (vid v = 0; v < n; ++v) {
+    const auto nb = u.neighbors(v);
+    for (std::size_t x = 0; x < nb.size(); ++x) {
+      for (std::size_t y = x + 1; y < nb.size(); ++y) {
+        const vid p = nb[x], q = nb[y];
+        if (!connected_any(a, p, q)) continue;
+        const VertexTriType t = classify_vertex(
+            vertex_role(a, v, p), vertex_role(a, v, q), pair_direction(a, p, q));
+        ++out[static_cast<std::size_t>(t)][v];
+      }
+    }
+  }
+  return out;
+}
+
+std::array<CountCsr, kNumEdgeTriTypes> directed_edge_census(const Graph& a) {
+  if (a.has_self_loops()) {
+    throw std::invalid_argument("brute directed edge census: self loops");
+  }
+  const BoolCsr at = ops::transpose(a.matrix());
+  const BoolCsr ar = ops::hadamard(at, a.matrix());
+  const BoolCsr ad = ops::structural_difference(a.matrix(), ar);
+  const Graph u = a.undirected_closure();
+
+  // Flavor lookup for an exact (central, d1, d2) pattern; the three
+  // non-canonical reciprocal patterns map to kNumEdgeTriTypes (skip).
+  auto classify = [&](char central, char d1, char d2) -> int {
+    struct Key {
+      char c, d1, d2;
+      EdgeTriType t;
+    };
+    static constexpr Key kKeys[] = {
+        {'+', '+', '+', EdgeTriType::kDpp}, {'+', '+', '-', EdgeTriType::kDpm},
+        {'+', '+', 'o', EdgeTriType::kDpo}, {'+', '-', '+', EdgeTriType::kDmp},
+        {'+', '-', '-', EdgeTriType::kDmm}, {'+', '-', 'o', EdgeTriType::kDmo},
+        {'+', 'o', '+', EdgeTriType::kDop}, {'+', 'o', '-', EdgeTriType::kDom},
+        {'+', 'o', 'o', EdgeTriType::kDoo}, {'o', '+', '+', EdgeTriType::kRpp},
+        {'o', '+', '-', EdgeTriType::kRpm}, {'o', '-', '+', EdgeTriType::kRmp},
+        {'o', '+', 'o', EdgeTriType::kRpo}, {'o', '-', 'o', EdgeTriType::kRmo},
+        {'o', 'o', 'o', EdgeTriType::kRoo},
+    };
+    for (const Key& k : kKeys) {
+      if (k.c == central && k.d1 == d1 && k.d2 == d2) {
+        return static_cast<int>(k.t);
+      }
+    }
+    return kNumEdgeTriTypes;  // non-canonical reciprocal pattern
+  };
+
+  std::array<std::vector<count_t>, kNumEdgeTriTypes> vals;
+  for (int f = 0; f < kNumEdgeTriTypes; ++f) {
+    const bool directed_central = f < static_cast<int>(EdgeTriType::kRpp);
+    vals[static_cast<std::size_t>(f)].assign(
+        (directed_central ? ad : ar).nnz(), 0);
+  }
+
+  auto scan = [&](const BoolCsr& structure, char central) {
+    for (vid i = 0; i < structure.rows(); ++i) {
+      const auto row = structure.row_cols(i);
+      for (std::size_t k = 0; k < row.size(); ++k) {
+        const vid j = row[k];
+        for (const vid w : u.neighbors(i)) {
+          if (w == j || !connected_any(a, w, j)) continue;
+          const char d1 = pair_direction(a, i, w);
+          const char d2 = pair_direction(a, w, j);
+          const int f = classify(central, d1, d2);
+          if (f == kNumEdgeTriTypes) continue;
+          ++vals[static_cast<std::size_t>(f)][structure.row_ptr()[i] + k];
+        }
+      }
+    }
+  };
+  scan(ad, '+');
+  scan(ar, 'o');
+
+  std::array<CountCsr, kNumEdgeTriTypes> out;
+  for (int f = 0; f < kNumEdgeTriTypes; ++f) {
+    const bool directed_central = f < static_cast<int>(EdgeTriType::kRpp);
+    const BoolCsr& st = directed_central ? ad : ar;
+    out[static_cast<std::size_t>(f)] =
+        CountCsr::from_parts(st.rows(), st.cols(), st.row_ptr(), st.col_idx(),
+                             std::move(vals[static_cast<std::size_t>(f)]));
+  }
+  return out;
+}
+
+std::vector<count_t> labeled_vertex_participation(const Graph& a,
+                                                  const Labeling& lab,
+                                                  std::uint32_t q1,
+                                                  std::uint32_t q2,
+                                                  std::uint32_t q3) {
+  lab.validate(a.num_vertices());
+  const BoolCsr s = simple_part(a);
+  const vid n = s.rows();
+  std::vector<count_t> t(n, 0);
+  for (vid v = 0; v < n; ++v) {
+    if (lab.label[v] != q1) continue;
+    const auto nb = s.row_cols(v);
+    for (std::size_t x = 0; x < nb.size(); ++x) {
+      for (std::size_t y = x + 1; y < nb.size(); ++y) {
+        if (!s.contains(nb[x], nb[y])) continue;
+        const std::uint32_t la = lab.label[nb[x]], lb = lab.label[nb[y]];
+        if ((la == q2 && lb == q3) || (la == q3 && lb == q2)) ++t[v];
+      }
+    }
+  }
+  return t;
+}
+
+CountCsr labeled_edge_participation(const Graph& a, const Labeling& lab,
+                                    std::uint32_t q1, std::uint32_t q2,
+                                    std::uint32_t q3) {
+  lab.validate(a.num_vertices());
+  const BoolCsr s = simple_part(a);
+  const BoolCsr block = label_filtered(s, lab, q2, q1);
+  std::vector<count_t> vals(block.nnz(), 0);
+  for (vid i = 0; i < block.rows(); ++i) {
+    const auto row = block.row_cols(i);
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      const vid j = row[k];
+      count_t c = 0;
+      for (const vid w : s.row_cols(i)) {
+        if (w != j && lab.label[w] == q3 && s.contains(j, w)) ++c;
+      }
+      vals[block.row_ptr()[i] + k] = c;
+    }
+  }
+  return CountCsr::from_parts(block.rows(), block.cols(), block.row_ptr(),
+                              block.col_idx(), std::move(vals));
+}
+
+}  // namespace kronotri::triangle::brute

@@ -1,0 +1,48 @@
+// Brute-force reference implementations (test oracles).
+//
+// Everything here enumerates vertex triples / neighborhoods directly, with
+// none of the linear-algebra or Kronecker machinery, so agreement with the
+// fast paths is meaningful evidence of correctness. Only intended for small
+// graphs (O(n·d²) or worse).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/csr.hpp"
+#include "core/graph.hpp"
+#include "triangle/directed.hpp"
+#include "triangle/labeled.hpp"
+
+namespace kronotri::triangle::brute {
+
+/// t_A by triple enumeration (undirected, loops ignored).
+std::vector<count_t> vertex_participation(const Graph& a);
+
+/// Δ_A by triple enumeration (undirected, loops ignored).
+CountCsr edge_participation(const Graph& a);
+
+/// τ(A).
+count_t total(const Graph& a);
+
+/// Directed vertex census by neighborhood enumeration + classification.
+std::array<std::vector<count_t>, kNumVertexTriTypes> directed_vertex_census(
+    const Graph& a);
+
+/// Directed edge census by enumeration + classification.
+std::array<CountCsr, kNumEdgeTriTypes> directed_edge_census(const Graph& a);
+
+/// Labeled vertex participation for one type (q1: center, {q2,q3} others).
+std::vector<count_t> labeled_vertex_participation(const Graph& a,
+                                                  const Labeling& lab,
+                                                  std::uint32_t q1,
+                                                  std::uint32_t q2,
+                                                  std::uint32_t q3);
+
+/// Labeled edge participation for one type (center edge labels (q1,q2) read
+/// row→col as (q2,q1) entries per Def. 14; third vertex labeled q3).
+CountCsr labeled_edge_participation(const Graph& a, const Labeling& lab,
+                                    std::uint32_t q1, std::uint32_t q2,
+                                    std::uint32_t q3);
+
+}  // namespace kronotri::triangle::brute

@@ -1,0 +1,97 @@
+#include "triangle/count.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/ops.hpp"
+#include "triangle/forward.hpp"
+
+namespace kronotri::triangle {
+
+namespace {
+
+BoolCsr simple_part(const Graph& a) {
+  if (!a.is_undirected()) {
+    throw std::invalid_argument(
+        "triangle analytics (Def. 5/6) require an undirected graph");
+  }
+  return a.has_self_loops() ? ops::remove_diag(a.matrix()) : a.matrix();
+}
+
+}  // namespace
+
+UndirectedStats analyze(const Graph& a) {
+  const BoolCsr s = simple_part(a);
+  const vid n = s.rows();
+  const Oriented o = orient_by_degree(s);
+
+  UndirectedStats st;
+  st.per_vertex.assign(n, 0);
+  std::vector<count_t> edge_vals(s.nnz(), 0);
+
+  auto bump_edge = [&](vid x, vid y) {
+    const esz k1 = s.find(x, y), k2 = s.find(y, x);
+#pragma omp atomic
+    ++edge_vals[k1];
+#pragma omp atomic
+    ++edge_vals[k2];
+  };
+
+  count_t triangles = 0;
+  st.wedge_checks = forward_triangles(o, n, [&](vid u, vid v, vid w) {
+#pragma omp atomic
+    ++st.per_vertex[u];
+#pragma omp atomic
+    ++st.per_vertex[v];
+#pragma omp atomic
+    ++st.per_vertex[w];
+    bump_edge(u, v);
+    bump_edge(u, w);
+    bump_edge(v, w);
+#pragma omp atomic
+    ++triangles;
+  });
+  st.total = triangles;
+  st.per_edge = CountCsr::from_parts(n, n, s.row_ptr(), s.col_idx(),
+                                     std::move(edge_vals));
+  return st;
+}
+
+std::vector<count_t> participation_vertices(const Graph& a) {
+  const BoolCsr s = simple_part(a);
+  const vid n = s.rows();
+  const Oriented o = orient_by_degree(s);
+  std::vector<count_t> t(n, 0);
+  forward_triangles(o, n, [&](vid u, vid v, vid w) {
+#pragma omp atomic
+    ++t[u];
+#pragma omp atomic
+    ++t[v];
+#pragma omp atomic
+    ++t[w];
+  });
+  return t;
+}
+
+CountCsr participation_edges(const Graph& a) { return analyze(a).per_edge; }
+
+count_t count_total(const Graph& a) {
+  const BoolCsr s = simple_part(a);
+  const Oriented o = orient_by_degree(s);
+  count_t total = 0;
+  forward_triangles(o, s.rows(), [&](vid, vid, vid) {
+#pragma omp atomic
+    ++total;
+  });
+  return total;
+}
+
+std::vector<count_t> diag_cube(const Graph& a) {
+  if (!a.is_undirected()) {
+    throw std::invalid_argument("diag_cube requires an undirected graph");
+  }
+  return ops::diag_cube_symmetric(a.matrix());
+}
+
+}  // namespace kronotri::triangle

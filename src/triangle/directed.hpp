@@ -1,0 +1,89 @@
+// Directed triangle census under the reciprocal/directed edge model
+// (Def. 8–11 of the paper, following Seshadhri–Pinar–Durak–Kolda [36]).
+//
+// Every edge of a directed graph is either *directed* ((i,j) ∈ E but
+// (j,i) ∉ E) or *reciprocal* (both present), giving the split
+// A = A_r + A_d with A_r = Aᵗ∘A (Def. 9). A triangle is then classified:
+//
+//  * from a VERTEX v's perspective by (r1 r2 d): v's role on its two
+//    incident edges — 's' (v is the source of a directed edge), 't'
+//    (target) or 'u' (reciprocal) — plus the direction of the opposite
+//    edge, '+'/'-'/'o', read from the first-listed neighbor to the second.
+//    Swapping the neighbor listing maps (r1 r2 d) → (r2 r1 flip(d)); the 15
+//    equivalence classes are the 15 triangle flavors of the paper's Fig. 4.
+//
+//  * from an EDGE (i,j)'s perspective by (c d1 d2): the central edge is
+//    directed '+' (stored once, at its (i,j) orientation) or reciprocal
+//    'o'; d1 describes the edge {i,w} oriented i→w and d2 the edge {w,j}
+//    oriented w→j. For 'o' central edges, reading the triangle from the
+//    other endpoint maps (d1 d2) → (flip(d2) flip(d1)); the classes are the
+//    15 flavors of Fig. 5. The count matrix of a class stores, at entry
+//    (i,j), the number of third vertices whose pattern read from i equals
+//    the class's canonical representative.
+//
+// NOTE on naming: the paper's Def. 10/11 tables list one closed formula per
+// flavor; our canonical labels are self-consistent, verified against an
+// independent brute-force enumerator (tests/test_directed.cpp), and the set
+// of 15 count vectors/matrices is exactly the paper's (the published table
+// uses the mirrored 's'/'t' convention for some rows).
+#pragma once
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "core/csr.hpp"
+#include "core/graph.hpp"
+
+namespace kronotri::triangle {
+
+/// A = A_r + A_d (Def. 9), with the transpose of A_d cached for kernels.
+struct DirectedParts {
+  BoolCsr ar;   ///< reciprocal part, symmetric
+  BoolCsr ad;   ///< directed part
+  BoolCsr adt;  ///< A_dᵗ
+};
+
+/// Splits the adjacency matrix. Self loops are rejected (the census below is
+/// defined for loop-free A; Thm. 4/5 also require diag(A)=0).
+DirectedParts split_directed(const Graph& a);
+
+/// The 15 vertex-perspective flavors (Fig. 4), canonical representatives.
+/// Role order in labels: s < u < t; for equal roles the third-edge '−'
+/// variant folds into '+'.
+enum class VertexTriType : int {
+  kSSp, kSSo,               // (s,s,+) [covers (s,s,−)], (s,s,o)
+  kSUp, kSUm, kSUo,         // (s,u,+), (s,u,−), (s,u,o)
+  kSTp, kSTm, kSTo,         // (s,t,+), (s,t,−), (s,t,o)
+  kUUp, kUUo,               // (u,u,+) [covers (u,u,−)], (u,u,o)
+  kUTp, kUTm, kUTo,         // (u,t,+), (u,t,−), (u,t,o)
+  kTTp, kTTo,               // (t,t,+) [covers (t,t,−)], (t,t,o)
+};
+inline constexpr int kNumVertexTriTypes = 15;
+std::string_view to_string(VertexTriType t);
+
+/// The 15 edge-perspective flavors (Fig. 5), canonical representatives.
+enum class EdgeTriType : int {
+  kDpp, kDpm, kDpo,  // central '+': (d1,d2) = (+,+), (+,−), (+,o)
+  kDmp, kDmm, kDmo,  //              (−,+), (−,−), (−,o)
+  kDop, kDom, kDoo,  //              (o,+), (o,−), (o,o)
+  kRpp,              // central 'o': (+,+) [mirror (−,−)]
+  kRpm, kRmp,        //              (+,−), (−,+)  (each self-mirrored)
+  kRpo,              //              (+,o) [mirror (o,−)]
+  kRmo,              //              (−,o) [mirror (o,+)]
+  kRoo,              //              (o,o)
+};
+inline constexpr int kNumEdgeTriTypes = 15;
+std::string_view to_string(EdgeTriType t);
+
+/// t^{(τ)}_A for all 15 flavors, via the diag(M1·M2·M3) formulas of Def. 10
+/// (computed without materializing products). Requires diag(A) = 0.
+std::array<std::vector<count_t>, kNumVertexTriTypes> directed_vertex_census(
+    const Graph& a);
+
+/// Δ^{(τ)}_A for all 15 flavors, via the masked products of Def. 11.
+/// Matrices for central '+' flavors have the structure of A_d; for central
+/// 'o' flavors the structure of A_r.
+std::array<CountCsr, kNumEdgeTriTypes> directed_edge_census(const Graph& a);
+
+}  // namespace kronotri::triangle

@@ -1,0 +1,28 @@
+#include "triangle/forward.hpp"
+
+namespace kronotri::triangle {
+
+Oriented orient_by_degree(const BoolCsr& s) {
+  const vid n = s.rows();
+  auto precedes = [&](vid u, vid v) {
+    const esz du = s.row_degree(u), dv = s.row_degree(v);
+    return du != dv ? du < dv : u < v;
+  };
+  Oriented o;
+  o.row_ptr.assign(n + 1, 0);
+  for (vid u = 0; u < n; ++u) {
+    esz c = 0;
+    for (const vid v : s.row_cols(u)) c += precedes(u, v) ? 1u : 0u;
+    o.row_ptr[u + 1] = o.row_ptr[u] + c;
+  }
+  o.succ.resize(o.row_ptr.back());
+  for (vid u = 0; u < n; ++u) {
+    esz w = o.row_ptr[u];
+    for (const vid v : s.row_cols(u)) {
+      if (precedes(u, v)) o.succ[w++] = v;  // sorted: the row itself is sorted
+    }
+  }
+  return o;
+}
+
+}  // namespace kronotri::triangle

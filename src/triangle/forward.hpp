@@ -1,0 +1,61 @@
+// The degree-ordered "forward" triangle enumeration kernel, shared by the
+// undirected analytics, the labeled census, and the ablation benchmarks.
+//
+// orient_by_degree() turns an undirected loop-free graph into a DAG in which
+// u → v when (deg(u), u) < (deg(v), v); forward_triangles() then emits every
+// triangle exactly once as (u, v, w) with u ≺ v ≺ w by intersecting
+// successor lists, returning the number of wedge checks performed (the §VI
+// work statistic).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/csr.hpp"
+#include "core/types.hpp"
+
+namespace kronotri::triangle {
+
+/// Degree-ordered orientation: successor lists sorted by vertex id.
+struct Oriented {
+  std::vector<esz> row_ptr;
+  std::vector<vid> succ;
+};
+
+/// Builds the orientation of a symmetric loop-free 0/1 matrix. The
+/// orientation bounds each out-degree by O(√nnz), giving the O(|E|^{3/2})
+/// worst case of Chiba–Nishizeki [10].
+Oriented orient_by_degree(const BoolCsr& s);
+
+/// Enumerates each triangle exactly once, invoking emit(u, v, w) with
+/// u ≺ v ≺ w in degree order. Parallel over u; `emit` must be thread-safe.
+/// Returns the number of wedge checks (merge comparisons).
+template <typename Emit>
+count_t forward_triangles(const Oriented& o, vid n, Emit&& emit) {
+  count_t checks = 0;
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : checks)
+  for (std::int64_t uu = 0; uu < static_cast<std::int64_t>(n); ++uu) {
+    const vid u = static_cast<vid>(uu);
+    const esz ub = o.row_ptr[u], ue = o.row_ptr[u + 1];
+    for (esz k = ub; k < ue; ++k) {
+      const vid v = o.succ[k];
+      esz p = ub, q = o.row_ptr[v];
+      const esz pe = ue, qe = o.row_ptr[v + 1];
+      while (p < pe && q < qe) {
+        ++checks;
+        if (o.succ[p] < o.succ[q]) {
+          ++p;
+        } else if (o.succ[p] > o.succ[q]) {
+          ++q;
+        } else {
+          emit(u, v, o.succ[p]);
+          ++p;
+          ++q;
+        }
+      }
+    }
+  }
+  return checks;
+}
+
+}  // namespace kronotri::triangle

@@ -1,0 +1,142 @@
+#include "triangle/labeled.hpp"
+
+#include <cassert>
+
+#include "core/ops.hpp"
+#include "triangle/forward.hpp"
+
+namespace kronotri::triangle {
+
+namespace {
+
+void require_census_preconditions(const Graph& a, const Labeling& lab) {
+  lab.validate(a.num_vertices());
+  if (!a.is_undirected()) {
+    throw std::invalid_argument("labeled census requires an undirected graph");
+  }
+  if (a.has_self_loops()) {
+    throw std::invalid_argument(
+        "labeled census requires diag(A) = 0 (Def. 13/14 precondition)");
+  }
+}
+
+}  // namespace
+
+BoolCsr label_filtered(const BoolCsr& a, const Labeling& lab,
+                       std::uint32_t q_row, std::uint32_t q_col) {
+  lab.validate(a.rows());
+  std::vector<esz> rp(a.rows() + 1, 0);
+  std::vector<vid> ci;
+  std::vector<std::uint8_t> vals;
+  for (vid r = 0; r < a.rows(); ++r) {
+    if (lab.label[r] == q_row) {
+      for (const vid c : a.row_cols(r)) {
+        if (lab.label[c] == q_col) {
+          ci.push_back(c);
+          vals.push_back(1);
+        }
+      }
+    }
+    rp[r + 1] = ci.size();
+  }
+  return BoolCsr::from_parts(a.rows(), a.cols(), std::move(rp), std::move(ci),
+                             std::move(vals));
+}
+
+BoolCsr col_filtered(const BoolCsr& a, const Labeling& lab, std::uint32_t q_col) {
+  lab.validate(a.rows());
+  std::vector<esz> rp(a.rows() + 1, 0);
+  std::vector<vid> ci;
+  std::vector<std::uint8_t> vals;
+  for (vid r = 0; r < a.rows(); ++r) {
+    for (const vid c : a.row_cols(r)) {
+      if (lab.label[c] == q_col) {
+        ci.push_back(c);
+        vals.push_back(1);
+      }
+    }
+    rp[r + 1] = ci.size();
+  }
+  return BoolCsr::from_parts(a.rows(), a.cols(), std::move(rp), std::move(ci),
+                             std::move(vals));
+}
+
+std::vector<count_t> labeled_vertex_participation(const Graph& a,
+                                                  const Labeling& lab,
+                                                  std::uint32_t q1,
+                                                  std::uint32_t q2,
+                                                  std::uint32_t q3) {
+  require_census_preconditions(a, lab);
+  // Def. 13: diag(Π_q1 A Π_q3 · A · Π_q2 A Π_q1) — the middle A is filtered
+  // on both sides by the outer products' projections, so regrouping gives
+  // diag( (Π_q1 A Π_q3) (Π_q3 A Π_q2) (Π_q2 A Π_q1) ).
+  const BoolCsr x = label_filtered(a.matrix(), lab, q1, q3);
+  const BoolCsr y = label_filtered(a.matrix(), lab, q3, q2);
+  const BoolCsr z = label_filtered(a.matrix(), lab, q2, q1);
+  std::vector<count_t> t = ops::diag_triple(x, y, z);
+  if (q2 == q3) {
+    for (auto& v : t) {
+      assert(v % 2 == 0 && "equal-label pair must double count");
+      v /= 2;
+    }
+  }
+  return t;
+}
+
+CountCsr labeled_edge_participation(const Graph& a, const Labeling& lab,
+                                    std::uint32_t q1, std::uint32_t q2,
+                                    std::uint32_t q3) {
+  require_census_preconditions(a, lab);
+  // Def. 14: (Π_q2 A Π_q1) ∘ (A Π_q3 · A). With F = A Π_q3 (columns labeled
+  // q3) and A symmetric, (A Π_q3 A)_{ij} = Σ_k F_{ik} F_{jk} — a masked
+  // product of F against its own rows.
+  const BoolCsr mask = label_filtered(a.matrix(), lab, q2, q1);
+  const BoolCsr f = col_filtered(a.matrix(), lab, q3);
+  return ops::masked_product(mask, f, f);
+}
+
+LabeledCensus labeled_census(const Graph& a, const Labeling& lab) {
+  require_census_preconditions(a, lab);
+  const BoolCsr& s = a.matrix();
+  const vid n = s.rows();
+  const std::uint32_t big_l = lab.num_labels;
+
+  LabeledCensus census;
+  census.num_labels = big_l;
+  census.at_vertices.assign(static_cast<std::size_t>(big_l) * (big_l + 1) / 2,
+                            std::vector<count_t>(n, 0));
+  std::vector<std::vector<count_t>> edge_vals(
+      big_l, std::vector<count_t>(s.nnz(), 0));
+
+  auto bump_edge = [&](std::uint32_t q3, vid x, vid y) {
+    const esz k1 = s.find(x, y), k2 = s.find(y, x);
+#pragma omp atomic
+    ++edge_vals[q3][k1];
+#pragma omp atomic
+    ++edge_vals[q3][k2];
+  };
+
+  const Oriented o = orient_by_degree(s);
+  forward_triangles(o, n, [&](vid u, vid v, vid w) {
+    const std::uint32_t qu = lab.label[u], qv = lab.label[v],
+                        qw = lab.label[w];
+#pragma omp atomic
+    ++census.at_vertices[census.pair_index(qv, qw)][u];
+#pragma omp atomic
+    ++census.at_vertices[census.pair_index(qu, qw)][v];
+#pragma omp atomic
+    ++census.at_vertices[census.pair_index(qu, qv)][w];
+    bump_edge(qw, u, v);
+    bump_edge(qv, u, w);
+    bump_edge(qu, v, w);
+  });
+
+  census.at_edges.reserve(big_l);
+  for (std::uint32_t q = 0; q < big_l; ++q) {
+    census.at_edges.push_back(CountCsr::from_parts(
+        n, n, s.row_ptr(), s.col_idx(), std::move(edge_vals[q])));
+  }
+  return census;
+}
+
+}  // namespace kronotri::triangle

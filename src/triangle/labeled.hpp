@@ -1,0 +1,86 @@
+// Vertex-labeled triangle census (§V of the paper, Fig. 6, Def. 12–14).
+//
+// A labeling assigns every vertex a color from {0, …, L−1}. Given the label
+// of a vertex there are (L+1 choose 2) triangle types it can participate in
+// (the unordered pair of the other two vertices' labels); given the labels
+// of an edge's endpoints there are L types (the third vertex's label).
+//
+// Two computation paths are provided:
+//  * the paper's filtered-matrix formulas (Def. 13/14) built from the label
+//    projection operators Π_q of Def. 12 — these are the formulas that
+//    kron/labeled.cpp lifts to product graphs (Thm. 6/7);
+//  * a single-pass census that enumerates each triangle once and bins it by
+//    labels — used for whole-census queries and as an independent check.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/csr.hpp"
+#include "core/graph.hpp"
+
+namespace kronotri::triangle {
+
+/// f : V → {0, …, num_labels−1} (Def. 12's label set, 0-based).
+struct Labeling {
+  std::vector<std::uint32_t> label;
+  std::uint32_t num_labels = 0;
+
+  void validate(vid n) const {
+    if (label.size() != n) {
+      throw std::invalid_argument("labeling size != vertex count");
+    }
+    for (const auto q : label) {
+      if (q >= num_labels) throw std::invalid_argument("label out of range");
+    }
+  }
+};
+
+/// Π_{q_row} A Π_{q_col} — keep entries whose row has label q_row and whose
+/// column has label q_col (Def. 12).
+BoolCsr label_filtered(const BoolCsr& a, const Labeling& lab,
+                       std::uint32_t q_row, std::uint32_t q_col);
+
+/// A Π_{q_col} — keep entries whose column has label q_col.
+BoolCsr col_filtered(const BoolCsr& a, const Labeling& lab, std::uint32_t q_col);
+
+/// Def. 13: t^{(q1,q2,q3)}_A — triangles at each vertex where the vertex has
+/// label q1 and the other two vertices have labels {q2, q3} (unordered).
+/// Requires diag(A) = 0 and undirected A. Entries are zero at vertices whose
+/// label is not q1.
+std::vector<count_t> labeled_vertex_participation(const Graph& a,
+                                                  const Labeling& lab,
+                                                  std::uint32_t q1,
+                                                  std::uint32_t q2,
+                                                  std::uint32_t q3);
+
+/// Def. 14: Δ^{(q1,q2,q3)}_A = (Π_{q2} A Π_{q1}) ∘ (A Π_{q3} A) — entry
+/// (i,j) counts triangles at edge (i,j), where f(i)=q2, f(j)=q1, and the
+/// third vertex has label q3. Structure is the (q2,q1) label block of A.
+CountCsr labeled_edge_participation(const Graph& a, const Labeling& lab,
+                                    std::uint32_t q1, std::uint32_t q2,
+                                    std::uint32_t q3);
+
+/// Whole census in one triangle-enumeration pass.
+struct LabeledCensus {
+  std::uint32_t num_labels = 0;
+  /// at_vertices[pair_index(qa,qb)][v] = # triangles at v whose other two
+  /// vertices are labeled {qa, qb}; pair index over qa ≤ qb.
+  std::vector<std::vector<count_t>> at_vertices;
+  /// at_edges[q3] = full Δ matrix restricted to triangles whose third vertex
+  /// is labeled q3 (structure = A − I∘A, symmetric).
+  std::vector<CountCsr> at_edges;
+
+  /// Index into at_vertices for unordered pair {qa, qb}.
+  [[nodiscard]] std::size_t pair_index(std::uint32_t qa, std::uint32_t qb) const {
+    if (qa > qb) std::swap(qa, qb);
+    // row-major upper triangle of an L×L table.
+    return static_cast<std::size_t>(qa) * num_labels -
+           static_cast<std::size_t>(qa) * (qa + 1) / 2 + qb;
+  }
+};
+
+LabeledCensus labeled_census(const Graph& a, const Labeling& lab);
+
+}  // namespace kronotri::triangle

@@ -1,0 +1,25 @@
+#include "triangle/support.hpp"
+
+#include <stdexcept>
+
+#include "core/ops.hpp"
+
+namespace kronotri::triangle {
+
+CountCsr edge_support_masked(const Graph& a) {
+  if (!a.is_undirected()) {
+    throw std::invalid_argument("edge_support_masked requires undirected graph");
+  }
+  const BoolCsr s =
+      a.has_self_loops() ? ops::remove_diag(a.matrix()) : a.matrix();
+  // (S·S) ∘ S with S symmetric: pass S as its own transpose.
+  return ops::masked_product(s, s, s);
+}
+
+std::vector<count_t> vertex_from_edge_support(const CountCsr& delta) {
+  std::vector<count_t> t = ops::row_sums<count_t>(delta);
+  for (auto& v : t) v /= 2;
+  return t;
+}
+
+}  // namespace kronotri::triangle

@@ -1,0 +1,22 @@
+// Edge-support computation via the masked linear-algebra kernel.
+//
+// Δ_A = A ∘ A² for a loop-free undirected A (Def. 6) evaluated as a masked
+// product, i.e. without materializing A². This mirrors the paper's Fig. 2
+// (right): (A²)_{ij} counts 2-paths between i and j, so A ∘ A² counts
+// triangles at every edge. It is the linear-algebra counterpart of the
+// intersection kernel in count.cpp; tests and the ablation bench compare
+// the two.
+#pragma once
+
+#include "core/csr.hpp"
+#include "core/graph.hpp"
+
+namespace kronotri::triangle {
+
+/// Δ_A via masked SpGEMM. Requires undirected; self loops are stripped.
+CountCsr edge_support_masked(const Graph& a);
+
+/// t_A = ½·Δ_A·1 (useful identity from Def. 6).
+std::vector<count_t> vertex_from_edge_support(const CountCsr& delta);
+
+}  // namespace kronotri::triangle

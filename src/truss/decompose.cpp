@@ -1,0 +1,177 @@
+#include "truss/decompose.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/ops.hpp"
+#include "triangle/support.hpp"
+
+namespace kronotri::truss {
+
+count_t TrussDecomposition::edges_in_truss(count_t kappa) const {
+  count_t c = 0;
+  for (const count_t t : truss_number.values()) {
+    if (t >= kappa) ++c;
+  }
+  return c / 2;  // symmetric storage counts both directions
+}
+
+namespace {
+
+/// Undirected edge ids: every off-diagonal stored entry (i,j) of the
+/// symmetric structure maps to one id shared with (j,i).
+struct EdgeIds {
+  BoolCsr structure;           // A − I∘A
+  std::vector<esz> id;         // per stored entry
+  std::vector<std::pair<vid, vid>> ends;  // id -> (u,v) with u < v
+};
+
+EdgeIds build_edge_ids(const Graph& a) {
+  if (!a.is_undirected()) {
+    throw std::invalid_argument("truss decomposition requires undirected graph");
+  }
+  EdgeIds e;
+  e.structure = a.has_self_loops() ? ops::remove_diag(a.matrix()) : a.matrix();
+  e.id.assign(e.structure.nnz(), 0);
+  for (vid u = 0; u < e.structure.rows(); ++u) {
+    const auto row = e.structure.row_cols(u);
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      const vid v = row[k];
+      if (u < v) {
+        const esz eid = e.ends.size();
+        e.id[e.structure.row_ptr()[u] + k] = eid;
+        e.id[e.structure.find(v, u)] = eid;
+        e.ends.emplace_back(u, v);
+      }
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+TrussDecomposition decompose(const Graph& a) {
+  EdgeIds eids = build_edge_ids(a);
+  const BoolCsr& s = eids.structure;
+  const esz m = eids.ends.size();
+
+  // Initial support Δ(e) via the masked kernel.
+  const CountCsr delta = triangle::edge_support_masked(Graph(s));
+  std::vector<count_t> sup(m, 0);
+  for (vid u = 0; u < s.rows(); ++u) {
+    const auto row = s.row_cols(u);
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      if (u < row[k]) {
+        sup[eids.id[s.row_ptr()[u] + k]] =
+            delta.values()[s.row_ptr()[u] + k];
+      }
+    }
+  }
+
+  // Bucket ordering (Batagelj–Zaveršnik): edges sorted by current support,
+  // with position/bucket arrays allowing O(1) "decrement support" moves.
+  const count_t max_sup =
+      m == 0 ? 0 : *std::max_element(sup.begin(), sup.end());
+  std::vector<esz> bin(max_sup + 2, 0);
+  for (esz e = 0; e < m; ++e) ++bin[sup[e] + 1];
+  for (std::size_t i = 1; i < bin.size(); ++i) bin[i] += bin[i - 1];
+  std::vector<esz> order(m);   // edges sorted by support
+  std::vector<esz> pos(m);     // position of edge in `order`
+  {
+    std::vector<esz> cursor(bin.begin(), bin.end() - 1);
+    for (esz e = 0; e < m; ++e) {
+      pos[e] = cursor[sup[e]]++;
+      order[pos[e]] = e;
+    }
+  }
+  // bin[b] = first index in `order` whose support is >= b.
+  auto decrement_support = [&](esz e) {
+    const count_t sv = sup[e];
+    // Swap e with the first edge of its bucket, then shrink the bucket.
+    const esz first_pos = bin[sv];
+    const esz first_edge = order[first_pos];
+    if (first_edge != e) {
+      std::swap(order[pos[e]], order[first_pos]);
+      std::swap(pos[e], pos[first_edge]);
+    }
+    ++bin[sv];
+    --sup[e];
+  };
+
+  std::vector<bool> peeled(m, false);
+  std::vector<count_t> truss_of(m, 2);
+  count_t current = 0;  // monotone support threshold
+  for (esz step = 0; step < m; ++step) {
+    const esz e = order[step];
+    current = std::max(current, sup[e]);
+    truss_of[e] = current + 2;
+    peeled[e] = true;
+
+    // Remove e = (u,v): every remaining triangle through e loses support on
+    // its other two edges.
+    const auto [u, v] = eids.ends[e];
+    const auto ru = s.row_cols(u), rv = s.row_cols(v);
+    std::size_t p = 0, q = 0;
+    while (p < ru.size() && q < rv.size()) {
+      if (ru[p] < rv[q]) {
+        ++p;
+      } else if (ru[p] > rv[q]) {
+        ++q;
+      } else {
+        const esz euw = eids.id[s.row_ptr()[u] + p];
+        const esz evw = eids.id[s.row_ptr()[v] + q];
+        if (!peeled[euw] && !peeled[evw]) {
+          // Decrement only above the threshold: edges at or below it keep
+          // their (already determined) peel level, and the bucket swap must
+          // never touch the peeled prefix of `order`.
+          if (sup[euw] > current) decrement_support(euw);
+          if (sup[evw] > current) decrement_support(evw);
+        }
+        ++p;
+        ++q;
+      }
+    }
+  }
+
+  TrussDecomposition out;
+  std::vector<count_t> vals(s.nnz(), 0);
+  count_t max_truss = 2;
+  for (esz k = 0; k < s.nnz(); ++k) {
+    vals[k] = truss_of[eids.id[k]];
+    max_truss = std::max(max_truss, vals[k]);
+  }
+  out.truss_number = CountCsr::from_parts(s.rows(), s.cols(), s.row_ptr(),
+                                          s.col_idx(), std::move(vals));
+  out.max_truss = m == 0 ? 2 : max_truss;
+  return out;
+}
+
+Graph truss_subgraph(const TrussDecomposition& t, count_t kappa) {
+  const CountCsr& m = t.truss_number;
+  std::vector<esz> rp(m.rows() + 1, 0);
+  std::vector<vid> ci;
+  std::vector<std::uint8_t> vals;
+  for (vid u = 0; u < m.rows(); ++u) {
+    const auto row = m.row_cols(u);
+    const auto rv = m.row_vals(u);
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      if (rv[k] >= kappa) {
+        ci.push_back(row[k]);
+        vals.push_back(1);
+      }
+    }
+    rp[u + 1] = ci.size();
+  }
+  return Graph(BoolCsr::from_parts(m.rows(), m.cols(), std::move(rp),
+                                   std::move(ci), std::move(vals)));
+}
+
+bool edges_in_at_most_one_triangle(const Graph& b) {
+  const CountCsr delta = triangle::edge_support_masked(b);
+  for (const count_t v : delta.values()) {
+    if (v > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace kronotri::truss

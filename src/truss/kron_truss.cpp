@@ -1,0 +1,49 @@
+#include "truss/kron_truss.hpp"
+
+#include <stdexcept>
+
+#include "triangle/support.hpp"
+
+namespace kronotri::truss {
+
+KronTrussOracle::KronTrussOracle(const Graph& a, const Graph& b)
+    : a_(&a),
+      b_(&b),
+      index_(b.num_vertices()),
+      a_truss_(decompose(a)),
+      b_delta_(triangle::edge_support_masked(b)) {
+  if (a.has_self_loops() || b.has_self_loops()) {
+    throw std::invalid_argument("Thm 3 requires loop-free factors");
+  }
+  for (const count_t v : b_delta_.values()) {
+    if (v > 1) {
+      throw std::invalid_argument(
+          "Thm 3 requires Δ_B ≤ 1 (every B edge in at most one triangle)");
+    }
+    b_tri_edges_ += v;
+  }
+  b_tri_edges_ /= 2;  // symmetric storage
+}
+
+count_t KronTrussOracle::truss_number(vid p, vid q) const {
+  const vid i = index_.a_of(p), j = index_.a_of(q);
+  const vid k = index_.b_of(p), l = index_.b_of(q);
+  if (!a_->has_edge(i, j) || !b_->has_edge(k, l)) {
+    throw std::invalid_argument("truss_number: (p,q) is not an edge of C");
+  }
+  if (b_delta_.at(k, l) == 0) return 2;  // B edge closes no triangle
+  return a_truss_.truss_number.at(i, j);
+}
+
+count_t KronTrussOracle::edges_in_truss(count_t kappa) const {
+  // Every product edge pairs one stored A entry with one stored B entry;
+  // it belongs to T^{(κ)}_C iff the A edge is in T^{(κ)}_A and the B edge
+  // closes a triangle. Count stored pairs, then halve for undirectedness.
+  count_t a_entries = 0;
+  for (const count_t t : a_truss_.truss_number.values()) {
+    if (t >= kappa) ++a_entries;
+  }
+  return a_entries * (b_tri_edges_ * 2) / 2;
+}
+
+}  // namespace kronotri::truss

@@ -1,0 +1,41 @@
+// Tiny command-line flag parser shared by the examples and benchmark
+// harnesses. Supports `--name value` and `--name=value`, with typed getters
+// and defaults; unknown flags are collected so google-benchmark flags pass
+// through untouched.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace kronotri::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name,
+                                       std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  /// Positional arguments (non-flag tokens), in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::unordered_map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace kronotri::util

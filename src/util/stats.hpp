@@ -1,0 +1,59 @@
+// Small statistical helpers for degree/triangle distribution reporting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace kronotri::util {
+
+/// Exact frequency histogram of integer samples: value -> multiplicity.
+template <typename T>
+std::map<T, std::uint64_t> histogram(std::span<const T> samples) {
+  std::map<T, std::uint64_t> h;
+  for (const T& s : samples) ++h[s];
+  return h;
+}
+
+template <typename T>
+T max_value(std::span<const T> samples) {
+  T m{};
+  for (const T& s : samples) m = std::max(m, s);
+  return m;
+}
+
+template <typename T>
+double mean(std::span<const T> samples) {
+  if (samples.empty()) return 0.0;
+  long double acc = 0;
+  for (const T& s : samples) acc += static_cast<long double>(s);
+  return static_cast<double>(acc / static_cast<long double>(samples.size()));
+}
+
+/// Least-squares slope of log(count) vs log(value) over the histogram tail —
+/// a crude but serviceable power-law exponent estimate for degree
+/// distributions (enough to demonstrate heavy-tailedness, §III.A).
+template <typename T>
+double log_log_slope(const std::map<T, std::uint64_t>& hist) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::uint64_t n = 0;
+  for (const auto& [value, count] : hist) {
+    if (value == T{0}) continue;
+    const double x = std::log(static_cast<double>(value));
+    const double y = std::log(static_cast<double>(count));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  return denom == 0.0 ? 0.0 : (dn * sxy - sx * sy) / denom;
+}
+
+}  // namespace kronotri::util

@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace kronotri::util {
+
+std::string commas(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string human(double v, int digits) {
+  static constexpr const char* suffix[] = {"", "K", "M", "B", "T", "Q"};
+  int tier = 0;
+  double x = std::fabs(v);
+  while (x >= 1000.0 && tier < 5) {
+    x /= 1000.0;
+    ++tier;
+  }
+  char buf[64];
+  if (tier == 0) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    const int frac = std::max(0, digits - (x >= 100 ? 3 : x >= 10 ? 2 : 1));
+    std::snprintf(buf, sizeof buf, "%.*f%s", frac, v < 0 ? -x : x, suffix[tier]);
+  }
+  return buf;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << "  " << r[c];
+      for (std::size_t pad = r[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace kronotri::util

@@ -1,0 +1,111 @@
+// Shared test utilities: random graph builders and dense reference
+// implementations used to validate the sparse kernels.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/csr.hpp"
+#include "core/graph.hpp"
+#include "util/prng.hpp"
+
+namespace kt_test {
+
+using namespace kronotri;
+
+/// Erdős–Rényi-style undirected simple graph, plus independent self loops
+/// with probability loop_p.
+inline Graph random_undirected(vid n, double p, std::uint64_t seed,
+                               double loop_p = 0.0) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::pair<vid, vid>> edges;
+  for (vid u = 0; u < n; ++u) {
+    if (rng.bernoulli(loop_p)) edges.emplace_back(u, u);
+    for (vid v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::from_edges(n, edges, /*symmetrize=*/true);
+}
+
+/// Random directed graph: every ordered pair (u,v), u != v, independently
+/// with probability p. Produces a healthy mix of directed and reciprocal
+/// edges for the Def. 8 model.
+inline Graph random_directed(vid n, double p, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::pair<vid, vid>> edges;
+  for (vid u = 0; u < n; ++u) {
+    for (vid v = 0; v < n; ++v) {
+      if (u != v && rng.bernoulli(p)) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::from_edges(n, edges, /*symmetrize=*/false);
+}
+
+template <typename T>
+std::vector<std::vector<long long>> to_dense(const CsrMatrix<T>& m) {
+  std::vector<std::vector<long long>> d(
+      m.rows(), std::vector<long long>(m.cols(), 0));
+  for (vid r = 0; r < m.rows(); ++r) {
+    const auto rc = m.row_cols(r);
+    const auto rv = m.row_vals(r);
+    for (std::size_t k = 0; k < rc.size(); ++k) {
+      d[r][rc[k]] = static_cast<long long>(rv[k]);
+    }
+  }
+  return d;
+}
+
+inline std::vector<std::vector<long long>> dense_matmul(
+    const std::vector<std::vector<long long>>& a,
+    const std::vector<std::vector<long long>>& b) {
+  const std::size_t n = a.size(), m = b.empty() ? 0 : b[0].size(),
+                    k = b.size();
+  std::vector<std::vector<long long>> c(n, std::vector<long long>(m, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t x = 0; x < k; ++x) {
+      if (a[i][x] == 0) continue;
+      for (std::size_t j = 0; j < m; ++j) c[i][j] += a[i][x] * b[x][j];
+    }
+  }
+  return c;
+}
+
+template <typename TA, typename TB>
+void expect_matrix_eq(const CsrMatrix<TA>& a, const CsrMatrix<TB>& b,
+                      const char* what = "") {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (vid r = 0; r < a.rows(); ++r) {
+    for (vid c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(static_cast<long long>(a.at(r, c)),
+                static_cast<long long>(b.at(r, c)))
+          << what << " mismatch at (" << r << "," << c << ")";
+    }
+  }
+}
+
+/// True when every vertex can reach vertex 0 (undirected connectivity).
+inline bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  std::vector<char> seen(g.num_vertices(), 0);
+  std::vector<vid> stack = {0};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const vid u = stack.back();
+    stack.pop_back();
+    for (const vid v : g.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++visited;
+        stack.push_back(v);
+      }
+    }
+  }
+  return visited == g.num_vertices();
+}
+
+}  // namespace kt_test

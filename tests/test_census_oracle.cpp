@@ -1,0 +1,163 @@
+// Tests for the directed and labeled census oracles — per-flavor point
+// queries on product graphs, validated against brute-force censuses of
+// materialized products.
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "helpers.hpp"
+#include "kron/census_oracle.hpp"
+#include "kron/product.hpp"
+#include "triangle/bruteforce.hpp"
+#include "truss/decompose.hpp"
+
+namespace {
+
+using namespace kronotri;
+using kron::DirectedTriangleOracle;
+using kron::LabeledTriangleOracle;
+
+class DirectedOracleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DirectedOracleSweep, VertexQueriesMatchBruteForce) {
+  const Graph a = kt_test::random_directed(5, 0.35, GetParam());
+  const Graph b = kt_test::random_undirected(4, 0.5, GetParam() + 1, 0.3);
+  const DirectedTriangleOracle oracle(a, b);
+  const Graph c = kron::kron_graph(a, b);
+  const auto direct = triangle::brute::directed_vertex_census(c);
+  for (int f = 0; f < triangle::kNumVertexTriTypes; ++f) {
+    const auto flavor = static_cast<triangle::VertexTriType>(f);
+    count_t sum = 0;
+    for (vid p = 0; p < oracle.num_vertices(); ++p) {
+      EXPECT_EQ(oracle.vertex_triangles(flavor, p),
+                direct[static_cast<std::size_t>(f)][p])
+          << triangle::to_string(flavor) << " @ " << p;
+      sum += direct[static_cast<std::size_t>(f)][p];
+    }
+    EXPECT_EQ(oracle.total(flavor), sum);
+  }
+}
+
+TEST_P(DirectedOracleSweep, EdgeQueriesMatchBruteForce) {
+  const Graph a = kt_test::random_directed(4, 0.4, GetParam() + 50);
+  const Graph b = kt_test::random_undirected(4, 0.5, GetParam() + 51);
+  const DirectedTriangleOracle oracle(a, b);
+  const Graph c = kron::kron_graph(a, b);
+  const auto direct = triangle::brute::directed_edge_census(c);
+  for (int f = 0; f < triangle::kNumEdgeTriTypes; ++f) {
+    const auto flavor = static_cast<triangle::EdgeTriType>(f);
+    const CountCsr& expected = direct[static_cast<std::size_t>(f)];
+    for (vid p = 0; p < c.num_vertices(); ++p) {
+      for (vid q = 0; q < c.num_vertices(); ++q) {
+        const auto val = oracle.edge_triangles(flavor, p, q);
+        if (expected.contains(p, q)) {
+          ASSERT_TRUE(val.has_value())
+              << triangle::to_string(flavor) << " @ (" << p << "," << q << ")";
+          ASSERT_EQ(*val, expected.at(p, q))
+              << triangle::to_string(flavor) << " @ (" << p << "," << q << ")";
+        } else {
+          ASSERT_FALSE(val.has_value())
+              << triangle::to_string(flavor) << " @ (" << p << "," << q << ")";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectedOracleSweep,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(DirectedOracle, RejectsBadFactors) {
+  const Graph a = kt_test::random_directed(4, 0.4, 1);
+  const Graph b_dir = kt_test::random_directed(4, 0.4, 2);
+  EXPECT_THROW(DirectedTriangleOracle(a, b_dir), std::invalid_argument);
+}
+
+class LabeledOracleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LabeledOracleSweep, VertexQueriesMatchBruteForce) {
+  const std::uint32_t big_l = 3;
+  const Graph a = kt_test::random_undirected(5, 0.5, GetParam());
+  const auto lab = gen::random_labels(5, big_l, GetParam() + 1);
+  const Graph b = kt_test::random_undirected(4, 0.5, GetParam() + 2, 0.4);
+  const LabeledTriangleOracle oracle(a, lab, b);
+  const Graph c = kron::kron_graph(a, b);
+  const auto lc = oracle.product_labels();
+  for (std::uint32_t q1 = 0; q1 < big_l; ++q1) {
+    for (std::uint32_t q2 = 0; q2 < big_l; ++q2) {
+      for (std::uint32_t q3 = q2; q3 < big_l; ++q3) {
+        const auto expected =
+            triangle::brute::labeled_vertex_participation(c, lc, q1, q2, q3);
+        for (vid p = 0; p < c.num_vertices(); ++p) {
+          // Query with both orderings of the outer pair.
+          ASSERT_EQ(oracle.vertex_triangles(q1, q2, q3, p), expected[p]);
+          ASSERT_EQ(oracle.vertex_triangles(q1, q3, q2, p), expected[p]);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(LabeledOracleSweep, EdgeQueriesMatchBruteForce) {
+  const std::uint32_t big_l = 2;
+  const Graph a = kt_test::random_undirected(5, 0.5, GetParam() + 80);
+  const auto lab = gen::random_labels(5, big_l, GetParam() + 81);
+  const Graph b = kt_test::random_undirected(3, 0.7, GetParam() + 82);
+  const LabeledTriangleOracle oracle(a, lab, b);
+  const Graph c = kron::kron_graph(a, b);
+  const auto lc = oracle.product_labels();
+  for (std::uint32_t q1 = 0; q1 < big_l; ++q1) {
+    for (std::uint32_t q2 = 0; q2 < big_l; ++q2) {
+      for (std::uint32_t q3 = 0; q3 < big_l; ++q3) {
+        const auto expected =
+            triangle::brute::labeled_edge_participation(c, lc, q1, q2, q3);
+        for (vid p = 0; p < c.num_vertices(); ++p) {
+          for (vid q = 0; q < c.num_vertices(); ++q) {
+            const auto val = oracle.edge_triangles(q1, q2, q3, p, q);
+            if (expected.contains(p, q)) {
+              ASSERT_TRUE(val.has_value());
+              ASSERT_EQ(*val, expected.at(p, q));
+            } else {
+              ASSERT_FALSE(val.has_value());
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabeledOracleSweep,
+                         ::testing::Range<std::uint64_t>(0, 4));
+
+TEST(LabeledOracle, RejectsOutOfRangeLabels) {
+  const Graph a = gen::clique(3);
+  triangle::Labeling lab;
+  lab.num_labels = 2;
+  lab.label = {0, 1, 0};
+  const Graph b = gen::clique(3);
+  const LabeledTriangleOracle oracle(a, lab, b);
+  EXPECT_THROW((void)oracle.vertex_triangles(2, 0, 0, 0),
+               std::invalid_argument);
+}
+
+TEST(TrussSubgraph, ExtractsKTruss) {
+  // Ex. 2 product: T⁽⁴⁾ has 80 edges and is itself a valid 4-truss.
+  const Graph a = gen::hub_cycle();
+  const Graph c = kron::kron_graph(a, a);
+  const auto t = truss::decompose(c);
+  const Graph t4 = truss::truss_subgraph(t, 4);
+  EXPECT_EQ(t4.num_undirected_edges(), 80u);
+  EXPECT_TRUE(t4.is_undirected());
+  // Every edge of the extracted subgraph closes ≥ 2 triangles inside it.
+  const auto t4_decomp = truss::decompose(t4);
+  for (const count_t v : t4_decomp.truss_number.values()) {
+    EXPECT_GE(v, 4u);
+  }
+  // κ beyond max truss gives the empty graph.
+  EXPECT_EQ(truss::truss_subgraph(t, 5).nnz(), 0u);
+  // κ = 3 keeps everything here (all edges are in the 3-truss).
+  EXPECT_EQ(truss::truss_subgraph(t, 3).nnz(), c.nnz());
+}
+
+}  // namespace

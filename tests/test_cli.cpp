@@ -1,0 +1,171 @@
+// Tests for the kronotri CLI layer (src/cli/commands.cpp): every
+// subcommand driven through its library entry point with real files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/commands.hpp"
+#include "core/io.hpp"
+#include "gen/classic.hpp"
+#include "kron/oracle.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace kronotri;
+
+class CliTest : public ::testing::Test {
+ protected:
+  std::string tmp(const std::string& name) {
+    const std::string path = ::testing::TempDir() + "kt_cli_" + name;
+    created_.push_back(path);
+    return path;
+  }
+  void TearDown() override {
+    for (const auto& p : created_) std::remove(p.c_str());
+  }
+
+  static int run_cmd(std::vector<std::string> args, std::string* out_text,
+                     std::string* err_text = nullptr) {
+    std::vector<char*> argv;
+    args.insert(args.begin(), "kronotri");
+    argv.reserve(args.size());
+    for (auto& a : args) argv.push_back(a.data());
+    std::ostringstream out, err;
+    const int rc = cli::run(static_cast<int>(argv.size()), argv.data(), out, err);
+    if (out_text) *out_text = out.str();
+    if (err_text) *err_text = err.str();
+    return rc;
+  }
+
+  std::vector<std::string> created_;
+};
+
+TEST_F(CliTest, HelpAndUnknownCommand) {
+  std::string out, err;
+  EXPECT_EQ(run_cmd({"help"}, &out, &err), 0);
+  EXPECT_NE(out.find("usage"), std::string::npos);
+  EXPECT_EQ(run_cmd({"frobnicate"}, &out, &err), 2);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateWritesReadableGraph) {
+  const std::string path = tmp("gen.txt");
+  std::string out;
+  ASSERT_EQ(run_cmd({"generate", "--type", "hk", "--n", "200", "--m", "2",
+                     "--out", path},
+                    &out),
+            0);
+  EXPECT_NE(out.find("200 vertices"), std::string::npos);
+  const Graph g = io::read_edge_list(path);
+  EXPECT_EQ(g.num_vertices(), 200u);
+  EXPECT_TRUE(g.is_undirected());
+}
+
+TEST_F(CliTest, GenerateWithPruneSatisfiesThm3) {
+  const std::string path = tmp("pruned.txt");
+  ASSERT_EQ(run_cmd({"generate", "--type", "hk", "--n", "150", "--out", path,
+                     "--prune"},
+                    nullptr),
+            0);
+  const Graph g = io::read_edge_list(path);
+  // Δ ≤ 1 by §III.D(a).
+  std::string out;
+  EXPECT_EQ(run_cmd({"generate", "--type", "hubcycle", "--out", tmp("a.txt")},
+                    nullptr),
+            0);
+  EXPECT_EQ(run_cmd({"truss", "--a", tmp("a.txt"), "--b", path}, &out), 0);
+  EXPECT_NE(out.find("Thm 3 oracle"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateRequiresOut) {
+  std::string err;
+  EXPECT_EQ(run_cmd({"generate", "--type", "hk"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("--out"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateRejectsUnknownType) {
+  std::string err;
+  EXPECT_EQ(run_cmd({"generate", "--type", "nope", "--out", tmp("x.txt")},
+                    nullptr, &err),
+            1);
+  EXPECT_NE(err.find("unknown --type"), std::string::npos);
+}
+
+TEST_F(CliTest, CensusPrintsTableAndTruth) {
+  const std::string a = tmp("ca.txt");
+  io::write_edge_list(gen::hub_cycle(), a);
+  const std::string truth = tmp("truth.txt");
+  std::string out;
+  ASSERT_EQ(run_cmd({"census", "--a", a, "--loops-b", "--truth", truth}, &out),
+            0);
+  EXPECT_NE(out.find("C = A (x) B"), std::string::npos);
+  // Truth file parses and matches the oracle.
+  const Graph ga = io::read_edge_list(a);
+  const Graph gb = ga.with_all_self_loops();
+  const kron::TriangleOracle oracle(ga, gb);
+  std::ifstream in(truth);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t p = 0, c = 0;
+    ASSERT_TRUE(static_cast<bool>(ls >> p >> c));
+    EXPECT_EQ(c, oracle.vertex_triangles(p));
+    ++rows;
+  }
+  EXPECT_EQ(rows, oracle.num_vertices());
+}
+
+TEST_F(CliTest, ValidatePassesOnExactClaimsAndFailsOnWrongOnes) {
+  const std::string a = tmp("va.txt");
+  io::write_edge_list(gen::clique(4), a);
+  const Graph ga = io::read_edge_list(a);
+  const kron::TriangleOracle oracle(ga, ga);
+
+  const std::string good = tmp("good.txt");
+  {
+    std::ofstream f(good);
+    for (vid p = 0; p < oracle.num_vertices(); ++p) {
+      f << p << ' ' << oracle.vertex_triangles(p) << '\n';
+    }
+  }
+  std::string out;
+  EXPECT_EQ(run_cmd({"validate", "--a", a, "--claims", good}, &out), 0);
+  EXPECT_NE(out.find("PASS"), std::string::npos);
+
+  const std::string bad = tmp("bad.txt");
+  {
+    std::ofstream f(bad);
+    f << 0 << ' ' << oracle.vertex_triangles(0) + 1 << '\n';
+  }
+  EXPECT_EQ(run_cmd({"validate", "--a", a, "--claims", bad}, &out), 1);
+  EXPECT_NE(out.find("FAIL"), std::string::npos);
+  EXPECT_NE(out.find("MISMATCH"), std::string::npos);
+}
+
+TEST_F(CliTest, EgonetChecksFormula) {
+  const std::string a = tmp("ea.txt");
+  io::write_edge_list(gen::hub_cycle(), a);
+  std::string out;
+  EXPECT_EQ(run_cmd({"egonet", "--a", a, "--vertex", "7"}, &out), 0);
+  EXPECT_NE(out.find("MATCH"), std::string::npos);
+  std::string err;
+  EXPECT_EQ(run_cmd({"egonet", "--a", a, "--vertex", "99"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("out of range"), std::string::npos);
+}
+
+TEST_F(CliTest, TrussDirectAndOracle) {
+  const std::string g = tmp("tg.txt");
+  io::write_edge_list(gen::clique(5), g);
+  std::string out;
+  EXPECT_EQ(run_cmd({"truss", "--graph", g}, &out), 0);
+  EXPECT_NE(out.find("max truss 5"), std::string::npos);
+  std::string err;
+  EXPECT_EQ(run_cmd({"truss"}, nullptr, &err), 2);
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Clustering-coefficient tests (the motivating consumers of t and Δ, §I).
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "helpers.hpp"
+#include "triangle/clustering.hpp"
+
+namespace {
+
+using namespace kronotri;
+
+TEST(Clustering, CliqueIsFullyClustered) {
+  const auto c = triangle::local_clustering(gen::clique(6));
+  for (const double v : c) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_DOUBLE_EQ(triangle::global_clustering(gen::clique(6)), 1.0);
+  EXPECT_DOUBLE_EQ(triangle::average_clustering(gen::clique(6)), 1.0);
+}
+
+TEST(Clustering, TriangleFreeGraphsAreZero) {
+  EXPECT_DOUBLE_EQ(triangle::global_clustering(gen::cycle(8)), 0.0);
+  EXPECT_DOUBLE_EQ(triangle::average_clustering(gen::star(7)), 0.0);
+}
+
+TEST(Clustering, DegreeOneVerticesContributeZero) {
+  const auto c = triangle::local_clustering(gen::path(4));
+  for (const double v : c) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Clustering, HubCycleValues) {
+  // Hub: 4 triangles over C(4,2)=6 wedges = 2/3; cycle vertices: 2 triangles
+  // over C(3,2)=3 wedges = 2/3.
+  const auto c = triangle::local_clustering(gen::hub_cycle());
+  for (const double v : c) EXPECT_NEAR(v, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Clustering, SelfLoopsDoNotCount) {
+  const Graph k4 = gen::clique(4);
+  const auto plain = triangle::local_clustering(k4);
+  const auto looped = triangle::local_clustering(k4.with_all_self_loops());
+  EXPECT_EQ(plain, looped);
+}
+
+TEST(Clustering, HolmeKimBeatsErdosRenyiAtEqualDensity) {
+  const Graph hk = gen::holme_kim(500, 3, 0.8, 3);
+  const double density =
+      static_cast<double>(hk.num_undirected_edges()) /
+      static_cast<double>(500 * 499 / 2);
+  const Graph er = gen::erdos_renyi(500, density, 4);
+  EXPECT_GT(triangle::average_clustering(hk),
+            3.0 * triangle::average_clustering(er));
+}
+
+TEST(Clustering, GlobalCoefficientDefinition) {
+  const Graph g = kt_test::random_undirected(30, 0.25, 5);
+  const double gc = triangle::global_clustering(g);
+  EXPECT_GE(gc, 0.0);
+  EXPECT_LE(gc, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Connectivity / bipartiteness / Weichsel-theorem tests (paper ref [2]).
+#include <gtest/gtest.h>
+
+#include "analysis/components.hpp"
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "helpers.hpp"
+#include "kron/product.hpp"
+
+namespace {
+
+using namespace kronotri;
+using analysis::connected_components;
+using analysis::is_bipartite;
+using analysis::kron_component_count;
+
+Graph disjoint_union(const Graph& a, const Graph& b) {
+  std::vector<std::pair<vid, vid>> edges;
+  for (vid u = 0; u < a.num_vertices(); ++u) {
+    for (const vid v : a.neighbors(u)) edges.emplace_back(u, v);
+  }
+  for (vid u = 0; u < b.num_vertices(); ++u) {
+    for (const vid v : b.neighbors(u)) {
+      edges.emplace_back(a.num_vertices() + u, a.num_vertices() + v);
+    }
+  }
+  return Graph::from_edges(a.num_vertices() + b.num_vertices(), edges, false);
+}
+
+TEST(Components, BasicCounts) {
+  EXPECT_EQ(connected_components(gen::clique(5)).count, 1u);
+  EXPECT_EQ(connected_components(Graph::from_edges(4, {}, false)).count, 4u);
+  const Graph two = disjoint_union(gen::clique(3), gen::cycle(4));
+  const auto c = connected_components(two);
+  EXPECT_EQ(c.count, 2u);
+  EXPECT_EQ(c.component[0], c.component[2]);
+  EXPECT_NE(c.component[0], c.component[3]);
+}
+
+TEST(Components, IsConnected) {
+  EXPECT_TRUE(analysis::is_connected(gen::cycle(6)));
+  EXPECT_FALSE(
+      analysis::is_connected(disjoint_union(gen::clique(3), gen::clique(3))));
+  EXPECT_TRUE(analysis::is_connected(Graph::from_edges(0, {}, false)));
+}
+
+TEST(Components, DirectedGraphUsesClosure) {
+  const Graph d = Graph::from_edges(3, {{{0, 1}, {2, 1}}}, false);
+  EXPECT_EQ(connected_components(d).count, 1u);
+}
+
+TEST(Bipartite, Classification) {
+  EXPECT_TRUE(is_bipartite(gen::cycle(6)));       // even cycle
+  EXPECT_FALSE(is_bipartite(gen::cycle(5)));      // odd cycle
+  EXPECT_TRUE(is_bipartite(gen::path(7)));
+  EXPECT_TRUE(is_bipartite(gen::star(5)));
+  EXPECT_TRUE(is_bipartite(gen::complete_bipartite(3, 4)));
+  EXPECT_FALSE(is_bipartite(gen::clique(3)));
+  EXPECT_FALSE(is_bipartite(gen::hub_cycle()));
+  // Self loop is an odd closed walk.
+  EXPECT_FALSE(is_bipartite(Graph::from_edges(2, {{{0, 0}, {0, 1}}}, true)));
+  // Empty graph is bipartite.
+  EXPECT_TRUE(is_bipartite(Graph::from_edges(3, {}, false)));
+}
+
+TEST(Weichsel, ClassicStatements) {
+  // Connected × connected: connected iff one factor is non-bipartite.
+  EXPECT_EQ(kron_component_count(gen::cycle(4), gen::cycle(6)), 2u);  // bip×bip
+  EXPECT_EQ(kron_component_count(gen::cycle(5), gen::cycle(6)), 1u);  // odd×bip
+  EXPECT_EQ(kron_component_count(gen::clique(3), gen::clique(4)), 1u);
+  // K2 ⊗ K2 = two disjoint edges.
+  EXPECT_EQ(kron_component_count(gen::clique(2), gen::clique(2)), 2u);
+}
+
+TEST(Weichsel, SelfLoopsConnect) {
+  // A looped single factor acts like an identity: J-type factors keep the
+  // product in one piece even against bipartite partners.
+  const Graph looped = gen::cycle(4).with_all_self_loops();
+  EXPECT_EQ(kron_component_count(looped, gen::cycle(6)), 1u);
+}
+
+TEST(Weichsel, IsolatedVertexBlocks) {
+  // Factor with an isolated vertex: that row of blocks is all isolated.
+  Graph iso = Graph::from_edges(4, {{{0, 1}, {1, 2}}}, true);  // vertex 3 isolated
+  const Graph k3 = gen::clique(3);
+  // components: path{0,1,2} (bipartite, edges) × K3 (non-bip) → 1, plus
+  // isolated vertex × K3 → 3 singletons.
+  EXPECT_EQ(kron_component_count(iso, k3), 4u);
+}
+
+class WeichselSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeichselSweep, FactorSideCountMatchesMaterialized) {
+  const std::uint64_t seed = GetParam();
+  // Sparse random factors frequently disconnected and sometimes bipartite.
+  const Graph a = kt_test::random_undirected(9, 0.12, seed, seed % 3 == 0 ? 0.2 : 0.0);
+  const Graph b = kt_test::random_undirected(8, 0.15, seed + 100);
+  const Graph c = kron::kron_graph(a, b);
+  EXPECT_EQ(kron_component_count(a, b), connected_components(c).count)
+      << "seed " << seed;
+}
+
+TEST_P(WeichselSweep, StructuredFamilies) {
+  const std::uint64_t s = GetParam();
+  const Graph families[] = {gen::cycle(3 + s % 5), gen::path(2 + s % 4),
+                            gen::star(3 + s % 3), gen::clique(2 + s % 4)};
+  for (const Graph& a : families) {
+    for (const Graph& b : families) {
+      const Graph c = kron::kron_graph(a, b);
+      ASSERT_EQ(kron_component_count(a, b), connected_components(c).count);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeichselSweep,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Weichsel, DirectedFactorRejected) {
+  const Graph d = Graph::from_edges(3, {{{0, 1}}}, false);
+  EXPECT_THROW(kron_component_count(d, gen::clique(3)), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Unit tests for the COO builder and CSR matrix invariants.
+#include <gtest/gtest.h>
+
+#include "core/coo.hpp"
+#include "core/csr.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace kronotri;
+
+TEST(Coo, CollectsEntries) {
+  Coo<count_t> coo(3, 4);
+  coo.add(0, 1, 5);
+  coo.add(2, 3, 7);
+  EXPECT_EQ(coo.size(), 2u);
+  EXPECT_EQ(coo.rows(), 3u);
+  EXPECT_EQ(coo.cols(), 4u);
+}
+
+TEST(Coo, AddSymmetricSkipsDiagonalDuplicate) {
+  BoolCoo coo(3, 3);
+  coo.add_symmetric(0, 1, 1);
+  coo.add_symmetric(2, 2, 1);
+  EXPECT_EQ(coo.size(), 3u);  // (0,1), (1,0), (2,2)
+}
+
+TEST(Csr, FromCooSortsAndSumsDuplicates) {
+  Coo<count_t> coo(2, 2);
+  coo.add(1, 0, 3);
+  coo.add(0, 1, 1);
+  coo.add(1, 0, 4);
+  const auto m = CountCsr::from_coo(coo, DupPolicy::kSum);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_EQ(m.at(1, 0), 7u);
+  EXPECT_EQ(m.at(0, 1), 1u);
+}
+
+TEST(Csr, FromCooKeepPolicyCollapsesDuplicates) {
+  BoolCoo coo(2, 2);
+  coo.add(0, 1, 1);
+  coo.add(0, 1, 1);
+  const auto m = BoolCsr::from_coo(coo, DupPolicy::kKeep);
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_EQ(m.at(0, 1), 1);
+}
+
+TEST(Csr, FromCooRejectsOutOfRange) {
+  Coo<count_t> coo(2, 2);
+  coo.add(2, 0, 1);
+  EXPECT_THROW(CountCsr::from_coo(coo), std::out_of_range);
+}
+
+TEST(Csr, FromPartsValidates) {
+  // Non-monotone row_ptr.
+  EXPECT_THROW(CountCsr::from_parts(2, 2, {0, 2, 1}, {0, 1}, {1, 1}),
+               std::invalid_argument);
+  // Unsorted row.
+  EXPECT_THROW(CountCsr::from_parts(1, 3, {0, 2}, {2, 0}, {1, 1}),
+               std::invalid_argument);
+  // Duplicate column in a row.
+  EXPECT_THROW(CountCsr::from_parts(1, 3, {0, 2}, {1, 1}, {1, 1}),
+               std::invalid_argument);
+  // Column out of range.
+  EXPECT_THROW(CountCsr::from_parts(1, 2, {0, 1}, {5}, {1}),
+               std::invalid_argument);
+  // Size mismatch between row_ptr tail and arrays.
+  EXPECT_THROW(CountCsr::from_parts(1, 2, {0, 2}, {0}, {1}),
+               std::invalid_argument);
+}
+
+TEST(Csr, Identity) {
+  const auto eye = CountCsr::identity(4, 3);
+  EXPECT_EQ(eye.nnz(), 4u);
+  for (vid i = 0; i < 4; ++i) {
+    EXPECT_EQ(eye.at(i, i), 3u);
+  }
+  EXPECT_EQ(eye.at(0, 1), 0u);
+}
+
+TEST(Csr, FindAndContains) {
+  Coo<count_t> coo(3, 3);
+  coo.add(1, 0, 9);
+  coo.add(1, 2, 8);
+  const auto m = CountCsr::from_coo(coo);
+  EXPECT_TRUE(m.contains(1, 0));
+  EXPECT_TRUE(m.contains(1, 2));
+  EXPECT_FALSE(m.contains(1, 1));
+  EXPECT_FALSE(m.contains(0, 0));
+  EXPECT_EQ(m.find(1, 1), m.nnz());
+  EXPECT_EQ(m.at(1, 2), 8u);
+  EXPECT_EQ(m.at(2, 2), 0u);
+}
+
+TEST(Csr, RowAccessors) {
+  Coo<count_t> coo(2, 5);
+  coo.add(0, 4, 1);
+  coo.add(0, 2, 2);
+  const auto m = CountCsr::from_coo(coo);
+  const auto rc = m.row_cols(0);
+  ASSERT_EQ(rc.size(), 2u);
+  EXPECT_EQ(rc[0], 2u);
+  EXPECT_EQ(rc[1], 4u);
+  EXPECT_EQ(m.row_degree(0), 2u);
+  EXPECT_EQ(m.row_degree(1), 0u);
+  EXPECT_EQ(m.row_vals(0)[0], 2u);
+}
+
+TEST(Csr, EqualityAndStructure) {
+  Coo<count_t> c1(2, 2), c2(2, 2);
+  c1.add(0, 1, 1);
+  c2.add(0, 1, 2);
+  const auto m1 = CountCsr::from_coo(c1);
+  const auto m2 = CountCsr::from_coo(c2);
+  EXPECT_FALSE(m1 == m2);
+  EXPECT_TRUE(m1.same_structure(m2));
+  EXPECT_TRUE(m1 == m1);
+}
+
+TEST(Csr, EmptyMatrix) {
+  const CountCsr m(3, 3);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_EQ(m.row_degree(2), 0u);
+  EXPECT_FALSE(m.contains(0, 0));
+}
+
+class CsrRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsrRoundTrip, DenseAgreesWithRandomCoo) {
+  kronotri::util::Xoshiro256 rng(GetParam());
+  const vid n = 8 + rng.bounded(24);
+  std::vector<std::vector<long long>> dense(n, std::vector<long long>(n, 0));
+  Coo<count_t> coo(n, n);
+  const int entries = static_cast<int>(rng.bounded(3 * n));
+  for (int e = 0; e < entries; ++e) {
+    const vid r = rng.bounded(n), c = rng.bounded(n);
+    const count_t v = 1 + rng.bounded(9);
+    coo.add(r, c, v);
+    dense[r][c] += static_cast<long long>(v);
+  }
+  const auto m = CountCsr::from_coo(coo, DupPolicy::kSum);
+  for (vid r = 0; r < n; ++r) {
+    for (vid c = 0; c < n; ++c) {
+      ASSERT_EQ(static_cast<long long>(m.at(r, c)), dense[r][c])
+          << "at (" << r << "," << c << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrRoundTrip, ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace

@@ -1,0 +1,176 @@
+// Generator tests: structural invariants of every graph family.
+#include <gtest/gtest.h>
+
+#include "analysis/degree.hpp"
+#include "gen/classic.hpp"
+#include "gen/one_triangle_pa.hpp"
+#include "gen/random.hpp"
+#include "gen/rmat.hpp"
+#include "helpers.hpp"
+#include "triangle/count.hpp"
+
+namespace {
+
+using namespace kronotri;
+
+TEST(Classic, CliqueStats) {
+  const Graph k5 = gen::clique(5);
+  EXPECT_EQ(k5.num_vertices(), 5u);
+  EXPECT_EQ(k5.num_undirected_edges(), 10u);
+  EXPECT_FALSE(k5.has_self_loops());
+  EXPECT_TRUE(k5.is_undirected());
+}
+
+TEST(Classic, LoopedCliqueStats) {
+  const Graph j4 = gen::clique_with_loops(4);
+  EXPECT_EQ(j4.num_self_loops(), 4u);
+  EXPECT_EQ(j4.nnz(), 16u);  // J_n is all-ones
+}
+
+TEST(Classic, CycleAndPath) {
+  EXPECT_EQ(gen::cycle(7).num_undirected_edges(), 7u);
+  EXPECT_EQ(gen::path(7).num_undirected_edges(), 6u);
+  EXPECT_THROW(gen::cycle(2), std::invalid_argument);
+}
+
+TEST(Classic, StarAndBipartite) {
+  const Graph s = gen::star(6);
+  EXPECT_EQ(s.nonloop_degree(0), 5u);
+  for (vid v = 1; v < 6; ++v) EXPECT_EQ(s.nonloop_degree(v), 1u);
+  const Graph kb = gen::complete_bipartite(3, 4);
+  EXPECT_EQ(kb.num_undirected_edges(), 12u);
+  EXPECT_EQ(triangle::count_total(kb), 0u);
+}
+
+TEST(Classic, HubCycleMatchesPaperEx2) {
+  const Graph a = gen::hub_cycle();
+  EXPECT_EQ(a.num_vertices(), 5u);
+  EXPECT_EQ(a.num_undirected_edges(), 8u);
+  EXPECT_EQ(triangle::count_total(a), 4u);
+  EXPECT_EQ(a.nonloop_degree(0), 4u);  // hub
+  for (vid v = 1; v < 5; ++v) EXPECT_EQ(a.nonloop_degree(v), 3u);
+}
+
+TEST(ErdosRenyi, EdgeProbabilityExtremes) {
+  EXPECT_EQ(gen::erdos_renyi(20, 0.0, 1).nnz(), 0u);
+  const Graph full = gen::erdos_renyi(10, 1.0, 2);
+  EXPECT_TRUE(full == gen::clique(10));
+  EXPECT_THROW(gen::erdos_renyi(10, 1.5, 3), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, DensityNearExpectation) {
+  const vid n = 200;
+  const double p = 0.1;
+  const Graph g = gen::erdos_renyi(n, p, 7);
+  const double expected = p * static_cast<double>(n * (n - 1) / 2);
+  const auto edges = static_cast<double>(g.num_undirected_edges());
+  EXPECT_NEAR(edges / expected, 1.0, 0.1);
+  EXPECT_FALSE(g.has_self_loops());
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  EXPECT_TRUE(gen::erdos_renyi(50, 0.2, 9) == gen::erdos_renyi(50, 0.2, 9));
+  EXPECT_FALSE(gen::erdos_renyi(50, 0.2, 9) == gen::erdos_renyi(50, 0.2, 10));
+}
+
+TEST(ErdosRenyiM, ExactEdgeCount) {
+  const Graph g = gen::erdos_renyi_m(40, 100, 11);
+  EXPECT_EQ(g.num_undirected_edges(), 100u);
+  EXPECT_THROW(gen::erdos_renyi_m(4, 100, 1), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, SizeAndConnectivity) {
+  const Graph g = gen::barabasi_albert(200, 3, 13);
+  EXPECT_EQ(g.num_vertices(), 200u);
+  EXPECT_TRUE(kt_test::is_connected(g));
+  // m+1 seed clique + m edges per later vertex (deduped, so ≤).
+  EXPECT_LE(g.num_undirected_edges(), 6u + 3u * 196u);
+  EXPECT_THROW(gen::barabasi_albert(3, 3, 1), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, HeavyTail) {
+  const Graph g = gen::barabasi_albert(2000, 3, 17);
+  const auto s = analysis::summarize_degrees(g);
+  // Hubs far above the mean are the signature of preferential attachment.
+  EXPECT_GT(static_cast<double>(s.max_degree), 8.0 * s.mean_degree);
+  EXPECT_LT(s.loglog_slope, -1.0);
+}
+
+TEST(HolmeKim, TriadStepBoostsClustering) {
+  const Graph plain = gen::barabasi_albert(800, 3, 19);
+  const Graph clustered = gen::holme_kim(800, 3, 0.9, 19);
+  EXPECT_GT(triangle::count_total(clustered), 2 * triangle::count_total(plain));
+}
+
+TEST(HolmeKim, Deterministic) {
+  EXPECT_TRUE(gen::holme_kim(300, 2, 0.5, 23) == gen::holme_kim(300, 2, 0.5, 23));
+}
+
+TEST(Rmat, BasicShape) {
+  const Graph g = gen::rmat(8, 8, {}, 29);
+  EXPECT_EQ(g.num_vertices(), 256u);
+  EXPECT_TRUE(g.is_undirected());
+  EXPECT_FALSE(g.has_self_loops());
+  EXPECT_LE(g.num_undirected_edges(), 8u * 256u);
+  EXPECT_GT(g.num_undirected_edges(), 0u);
+}
+
+TEST(Rmat, RejectsBadParams) {
+  EXPECT_THROW(gen::rmat(4, 4, {0.5, 0.5, 0.5, 0.5}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(gen::rmat(64, 4, {}, 1), std::invalid_argument);
+}
+
+TEST(Rmat, SkewProducesHubs) {
+  const Graph skewed = gen::rmat(10, 8, {0.7, 0.1, 0.1, 0.1}, 31);
+  const Graph uniform = gen::rmat(10, 8, {0.25, 0.25, 0.25, 0.25}, 31);
+  EXPECT_GT(analysis::summarize_degrees(skewed).max_degree,
+            analysis::summarize_degrees(uniform).max_degree);
+}
+
+TEST(OneTrianglePa, InvariantsAcrossSizes) {
+  for (vid n : {2u, 3u, 10u, 100u, 500u}) {
+    const Graph g = gen::one_triangle_pa(n, 37);
+    EXPECT_EQ(g.num_vertices(), n);
+    EXPECT_TRUE(g.is_undirected());
+    EXPECT_FALSE(g.has_self_loops());
+    EXPECT_TRUE(kt_test::is_connected(g));
+  }
+}
+
+TEST(OneTrianglePa, HeavyTailedDegrees) {
+  const Graph g = gen::one_triangle_pa(3000, 41);
+  const auto s = analysis::summarize_degrees(g);
+  EXPECT_GT(static_cast<double>(s.max_degree), 6.0 * s.mean_degree);
+}
+
+TEST(RandomLabels, RangeAndDeterminism) {
+  const auto lab = gen::random_labels(100, 4, 43);
+  lab.validate(100);
+  const auto lab2 = gen::random_labels(100, 4, 43);
+  EXPECT_EQ(lab.label, lab2.label);
+  EXPECT_THROW(gen::random_labels(10, 0, 1), std::invalid_argument);
+}
+
+TEST(RandomlyOrient, ReciprocalFraction) {
+  const Graph g = gen::erdos_renyi(100, 0.2, 47);
+  const Graph d = gen::randomly_orient(g, 0.5, 48);
+  count_t reciprocal = 0, directed = 0;
+  for (vid u = 0; u < d.num_vertices(); ++u) {
+    for (const vid v : d.neighbors(u)) {
+      if (d.has_edge(v, u)) {
+        ++reciprocal;
+      } else {
+        ++directed;
+      }
+    }
+  }
+  // Undirected closure must equal the input graph's structure.
+  EXPECT_TRUE(d.undirected_closure() == g);
+  const double frac = static_cast<double>(reciprocal) /
+                      static_cast<double>(reciprocal + directed);
+  EXPECT_NEAR(frac, 0.5 * 2.0 / 1.5, 0.1);  // reciprocal stored twice
+  EXPECT_THROW(gen::randomly_orient(d, 0.5, 1), std::invalid_argument);
+}
+
+}  // namespace

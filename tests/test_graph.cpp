@@ -1,0 +1,121 @@
+// Unit tests for the Graph wrapper and its structural predicates.
+#include <gtest/gtest.h>
+
+#include "core/graph.hpp"
+#include "gen/classic.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace kronotri;
+
+TEST(Graph, RejectsNonSquare) {
+  BoolCoo coo(2, 3);
+  EXPECT_THROW(Graph(BoolCsr::from_coo(coo)), std::invalid_argument);
+}
+
+TEST(Graph, FromEdgesBasics) {
+  const std::vector<std::pair<vid, vid>> e = {{0, 1}, {1, 2}, {0, 1}};
+  const Graph g = Graph::from_edges(3, e, /*symmetrize=*/true);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.nnz(), 4u);  // duplicates collapse
+  EXPECT_TRUE(g.is_undirected());
+  EXPECT_FALSE(g.has_self_loops());
+  EXPECT_EQ(g.num_undirected_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, DirectedDetection) {
+  const std::vector<std::pair<vid, vid>> e = {{0, 1}};
+  const Graph g = Graph::from_edges(2, e, /*symmetrize=*/false);
+  EXPECT_FALSE(g.is_undirected());
+  EXPECT_THROW((void)g.num_undirected_edges(), std::logic_error);
+}
+
+TEST(Graph, SelfLoopAccounting) {
+  const std::vector<std::pair<vid, vid>> e = {{0, 0}, {0, 1}, {1, 0}, {2, 2}};
+  const Graph g = Graph::from_edges(3, e, /*symmetrize=*/false);
+  EXPECT_TRUE(g.is_undirected());
+  EXPECT_EQ(g.num_self_loops(), 2u);
+  EXPECT_EQ(g.num_undirected_edges(), 3u);  // {0,1} + two loops
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.nonloop_degree(0), 1u);
+  EXPECT_EQ(g.nonloop_degree(2), 0u);
+}
+
+TEST(Graph, WithoutSelfLoops) {
+  const Graph j3 = gen::clique_with_loops(3);
+  const Graph k3 = j3.without_self_loops();
+  EXPECT_EQ(k3.num_self_loops(), 0u);
+  EXPECT_TRUE(k3 == gen::clique(3));
+}
+
+TEST(Graph, WithAllSelfLoops) {
+  const Graph k3 = gen::clique(3);
+  const Graph j3 = k3.with_all_self_loops();
+  EXPECT_EQ(j3.num_self_loops(), 3u);
+  EXPECT_TRUE(j3 == gen::clique_with_loops(3));
+  // Idempotent.
+  EXPECT_TRUE(j3.with_all_self_loops() == j3);
+}
+
+TEST(Graph, UndirectedClosure) {
+  const std::vector<std::pair<vid, vid>> e = {{0, 1}, {1, 2}, {2, 1}};
+  const Graph g = Graph::from_edges(3, e, /*symmetrize=*/false);
+  const Graph u = g.undirected_closure();
+  EXPECT_TRUE(u.is_undirected());
+  EXPECT_TRUE(u.has_edge(1, 0));
+  EXPECT_TRUE(u.has_edge(2, 1));
+  EXPECT_EQ(u.num_undirected_edges(), 2u);
+}
+
+TEST(Graph, TransposeReversesEdges) {
+  const std::vector<std::pair<vid, vid>> e = {{0, 1}, {2, 0}};
+  const Graph g = Graph::from_edges(3, e, /*symmetrize=*/false);
+  const Graph t = g.transpose();
+  EXPECT_TRUE(t.has_edge(1, 0));
+  EXPECT_TRUE(t.has_edge(0, 2));
+  EXPECT_FALSE(t.has_edge(0, 1));
+  EXPECT_TRUE(t.transpose() == g);
+}
+
+TEST(Graph, NeighborsSorted) {
+  const std::vector<std::pair<vid, vid>> e = {{0, 3}, {0, 1}, {0, 2}};
+  const Graph g = Graph::from_edges(4, e, /*symmetrize=*/false);
+  const auto nb = g.neighbors(0);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = Graph::from_edges(5, {}, false);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.nnz(), 0u);
+  EXPECT_TRUE(g.is_undirected());
+  EXPECT_EQ(g.num_undirected_edges(), 0u);
+}
+
+class GraphClosureProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphClosureProperty, ClosureIsSymmetricSuperset) {
+  const Graph g = kt_test::random_directed(12, 0.2, GetParam());
+  const Graph u = g.undirected_closure();
+  EXPECT_TRUE(u.is_undirected());
+  for (vid a = 0; a < 12; ++a) {
+    for (vid b = 0; b < 12; ++b) {
+      if (g.has_edge(a, b)) {
+        EXPECT_TRUE(u.has_edge(a, b));
+        EXPECT_TRUE(u.has_edge(b, a));
+      }
+      if (u.has_edge(a, b)) {
+        EXPECT_TRUE(g.has_edge(a, b) || g.has_edge(b, a));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphClosureProperty,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace

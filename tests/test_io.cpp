@@ -1,0 +1,151 @@
+// Unit tests for graph file I/O (plain edge lists and MatrixMarket).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/io.hpp"
+#include "gen/classic.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace kronotri;
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& contents) {
+    path_ = ::testing::TempDir() + "kronotri_io_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".txt";
+    std::ofstream out(path_);
+    out << contents;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Io, ReadsPlainEdgeList) {
+  TempFile f("# comment\n0 1\n1 2\n\n2 0\n");
+  const Graph g = io::read_edge_list(f.path());
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.nnz(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(Io, SymmetrizeOption) {
+  TempFile f("0 1\n");
+  io::ReadOptions opts;
+  opts.symmetrize = true;
+  const Graph g = io::read_edge_list(f.path(), opts);
+  EXPECT_TRUE(g.is_undirected());
+  EXPECT_EQ(g.nnz(), 2u);
+}
+
+TEST(Io, OneBasedOption) {
+  TempFile f("1 2\n2 3\n");
+  io::ReadOptions opts;
+  opts.one_based = true;
+  const Graph g = io::read_edge_list(f.path(), opts);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(Io, DropSelfLoops) {
+  TempFile f("0 0\n0 1\n1 1\n");
+  io::ReadOptions opts;
+  opts.drop_self_loops = true;
+  const Graph g = io::read_edge_list(f.path(), opts);
+  EXPECT_FALSE(g.has_self_loops());
+  EXPECT_EQ(g.nnz(), 1u);
+}
+
+TEST(Io, MatrixMarketGeneral) {
+  TempFile f(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% a comment\n"
+      "4 4 3\n"
+      "1 2\n"
+      "2 3\n"
+      "4 1\n");
+  const Graph g = io::read_edge_list(f.path());
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.nnz(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(3, 0));
+}
+
+TEST(Io, MatrixMarketSymmetricExpands) {
+  TempFile f(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 3\n");
+  const Graph g = io::read_edge_list(f.path());
+  EXPECT_TRUE(g.is_undirected());
+  EXPECT_EQ(g.nnz(), 3u);  // (1,0), (0,1), loop (2,2)
+  EXPECT_TRUE(g.has_self_loops());
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(io::read_edge_list("/nonexistent/graph.txt"),
+               std::runtime_error);
+}
+
+TEST(Io, BadLineThrows) {
+  TempFile f("0 1\nnot an edge\n");
+  EXPECT_THROW(io::read_edge_list(f.path()), std::runtime_error);
+}
+
+TEST(Io, ZeroIdInOneBasedThrows) {
+  TempFile f("0 1\n");
+  io::ReadOptions opts;
+  opts.one_based = true;
+  EXPECT_THROW(io::read_edge_list(f.path(), opts), std::runtime_error);
+}
+
+TEST(Io, WriteReadRoundTrip) {
+  const Graph g = gen::hub_cycle();
+  const std::string path = ::testing::TempDir() + "kronotri_roundtrip.txt";
+  io::write_edge_list(g, path);
+  const Graph back = io::read_edge_list(path);
+  EXPECT_TRUE(back == g);
+  std::remove(path.c_str());
+}
+
+TEST(Io, VertexCountsRoundTrip) {
+  const std::vector<count_t> counts = {0, 5, 0, 123456789012ULL, 7};
+  const std::string path = ::testing::TempDir() + "kronotri_counts.txt";
+  io::write_vertex_counts(counts, path);
+  EXPECT_EQ(io::read_vertex_counts(path), counts);
+  std::remove(path.c_str());
+}
+
+TEST(Io, VertexCountsBadLineThrows) {
+  TempFile f("0 1\nbroken\n");
+  EXPECT_THROW(io::read_vertex_counts(f.path()), std::runtime_error);
+  EXPECT_THROW(io::read_vertex_counts("/nonexistent/counts.txt"),
+               std::runtime_error);
+}
+
+TEST(Io, RoundTripPreservesDirectedGraph) {
+  const Graph g = kt_test::random_directed(15, 0.2, 99);
+  const std::string path = ::testing::TempDir() + "kronotri_directed.txt";
+  io::write_edge_list(g, path);
+  const Graph back = io::read_edge_list(path);
+  // Vertex count can shrink if trailing vertices are isolated; compare edges.
+  for (vid u = 0; u < back.num_vertices(); ++u) {
+    for (const vid v : back.neighbors(u)) {
+      EXPECT_TRUE(g.has_edge(u, v));
+    }
+  }
+  EXPECT_EQ(back.nnz(), g.nnz());
+  std::remove(path.c_str());
+}
+
+}  // namespace

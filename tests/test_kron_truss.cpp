@@ -1,0 +1,98 @@
+// Thm 3 validated end-to-end: when Δ_B ≤ 1, the truss numbers of
+// C = A ⊗ B given by the KronTrussOracle must equal a direct decomposition
+// of the materialized product.
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "gen/one_triangle_pa.hpp"
+#include "helpers.hpp"
+#include "kron/product.hpp"
+#include "truss/decompose.hpp"
+#include "truss/kron_truss.hpp"
+
+namespace {
+
+using namespace kronotri;
+
+TEST(OneTrianglePa, SatisfiesThm3Precondition) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph b = gen::one_triangle_pa(60, seed);
+    EXPECT_TRUE(truss::edges_in_at_most_one_triangle(b)) << "seed " << seed;
+    EXPECT_TRUE(kt_test::is_connected(b)) << "seed " << seed;
+    EXPECT_FALSE(b.has_self_loops());
+    EXPECT_TRUE(b.is_undirected());
+  }
+}
+
+TEST(KronTruss, RejectsViolatedPrecondition) {
+  const Graph a = gen::hub_cycle();
+  const Graph bad_b = gen::clique(4);  // Δ = 2 everywhere
+  EXPECT_THROW(truss::KronTrussOracle(a, bad_b), std::invalid_argument);
+  const Graph looped = gen::cycle(5).with_all_self_loops();
+  EXPECT_THROW(truss::KronTrussOracle(a, looped), std::invalid_argument);
+}
+
+TEST(KronTruss, NonEdgeQueryThrows) {
+  const Graph a = gen::clique(4);
+  const Graph b = gen::one_triangle_pa(10, 3);
+  const truss::KronTrussOracle oracle(a, b);
+  // (0,0) is a self loop of C — not an edge since factors are loop-free.
+  EXPECT_THROW((void)oracle.truss_number(0, 0), std::invalid_argument);
+}
+
+class KronTrussSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KronTrussSweep, OracleMatchesDirectDecomposition) {
+  const std::uint64_t seed = GetParam();
+  const Graph a = kt_test::random_undirected(6, 0.5, seed);
+  const Graph b = gen::one_triangle_pa(7, seed + 1);
+  const Graph c = kron::kron_graph(a, b);
+
+  const truss::KronTrussOracle oracle(a, b);
+  const auto direct = truss::decompose(c);
+
+  for (vid p = 0; p < c.num_vertices(); ++p) {
+    for (const vid q : c.neighbors(p)) {
+      EXPECT_EQ(oracle.truss_number(p, q), direct.truss_number.at(p, q))
+          << "edge (" << p << "," << q << ") seed " << seed;
+    }
+  }
+  for (count_t kappa = 3; kappa <= direct.max_truss + 1; ++kappa) {
+    EXPECT_EQ(oracle.edges_in_truss(kappa), direct.edges_in_truss(kappa))
+        << "kappa " << kappa;
+  }
+  EXPECT_EQ(oracle.max_truss(), direct.max_truss);
+}
+
+TEST_P(KronTrussSweep, TriangleFreeBGivesTrivialTruss) {
+  // If B has no triangles at all, no edge of C closes one: T^{(3)}_C = ∅.
+  const Graph a = kt_test::random_undirected(6, 0.5, GetParam() + 50);
+  const Graph b = gen::cycle(6);
+  const truss::KronTrussOracle oracle(a, b);
+  EXPECT_EQ(oracle.max_truss(), 2u);
+  EXPECT_EQ(oracle.edges_in_truss(3), 0u);
+  const Graph c = kron::kron_graph(a, b);
+  const auto direct = truss::decompose(c);
+  EXPECT_EQ(direct.max_truss, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KronTrussSweep,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(KronTruss, CliqueTimesTriangle) {
+  // A = K5 (truss 5 everywhere), B = K3 (Δ_B = 1): every product edge whose
+  // B-part closes the triangle inherits truss 5.
+  const Graph a = gen::clique(5);
+  const Graph b = gen::clique(3);
+  const truss::KronTrussOracle oracle(a, b);
+  const Graph c = kron::kron_graph(a, b);
+  const auto direct = truss::decompose(c);
+  for (vid p = 0; p < c.num_vertices(); ++p) {
+    for (const vid q : c.neighbors(p)) {
+      EXPECT_EQ(oracle.truss_number(p, q), direct.truss_number.at(p, q));
+      EXPECT_EQ(oracle.truss_number(p, q), 5u);
+    }
+  }
+}
+
+}  // namespace

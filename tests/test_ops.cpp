@@ -1,0 +1,204 @@
+// Unit + property tests for the sparse linear-algebra kernels (core/ops).
+#include <gtest/gtest.h>
+
+#include "core/ops.hpp"
+#include "helpers.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace kronotri;
+using kt_test::dense_matmul;
+using kt_test::expect_matrix_eq;
+using kt_test::to_dense;
+
+CountCsr random_count_matrix(vid rows, vid cols, double density,
+                             std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Coo<count_t> coo(rows, cols);
+  for (vid r = 0; r < rows; ++r) {
+    for (vid c = 0; c < cols; ++c) {
+      if (rng.bernoulli(density)) coo.add(r, c, 1 + rng.bounded(5));
+    }
+  }
+  return CountCsr::from_coo(coo);
+}
+
+TEST(Ops, TransposeSmall) {
+  Coo<count_t> coo(2, 3);
+  coo.add(0, 2, 5);
+  coo.add(1, 0, 7);
+  const auto t = ops::transpose(CountCsr::from_coo(coo));
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.at(2, 0), 5u);
+  EXPECT_EQ(t.at(0, 1), 7u);
+}
+
+TEST(Ops, AddDimensionMismatchThrows) {
+  const CountCsr a(2, 2), b(3, 3);
+  EXPECT_THROW(ops::add(a, b), std::invalid_argument);
+}
+
+TEST(Ops, DiagOperators) {
+  Coo<count_t> coo(3, 3);
+  coo.add(0, 0, 4);
+  coo.add(1, 2, 5);
+  coo.add(2, 2, 6);
+  const auto m = CountCsr::from_coo(coo);
+  const auto d = ops::diag_vec(m);
+  EXPECT_EQ(d[0], 4u);
+  EXPECT_EQ(d[1], 0u);
+  EXPECT_EQ(d[2], 6u);
+  const auto dm = ops::diag_matrix(m);
+  EXPECT_EQ(dm.nnz(), 2u);
+  EXPECT_EQ(dm.at(0, 0), 4u);
+  const auto nd = ops::remove_diag(m);
+  EXPECT_EQ(nd.nnz(), 1u);
+  EXPECT_EQ(nd.at(1, 2), 5u);
+}
+
+TEST(Ops, WithUnitDiag) {
+  Coo<count_t> coo(3, 3);
+  coo.add(0, 0, 9);  // existing loop gets overwritten to 1
+  coo.add(1, 2, 5);
+  const auto m = ops::with_unit_diag(CountCsr::from_coo(coo));
+  EXPECT_EQ(m.at(0, 0), 1u);
+  EXPECT_EQ(m.at(1, 1), 1u);
+  EXPECT_EQ(m.at(2, 2), 1u);
+  EXPECT_EQ(m.at(1, 2), 5u);
+  EXPECT_EQ(m.nnz(), 4u);
+}
+
+TEST(Ops, WithUnitDiagRequiresSquare) {
+  const CountCsr m(2, 3);
+  EXPECT_THROW(ops::with_unit_diag(m), std::invalid_argument);
+}
+
+TEST(Ops, RowSums) {
+  Coo<count_t> coo(2, 3);
+  coo.add(0, 0, 1);
+  coo.add(0, 2, 2);
+  coo.add(1, 1, 10);
+  const auto s = ops::row_sums<count_t>(CountCsr::from_coo(coo));
+  EXPECT_EQ(s[0], 3u);
+  EXPECT_EQ(s[1], 10u);
+}
+
+TEST(Ops, IsSymmetric) {
+  Coo<count_t> coo(2, 2);
+  coo.add(0, 1, 3);
+  coo.add(1, 0, 3);
+  EXPECT_TRUE(ops::is_symmetric(CountCsr::from_coo(coo)));
+  Coo<count_t> coo2(2, 2);
+  coo2.add(0, 1, 3);
+  coo2.add(1, 0, 4);  // asymmetric values
+  EXPECT_FALSE(ops::is_symmetric(CountCsr::from_coo(coo2)));
+  EXPECT_FALSE(ops::is_symmetric(CountCsr(2, 3)));
+}
+
+class OpsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OpsProperty, TransposeIsInvolution) {
+  const auto m = random_count_matrix(9, 13, 0.2, GetParam());
+  EXPECT_TRUE(ops::transpose(ops::transpose(m)) == m);
+}
+
+TEST_P(OpsProperty, AddMatchesDense) {
+  const auto a = random_count_matrix(10, 10, 0.2, GetParam());
+  const auto b = random_count_matrix(10, 10, 0.2, GetParam() + 1000);
+  const auto c = ops::add(a, b);
+  const auto da = to_dense(a), db = to_dense(b);
+  for (vid r = 0; r < 10; ++r) {
+    for (vid col = 0; col < 10; ++col) {
+      ASSERT_EQ(static_cast<long long>(c.at(r, col)), da[r][col] + db[r][col]);
+    }
+  }
+}
+
+TEST_P(OpsProperty, HadamardMatchesDense) {
+  const auto a = random_count_matrix(10, 10, 0.3, GetParam());
+  const auto b = random_count_matrix(10, 10, 0.3, GetParam() + 2000);
+  const auto c = ops::hadamard(a, b);
+  const auto da = to_dense(a), db = to_dense(b);
+  for (vid r = 0; r < 10; ++r) {
+    for (vid col = 0; col < 10; ++col) {
+      ASSERT_EQ(static_cast<long long>(c.at(r, col)), da[r][col] * db[r][col]);
+    }
+  }
+}
+
+TEST_P(OpsProperty, StructuralDifference) {
+  const auto a = random_count_matrix(10, 10, 0.3, GetParam());
+  const auto b = random_count_matrix(10, 10, 0.3, GetParam() + 3000);
+  const auto c = ops::structural_difference(a, b);
+  for (vid r = 0; r < 10; ++r) {
+    for (vid col = 0; col < 10; ++col) {
+      const count_t expected = b.contains(r, col) ? 0 : a.at(r, col);
+      ASSERT_EQ(c.at(r, col), expected);
+    }
+  }
+}
+
+TEST_P(OpsProperty, SpgemmMatchesDense) {
+  const auto a = random_count_matrix(8, 11, 0.25, GetParam());
+  const auto b = random_count_matrix(11, 9, 0.25, GetParam() + 4000);
+  const auto c = ops::spgemm(a, b);
+  const auto expected = dense_matmul(to_dense(a), to_dense(b));
+  for (vid r = 0; r < 8; ++r) {
+    for (vid col = 0; col < 9; ++col) {
+      ASSERT_EQ(static_cast<long long>(c.at(r, col)), expected[r][col]);
+    }
+  }
+}
+
+TEST_P(OpsProperty, MaskedProductMatchesHadamardOfSpgemm) {
+  const auto a = random_count_matrix(10, 10, 0.3, GetParam());
+  const auto b = random_count_matrix(10, 10, 0.3, GetParam() + 5000);
+  const auto mask = random_count_matrix(10, 10, 0.4, GetParam() + 6000);
+  const auto via_mask = ops::masked_product(mask, a, ops::transpose(b));
+  const auto full = ops::spgemm(a, b);
+  // masked_product keeps the mask's structure with (A·B) values (mask values
+  // NOT multiplied in).
+  for (vid r = 0; r < 10; ++r) {
+    for (vid c = 0; c < 10; ++c) {
+      const count_t expected = mask.contains(r, c) ? full.at(r, c) : 0;
+      ASSERT_EQ(via_mask.at(r, c), expected);
+    }
+  }
+}
+
+TEST_P(OpsProperty, DiagTripleMatchesSpgemm) {
+  const Graph x = kt_test::random_directed(9, 0.3, GetParam());
+  const Graph y = kt_test::random_directed(9, 0.3, GetParam() + 7000);
+  const Graph z = kt_test::random_directed(9, 0.3, GetParam() + 8000);
+  const auto d = ops::diag_triple(x.matrix(), y.matrix(), z.matrix());
+  const auto xyz =
+      ops::spgemm(ops::spgemm(x.matrix(), y.matrix()), z.matrix());
+  for (vid i = 0; i < 9; ++i) {
+    ASSERT_EQ(d[i], xyz.at(i, i));
+  }
+}
+
+TEST_P(OpsProperty, DiagCubeMatchesSpgemm) {
+  const Graph g = kt_test::random_undirected(10, 0.4, GetParam(), 0.3);
+  const auto d = ops::diag_cube_symmetric(g.matrix());
+  const auto a3 = ops::spgemm(ops::spgemm(g.matrix(), g.matrix()), g.matrix());
+  for (vid i = 0; i < 10; ++i) {
+    ASSERT_EQ(d[i], a3.at(i, i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpsProperty, ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Ops, SpgemmInnerDimensionMismatch) {
+  const CountCsr a(2, 3), b(4, 2);
+  EXPECT_THROW(ops::spgemm(a, b), std::invalid_argument);
+}
+
+TEST(Ops, DiagTripleRejectsMismatchedSizes) {
+  const BoolCsr x(3, 3), y(4, 4), z(3, 3);
+  EXPECT_THROW(ops::diag_triple(x, y, z), std::invalid_argument);
+}
+
+}  // namespace

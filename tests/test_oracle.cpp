@@ -1,0 +1,102 @@
+// TriangleOracle facade tests — the generation-time ground-truth interface.
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "helpers.hpp"
+#include "kron/oracle.hpp"
+#include "kron/product.hpp"
+#include "kron/stream.hpp"
+#include "triangle/count.hpp"
+#include "triangle/support.hpp"
+
+namespace {
+
+using namespace kronotri;
+
+class OracleSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {
+ protected:
+  static std::pair<double, double> loops(int regime) {
+    switch (regime) {
+      case 0: return {0.0, 0.0};
+      case 1: return {0.0, 0.5};
+      case 2: return {0.5, 0.0};
+      default: return {0.5, 0.5};
+    }
+  }
+};
+
+TEST_P(OracleSweep, MatchesDirectComputationOnMaterializedProduct) {
+  const auto [seed, regime] = GetParam();
+  const auto [la, lb] = loops(regime);
+  const Graph a = kt_test::random_undirected(6, 0.45, seed, la);
+  const Graph b = kt_test::random_undirected(5, 0.5, seed + 1, lb);
+  const kron::TriangleOracle oracle(a, b);
+  const Graph c = kron::kron_graph(a, b);
+
+  EXPECT_EQ(oracle.num_vertices(), c.num_vertices());
+  EXPECT_EQ(oracle.num_undirected_edges(), c.num_undirected_edges());
+  EXPECT_EQ(oracle.total_triangles(), triangle::count_total(c));
+
+  const auto t = triangle::participation_vertices(c);
+  for (vid p = 0; p < c.num_vertices(); ++p) {
+    EXPECT_EQ(oracle.vertex_triangles(p), t[p]);
+    EXPECT_EQ(oracle.degree(p), c.nonloop_degree(p));
+  }
+  const auto delta = triangle::edge_support_masked(c);
+  for (vid p = 0; p < c.num_vertices(); ++p) {
+    for (vid q = 0; q < c.num_vertices(); ++q) {
+      const auto val = oracle.edge_triangles(p, q);
+      if (c.has_edge(p, q)) {
+        ASSERT_TRUE(val.has_value());
+        EXPECT_EQ(*val, delta.at(p, q));
+      } else {
+        EXPECT_FALSE(val.has_value());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndRegimes, OracleSweep,
+    ::testing::Combine(::testing::Range<std::uint64_t>(0, 8),
+                       ::testing::Values(0, 1, 2, 3)));
+
+TEST(Oracle, StreamedEdgesAllCarryGroundTruth) {
+  // The generation contract: every streamed edge can be annotated with its
+  // exact triangle count at emission time.
+  const Graph a = gen::hub_cycle();
+  const Graph b = gen::clique(3);
+  const kron::TriangleOracle oracle(a, b);
+  const Graph c = kron::kron_graph(a, b);
+  const auto delta = triangle::edge_support_masked(c);
+
+  kron::EdgeStream stream(a, b);
+  count_t edges = 0;
+  while (auto e = stream.next()) {
+    const auto val = oracle.edge_triangles(e->u, e->v);
+    ASSERT_TRUE(val.has_value());
+    EXPECT_EQ(*val, delta.at(e->u, e->v));
+    ++edges;
+  }
+  EXPECT_EQ(edges, c.nnz());
+}
+
+TEST(Oracle, RejectsDirectedFactors) {
+  const Graph a = kt_test::random_directed(4, 0.4, 1);
+  const Graph b = kt_test::random_undirected(4, 0.4, 2);
+  EXPECT_THROW(kron::TriangleOracle(a, b), std::invalid_argument);
+}
+
+TEST(Oracle, SixTauIdentityOnPaperShape) {
+  // §VI's headline: τ(A⊗B) computable from factor counts alone.
+  const Graph a = kt_test::random_undirected(20, 0.2, 5);
+  const Graph b = a.with_all_self_loops();
+  const kron::TriangleOracle no_loops(a, a);
+  EXPECT_EQ(no_loops.total_triangles(),
+            6 * triangle::count_total(a) * triangle::count_total(a));
+  const kron::TriangleOracle boosted(a, b);
+  EXPECT_GE(boosted.total_triangles(), no_loops.total_triangles());
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Tests for the directed triangle census (Def. 8–11, Figs. 4–5).
+#include <gtest/gtest.h>
+
+#include "core/ops.hpp"
+#include "gen/random.hpp"
+#include "helpers.hpp"
+#include "triangle/bruteforce.hpp"
+#include "triangle/count.hpp"
+#include "triangle/directed.hpp"
+#include "triangle/support.hpp"
+
+namespace {
+
+using namespace kronotri;
+using triangle::EdgeTriType;
+using triangle::VertexTriType;
+
+TEST(DirectedSplit, PartitionsEdges) {
+  // 0<->1 reciprocal, 1->2 directed.
+  const Graph g = Graph::from_edges(3, {{{0, 1}, {1, 0}, {1, 2}}}, false);
+  const auto p = triangle::split_directed(g);
+  EXPECT_EQ(p.ar.nnz(), 2u);
+  EXPECT_EQ(p.ad.nnz(), 1u);
+  EXPECT_TRUE(p.ad.contains(1, 2));
+  EXPECT_TRUE(p.ar.contains(0, 1));
+  EXPECT_TRUE(p.ar.contains(1, 0));
+  EXPECT_TRUE(p.adt.contains(2, 1));
+}
+
+TEST(DirectedSplit, RejectsSelfLoops) {
+  const Graph g = Graph::from_edges(2, {{{0, 0}, {0, 1}}}, false);
+  EXPECT_THROW(triangle::split_directed(g), std::invalid_argument);
+}
+
+TEST(DirectedSplit, UndirectedGraphIsAllReciprocal) {
+  const Graph g = kt_test::random_undirected(12, 0.3, 3);
+  const auto p = triangle::split_directed(g);
+  EXPECT_EQ(p.ar.nnz(), g.nnz());
+  EXPECT_EQ(p.ad.nnz(), 0u);
+}
+
+TEST(DirectedCensus, CyclicTriangleIsStPlus) {
+  // 0->1->2->0: from each vertex's perspective the flavor is (s,t,+) —
+  // source on one incident edge, target on the other, third edge directed.
+  const Graph g = Graph::from_edges(3, {{{0, 1}, {1, 2}, {2, 0}}}, false);
+  const auto census = triangle::directed_vertex_census(g);
+  for (int f = 0; f < triangle::kNumVertexTriTypes; ++f) {
+    const auto& v = census[static_cast<std::size_t>(f)];
+    const count_t expected =
+        (f == static_cast<int>(VertexTriType::kSTp) ||
+         f == static_cast<int>(VertexTriType::kSTm))
+            ? 1u  // canonical (s,t,±): orientation determines which
+            : 0u;
+    if (f == static_cast<int>(VertexTriType::kSTp) ||
+        f == static_cast<int>(VertexTriType::kSTm)) {
+      continue;  // checked below
+    }
+    for (const count_t x : v) EXPECT_EQ(x, expected) << "flavor " << f;
+  }
+  // Each vertex participates in the cycle triangle exactly once, in exactly
+  // one of the two (s,t,·) directed flavors.
+  const auto& stp = census[static_cast<std::size_t>(VertexTriType::kSTp)];
+  const auto& stm = census[static_cast<std::size_t>(VertexTriType::kSTm)];
+  for (vid v = 0; v < 3; ++v) {
+    EXPECT_EQ(stp[v] + stm[v], 1u);
+  }
+}
+
+TEST(DirectedCensus, ReciprocalTriangleIsUUo) {
+  const Graph g = kt_test::random_undirected(3, 1.1, 0);  // K3 reciprocal
+  const auto census = triangle::directed_vertex_census(g);
+  const auto& uuo = census[static_cast<std::size_t>(VertexTriType::kUUo)];
+  for (vid v = 0; v < 3; ++v) EXPECT_EQ(uuo[v], 1u);
+  for (int f = 0; f < triangle::kNumVertexTriTypes; ++f) {
+    if (f == static_cast<int>(VertexTriType::kUUo)) continue;
+    for (const count_t x : census[static_cast<std::size_t>(f)]) {
+      EXPECT_EQ(x, 0u);
+    }
+  }
+}
+
+TEST(DirectedCensus, EdgeCensusOnReciprocalTriangle) {
+  const Graph g = kt_test::random_undirected(3, 1.1, 0);
+  const auto census = triangle::directed_edge_census(g);
+  const auto& roo = census[static_cast<std::size_t>(EdgeTriType::kRoo)];
+  EXPECT_EQ(roo.nnz(), 6u);
+  for (const count_t v : roo.values()) EXPECT_EQ(v, 1u);
+}
+
+class DirectedCensusProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DirectedCensusProperty, VertexCensusMatchesBruteForce) {
+  const Graph g = kt_test::random_directed(14, 0.25, GetParam());
+  const auto fast = triangle::directed_vertex_census(g);
+  const auto slow = triangle::brute::directed_vertex_census(g);
+  for (int f = 0; f < triangle::kNumVertexTriTypes; ++f) {
+    EXPECT_EQ(fast[static_cast<std::size_t>(f)],
+              slow[static_cast<std::size_t>(f)])
+        << "flavor " << triangle::to_string(static_cast<VertexTriType>(f));
+  }
+}
+
+TEST_P(DirectedCensusProperty, EdgeCensusMatchesBruteForce) {
+  const Graph g = kt_test::random_directed(13, 0.25, GetParam() + 50);
+  const auto fast = triangle::directed_edge_census(g);
+  const auto slow = triangle::brute::directed_edge_census(g);
+  for (int f = 0; f < triangle::kNumEdgeTriTypes; ++f) {
+    kt_test::expect_matrix_eq(
+        fast[static_cast<std::size_t>(f)], slow[static_cast<std::size_t>(f)],
+        std::string(triangle::to_string(static_cast<EdgeTriType>(f))).c_str());
+  }
+}
+
+TEST_P(DirectedCensusProperty, FlavorsPartitionAllTriangles) {
+  // Σ_τ t^{(τ)}[v] over the 15 flavors = t[v] of the undirected closure —
+  // every triangle is classified exactly once per vertex.
+  const Graph g = kt_test::random_directed(16, 0.22, GetParam() + 99);
+  const auto census = triangle::directed_vertex_census(g);
+  const auto closure_t =
+      triangle::participation_vertices(g.undirected_closure());
+  for (vid v = 0; v < g.num_vertices(); ++v) {
+    count_t sum = 0;
+    for (const auto& flavor : census) sum += flavor[v];
+    EXPECT_EQ(sum, closure_t[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(DirectedCensusProperty, EdgeFlavorsPartitionEdgeTriangles) {
+  // For a directed central edge (i,j) ∈ E_d the 9 '+' flavors partition the
+  // triangles at the undirected edge {i,j}.
+  const Graph g = kt_test::random_directed(14, 0.25, GetParam() + 123);
+  const auto census = triangle::directed_edge_census(g);
+  const auto parts = triangle::split_directed(g);
+  const auto closure = g.undirected_closure();
+  const auto delta = triangle::edge_support_masked(closure);
+  for (vid i = 0; i < g.num_vertices(); ++i) {
+    for (const vid j : parts.ad.row_cols(i)) {
+      count_t sum = 0;
+      for (int f = 0; f < 9; ++f) {
+        sum += census[static_cast<std::size_t>(f)].at(i, j);
+      }
+      EXPECT_EQ(sum, delta.at(i, j)) << "edge (" << i << "," << j << ")";
+    }
+  }
+  // For a reciprocal central edge: the 6 canonical entries at (i,j) plus the
+  // three mirrored entries at (j,i) partition the triangles at {i,j}.
+  for (vid i = 0; i < g.num_vertices(); ++i) {
+    for (const vid j : parts.ar.row_cols(i)) {
+      count_t sum = 0;
+      for (int f = 9; f < triangle::kNumEdgeTriTypes; ++f) {
+        sum += census[static_cast<std::size_t>(f)].at(i, j);
+      }
+      sum += census[static_cast<std::size_t>(EdgeTriType::kRpp)].at(j, i);
+      sum += census[static_cast<std::size_t>(EdgeTriType::kRpo)].at(j, i);
+      sum += census[static_cast<std::size_t>(EdgeTriType::kRmo)].at(j, i);
+      EXPECT_EQ(sum, delta.at(i, j)) << "edge (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectedCensusProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace

@@ -1,0 +1,187 @@
+// Tests for the vertex-labeled triangle census (§V, Def. 12–14, Fig. 6).
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "helpers.hpp"
+#include "triangle/bruteforce.hpp"
+#include "triangle/count.hpp"
+#include "triangle/labeled.hpp"
+#include "triangle/support.hpp"
+
+namespace {
+
+using namespace kronotri;
+using triangle::Labeling;
+
+Labeling all_same(vid n) {
+  Labeling lab;
+  lab.num_labels = 1;
+  lab.label.assign(n, 0);
+  return lab;
+}
+
+TEST(Labeling, Validation) {
+  Labeling lab;
+  lab.num_labels = 2;
+  lab.label = {0, 1, 0};
+  EXPECT_NO_THROW(lab.validate(3));
+  EXPECT_THROW(lab.validate(4), std::invalid_argument);
+  lab.label[1] = 5;
+  EXPECT_THROW(lab.validate(3), std::invalid_argument);
+}
+
+TEST(Labeling, PairIndexIsUpperTriangular) {
+  triangle::LabeledCensus c;
+  c.num_labels = 3;
+  // (0,0) (0,1) (0,2) (1,1) (1,2) (2,2) → 0..5, symmetric in arguments.
+  EXPECT_EQ(c.pair_index(0, 0), 0u);
+  EXPECT_EQ(c.pair_index(0, 1), 1u);
+  EXPECT_EQ(c.pair_index(1, 0), 1u);
+  EXPECT_EQ(c.pair_index(0, 2), 2u);
+  EXPECT_EQ(c.pair_index(1, 1), 3u);
+  EXPECT_EQ(c.pair_index(2, 1), 4u);
+  EXPECT_EQ(c.pair_index(2, 2), 5u);
+}
+
+TEST(LabelFilter, KeepsOnlyMatchingBlock) {
+  const Graph g = gen::clique(4);
+  Labeling lab;
+  lab.num_labels = 2;
+  lab.label = {0, 0, 1, 1};
+  const auto block = triangle::label_filtered(g.matrix(), lab, 0, 1);
+  EXPECT_EQ(block.nnz(), 4u);  // rows {0,1} × cols {2,3}
+  EXPECT_TRUE(block.contains(0, 2));
+  EXPECT_TRUE(block.contains(1, 3));
+  EXPECT_FALSE(block.contains(2, 0));
+  const auto cols = triangle::col_filtered(g.matrix(), lab, 1);
+  EXPECT_EQ(cols.nnz(), 6u);  // all rows, cols {2,3}, minus diagonal absences
+}
+
+TEST(LabeledCensus, SingleLabelReducesToUnlabeled) {
+  const Graph g = kt_test::random_undirected(20, 0.3, 7);
+  const Labeling lab = all_same(20);
+  const auto t = triangle::labeled_vertex_participation(g, lab, 0, 0, 0);
+  EXPECT_EQ(t, triangle::participation_vertices(g));
+  const auto d = triangle::labeled_edge_participation(g, lab, 0, 0, 0);
+  EXPECT_TRUE(d == triangle::edge_support_masked(g));
+}
+
+TEST(LabeledCensus, RejectsSelfLoops) {
+  const Graph g = gen::clique(3).with_all_self_loops();
+  const Labeling lab = all_same(3);
+  EXPECT_THROW(triangle::labeled_vertex_participation(g, lab, 0, 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(triangle::labeled_census(g, lab), std::invalid_argument);
+}
+
+TEST(LabeledCensus, RainbowTriangle) {
+  const Graph k3 = gen::clique(3);
+  Labeling lab;
+  lab.num_labels = 3;
+  lab.label = {0, 1, 2};
+  // Vertex 0 (label 0) has the other two labeled {1,2}.
+  const auto t012 = triangle::labeled_vertex_participation(k3, lab, 0, 1, 2);
+  EXPECT_EQ(t012[0], 1u);
+  EXPECT_EQ(t012[1], 0u);
+  EXPECT_EQ(t012[2], 0u);
+  // Wrong center label: zero everywhere.
+  const auto t112 = triangle::labeled_vertex_participation(k3, lab, 1, 1, 2);
+  for (const count_t v : t112) EXPECT_EQ(v, 0u);
+  // Edge (1,0): center labels (q2=f(1)=1 read at row, q1=f(0)=0), third
+  // vertex labeled 2.
+  const auto d = triangle::labeled_edge_participation(k3, lab, 0, 1, 2);
+  EXPECT_EQ(d.at(1, 0), 1u);
+  EXPECT_EQ(d.nnz(), 1u);
+}
+
+class LabeledProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LabeledProperty, FormulaMatchesBruteForce) {
+  const std::uint32_t big_l = 3;
+  const Graph g = kt_test::random_undirected(16, 0.3, GetParam());
+  const Labeling lab = gen::random_labels(16, big_l, GetParam() + 1);
+  for (std::uint32_t q1 = 0; q1 < big_l; ++q1) {
+    for (std::uint32_t q2 = 0; q2 < big_l; ++q2) {
+      for (std::uint32_t q3 = q2; q3 < big_l; ++q3) {
+        EXPECT_EQ(triangle::labeled_vertex_participation(g, lab, q1, q2, q3),
+                  triangle::brute::labeled_vertex_participation(g, lab, q1,
+                                                                q2, q3))
+            << "type (" << q1 << "," << q2 << "," << q3 << ")";
+      }
+    }
+  }
+}
+
+TEST_P(LabeledProperty, EdgeFormulaMatchesBruteForce) {
+  const std::uint32_t big_l = 3;
+  const Graph g = kt_test::random_undirected(14, 0.3, GetParam() + 40);
+  const Labeling lab = gen::random_labels(14, big_l, GetParam() + 41);
+  for (std::uint32_t q1 = 0; q1 < big_l; ++q1) {
+    for (std::uint32_t q2 = 0; q2 < big_l; ++q2) {
+      for (std::uint32_t q3 = 0; q3 < big_l; ++q3) {
+        kt_test::expect_matrix_eq(
+            triangle::labeled_edge_participation(g, lab, q1, q2, q3),
+            triangle::brute::labeled_edge_participation(g, lab, q1, q2, q3));
+      }
+    }
+  }
+}
+
+TEST_P(LabeledProperty, CensusMatchesPerTypeFormulas) {
+  const std::uint32_t big_l = 3;
+  const Graph g = kt_test::random_undirected(15, 0.3, GetParam() + 80);
+  const Labeling lab = gen::random_labels(15, big_l, GetParam() + 81);
+  const auto census = triangle::labeled_census(g, lab);
+  // Vertex side: census pair counts at v equal the Def. 13 values for the
+  // type whose center label is f(v).
+  for (std::uint32_t qa = 0; qa < big_l; ++qa) {
+    for (std::uint32_t qb = qa; qb < big_l; ++qb) {
+      const auto& vec = census.at_vertices[census.pair_index(qa, qb)];
+      for (std::uint32_t q1 = 0; q1 < big_l; ++q1) {
+        const auto expected =
+            triangle::labeled_vertex_participation(g, lab, q1, qa, qb);
+        for (vid v = 0; v < g.num_vertices(); ++v) {
+          if (lab.label[v] == q1) {
+            EXPECT_EQ(vec[v], expected[v]) << "v=" << v;
+          }
+        }
+      }
+    }
+  }
+  // Edge side: summing the per-third-label matrices over q3 gives Δ.
+  const auto delta = triangle::edge_support_masked(g);
+  for (vid u = 0; u < g.num_vertices(); ++u) {
+    for (const vid v : g.neighbors(u)) {
+      count_t sum = 0;
+      for (std::uint32_t q3 = 0; q3 < big_l; ++q3) {
+        sum += census.at_edges[q3].at(u, v);
+      }
+      EXPECT_EQ(sum, delta.at(u, v));
+    }
+  }
+}
+
+TEST_P(LabeledProperty, TypesPartitionVertexTriangles) {
+  // Σ over unordered pairs {q2,q3} of t^{(f(v),q2,q3)}[v] = t[v].
+  const std::uint32_t big_l = 4;
+  const Graph g = kt_test::random_undirected(15, 0.3, GetParam() + 150);
+  const Labeling lab = gen::random_labels(15, big_l, GetParam() + 151);
+  const auto t = triangle::participation_vertices(g);
+  std::vector<count_t> acc(g.num_vertices(), 0);
+  for (std::uint32_t q1 = 0; q1 < big_l; ++q1) {
+    for (std::uint32_t q2 = 0; q2 < big_l; ++q2) {
+      for (std::uint32_t q3 = q2; q3 < big_l; ++q3) {
+        const auto part =
+            triangle::labeled_vertex_participation(g, lab, q1, q2, q3);
+        for (vid v = 0; v < g.num_vertices(); ++v) acc[v] += part[v];
+      }
+    }
+  }
+  EXPECT_EQ(acc, t);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabeledProperty,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace

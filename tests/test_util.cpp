@@ -1,0 +1,152 @@
+// Unit tests for src/util: PRNG, formatting, tables, CLI parsing, stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "core/types.hpp"
+#include "util/cli.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace kronotri;
+
+TEST(Prng, SplitMixIsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(util::splitmix64(s1), util::splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Prng, SplitMixAdvancesState) {
+  std::uint64_t s = 42;
+  const auto a = util::splitmix64(s);
+  const auto b = util::splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Prng, Hash64IsStateless) {
+  EXPECT_EQ(util::hash64(123), util::hash64(123));
+  EXPECT_NE(util::hash64(123), util::hash64(124));
+}
+
+TEST(Prng, XoshiroSeedDeterminism) {
+  util::Xoshiro256 a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  bool differs = false;
+  util::Xoshiro256 a2(7);
+  for (int i = 0; i < 100; ++i) {
+    if (a2() != c()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Prng, BoundedStaysInRange) {
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+  EXPECT_EQ(rng.bounded(1), 0u);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Prng, BoundedCoversRange) {
+  util::Xoshiro256 rng(2);
+  std::map<std::uint64_t, int> seen;
+  for (int i = 0; i < 2000; ++i) ++seen[rng.bounded(5)];
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  util::Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Prng, BernoulliFrequency) {
+  util::Xoshiro256 rng(4);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Format, Commas) {
+  EXPECT_EQ(util::commas(0), "0");
+  EXPECT_EQ(util::commas(999), "999");
+  EXPECT_EQ(util::commas(1000), "1,000");
+  EXPECT_EQ(util::commas(1234567), "1,234,567");
+  EXPECT_EQ(util::commas(106099381441ULL), "106,099,381,441");
+}
+
+TEST(Format, HumanSuffixes) {
+  EXPECT_EQ(util::human(325729), "326K");
+  EXPECT_EQ(util::human(1090108), "1.09M");
+  EXPECT_EQ(util::human(2.376670903328e12), "2.38T");
+  EXPECT_EQ(util::human(42), "42");
+}
+
+TEST(Table, AlignsColumns) {
+  util::Table t({"Matrix", "Vertices"});
+  t.row({"A", "325.7K"}).row({"A⊗A", "106.1B"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Matrix"), std::string::npos);
+  EXPECT_NE(s.find("106.1B"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--n", "42", "--name=web", "pos1", "--flag"};
+  util::Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_uint("n", 0), 42u);
+  EXPECT_EQ(cli.get("name", ""), "web");
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_FALSE(cli.has("missing"));
+  EXPECT_EQ(cli.get_int("missing", -7), -7);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, DoubleParsing) {
+  const char* argv[] = {"prog", "--p", "0.25"};
+  util::Cli cli(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("p", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(cli.get_double("q", 0.5), 0.5);
+}
+
+TEST(Stats, HistogramCounts) {
+  const std::vector<count_t> v = {1, 2, 2, 3, 3, 3};
+  const auto h = util::histogram(std::span<const count_t>(v));
+  EXPECT_EQ(h.at(1), 1u);
+  EXPECT_EQ(h.at(2), 2u);
+  EXPECT_EQ(h.at(3), 3u);
+}
+
+TEST(Stats, MeanAndMax) {
+  const std::vector<count_t> v = {2, 4, 6};
+  EXPECT_DOUBLE_EQ(util::mean(std::span<const count_t>(v)), 4.0);
+  EXPECT_EQ(util::max_value(std::span<const count_t>(v)), 6u);
+}
+
+TEST(Stats, LogLogSlopeOfPowerLaw) {
+  // count(d) = 1000 · d^{-2} exactly → slope ≈ −2.
+  std::map<count_t, std::uint64_t> h;
+  for (count_t d = 1; d <= 64; d *= 2) {
+    h[d] = static_cast<std::uint64_t>(65536.0 / static_cast<double>(d * d));
+  }
+  EXPECT_NEAR(util::log_log_slope(h), -2.0, 0.05);
+}
+
+}  // namespace

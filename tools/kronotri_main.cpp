@@ -1,0 +1,9 @@
+// The kronotri command-line tool. All logic lives in src/cli/commands.cpp
+// so it can be unit tested; this is only the process entry point.
+#include <iostream>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  return kronotri::cli::run(argc, argv, std::cout, std::cerr);
+}
