@@ -1,6 +1,11 @@
 // E12 — communication-free generation (§I, [3]): edge-emission throughput
-// of the partitioned stream, bare and with inline exact per-edge ground
-// truth, plus the compression ratio of the factored representation.
+// of the partitioned stream over the pipeline facade. Compares the
+// per-edge optional pull against the batched pull and the multi-threaded
+// stream_parallel fan-out on a scale-20-equivalent product (≈2^20 product
+// vertices), and writes the headline numbers to BENCH_generation.json so
+// the perf trajectory is machine-readable across PRs.
+#include <fstream>
+
 #include "common.hpp"
 #include "kronotri.hpp"
 
@@ -8,12 +13,39 @@ namespace {
 
 using namespace kronotri;
 
+struct GenerationNumbers {
+  esz edges = 0;
+  double per_edge_eps = 0;
+  double batched_eps = 0;
+  double parallel_eps = 0;
+  unsigned threads = 0;
+  vid product_vertices = 0;
+};
+
+void write_json(const GenerationNumbers& n) {
+  std::ofstream json("BENCH_generation.json");
+  json << "{\n"
+       << "  \"bench\": \"generation\",\n"
+       << "  \"product_vertices\": " << n.product_vertices << ",\n"
+       << "  \"stored_entries\": " << n.edges << ",\n"
+       << "  \"per_edge_eps\": " << n.per_edge_eps << ",\n"
+       << "  \"batched_eps\": " << n.batched_eps << ",\n"
+       << "  \"batched_speedup\": " << n.batched_eps / n.per_edge_eps << ",\n"
+       << "  \"parallel_eps\": " << n.parallel_eps << ",\n"
+       << "  \"parallel_threads\": " << n.threads << "\n"
+       << "}\n";
+  std::cout << "\nwrote BENCH_generation.json (batched speedup "
+            << util::human(n.batched_eps / n.per_edge_eps, 3) << "x)\n";
+}
+
 void print_artifact() {
   kt_bench::banner("E12 (generation contract)",
-                   "partitioned edge streaming with inline ground truth");
-  const Graph a = gen::holme_kim(2000, 3, 0.6, 73);
-  const Graph b = a.with_all_self_loops();
-  const kron::TriangleOracle oracle(a, b);
+                   "per-edge vs batched vs parallel edge streaming");
+  // Scale-20-equivalent product: a 1024-vertex scale-free factor squared
+  // gives 2^20 product vertices and tens of millions of stored entries.
+  const Graph a =
+      api::GeneratorRegistry::builtin().build("hk:n=1024,m=3,p=0.6,seed=73");
+  const Graph b = a;
   const kron::KronGraphView c(a, b);
 
   const double factor_bytes =
@@ -27,35 +59,71 @@ void print_artifact() {
             << util::human(product_bytes) << "B ("
             << util::human(product_bytes / factor_bytes) << "x compression)\n\n";
 
+  GenerationNumbers numbers;
+  numbers.product_vertices = c.num_vertices();
+  numbers.threads = 4;
+
   util::Table t({"mode", "partitions", "edges emitted", "time (s)",
                  "edges/s"});
-  auto run = [&](const char* name, std::uint64_t nparts, bool annotate) {
-    util::WallTimer timer;
-    esz total = 0;
-    count_t tri_acc = 0;
-    for (std::uint64_t part = 0; part < nparts; ++part) {
-      kron::EdgeStream stream(a, b, part, nparts);
-      while (auto e = stream.next()) {
-        if (annotate) tri_acc += *oracle.edge_triangles(e->u, e->v);
-        ++total;
-      }
-    }
-    const double secs = timer.seconds();
-    benchmark::DoNotOptimize(tri_acc);
+  const auto record = [&](const char* name, std::uint64_t nparts, esz total,
+                          double secs) {
     t.row({name, std::to_string(nparts), util::commas(total),
            std::to_string(secs),
            util::human(static_cast<double>(total) / secs)});
+    return static_cast<double>(total) / secs;
   };
-  run("bare stream", 1, false);
-  run("bare stream", 16, false);
-  run("with exact Δ(e) annotation", 1, true);
-  run("with exact Δ(e) annotation", 16, true);
+
+  {
+    util::WallTimer timer;
+    kron::EdgeStream stream(a, b);
+    esz total = 0;
+    vid acc = 0;
+    while (auto e = stream.next()) {
+      acc ^= e->u;
+      ++total;
+    }
+    benchmark::DoNotOptimize(acc);
+    numbers.edges = total;
+    numbers.per_edge_eps = record("per-edge optional pull", 1, total,
+                                  timer.seconds());
+  }
+  {
+    util::WallTimer timer;
+    kron::EdgeStream stream(a, b);
+    std::vector<kron::EdgeRecord> batch(api::kDefaultBatchSize);
+    esz total = 0;
+    vid acc = 0;
+    while (const std::size_t got = stream.next_batch(batch)) {
+      for (std::size_t i = 0; i < got; ++i) acc ^= batch[i].u;
+      total += got;
+    }
+    benchmark::DoNotOptimize(acc);
+    numbers.batched_eps = record("batched pull", 1, total, timer.seconds());
+  }
+  {
+    // Degree-census sinks: real per-edge work on every worker, merged after.
+    util::WallTimer timer;
+    auto sinks = api::stream_parallel(
+        a, b, numbers.threads, [&](std::uint64_t, std::uint64_t) {
+          return std::make_unique<api::DegreeCensusSink>(c.num_vertices());
+        });
+    const double secs = timer.seconds();
+    auto& merged = static_cast<api::DegreeCensusSink&>(*sinks[0]);
+    for (std::size_t i = 1; i < sinks.size(); ++i) {
+      merged.merge(static_cast<const api::DegreeCensusSink&>(*sinks[i]));
+    }
+    benchmark::DoNotOptimize(merged.degrees().data());
+    numbers.parallel_eps =
+        record("stream_parallel + degree census", numbers.threads,
+               merged.edges_consumed(), secs);
+  }
   t.print(std::cout);
   std::cout << "\npartitions only need the two factors — the distributed "
                "generation of [3] with ground truth attached.\n";
+  write_json(numbers);
 }
 
-void bm_stream_bare(benchmark::State& state) {
+void bm_stream_per_edge(benchmark::State& state) {
   const Graph a = gen::holme_kim(1000, 3, 0.6, 79);
   const Graph b = a.with_all_self_loops();
   for (auto _ : state) {
@@ -67,17 +135,32 @@ void bm_stream_bare(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(a.nnz() * b.nnz()));
 }
-BENCHMARK(bm_stream_bare)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_stream_per_edge)->Unit(benchmark::kMillisecond);
+
+void bm_stream_batched(benchmark::State& state) {
+  const Graph a = gen::holme_kim(1000, 3, 0.6, 79);
+  const Graph b = a.with_all_self_loops();
+  std::vector<kron::EdgeRecord> batch(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    kron::EdgeStream stream(a, b);
+    esz n = 0;
+    while (const std::size_t got = stream.next_batch(batch)) n += got;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz() * b.nnz()));
+}
+BENCHMARK(bm_stream_batched)->Arg(256)->Arg(8192)->Unit(benchmark::kMillisecond);
 
 void bm_stream_annotated(benchmark::State& state) {
   const Graph a = gen::holme_kim(1000, 3, 0.6, 79);
   const Graph b = a.with_all_self_loops();
   const kron::TriangleOracle oracle(a, b);
   for (auto _ : state) {
-    kron::EdgeStream stream(a, b);
-    count_t acc = 0;
-    while (auto e = stream.next()) acc += *oracle.edge_triangles(e->u, e->v);
-    benchmark::DoNotOptimize(acc);
+    api::TriangleCensusSink sink(oracle);
+    api::stream_into(a, b, sink);
+    benchmark::DoNotOptimize(sink.triangle_sum());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(a.nnz() * b.nnz()));

@@ -18,7 +18,8 @@ void print_artifact() {
   util::Table t({"factor n", "|E(C)|", "tau(C)", "formula (s)", "direct (s)",
                  "speedup"});
   for (const vid n : {40u, 80u, 160u, 320u}) {
-    const Graph f = gen::holme_kim(n, 3, 0.7, 59);
+    const Graph f = api::GeneratorRegistry::builtin().build(
+        "hk:n=" + std::to_string(n) + ",m=3,p=0.7,seed=59");
 
     util::WallTimer formula_timer;
     const count_t tau_formula = kron::total_triangles(f, f);

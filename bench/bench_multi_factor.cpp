@@ -18,7 +18,8 @@ void print_artifact() {
   for (std::size_t k = 1; k <= 5; ++k) {
     std::vector<Graph> factors;
     for (std::size_t i = 0; i < k; ++i) {
-      factors.push_back(gen::holme_kim(200, 3, 0.6, 111 + i));
+      factors.push_back(api::GeneratorRegistry::builtin().build(
+          "hk:n=200,m=3,p=0.6,seed=" + std::to_string(111 + i)));
     }
     util::WallTimer timer;
     const kron::KronChain chain(factors);

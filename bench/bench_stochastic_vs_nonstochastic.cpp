@@ -52,11 +52,14 @@ void print_artifact() {
                    "stochastic (R-MAT) vs non-stochastic Kronecker triangles");
   // Sparse, real-world-shaped factor (avg clustering ≈ 0.5, like web
   // graphs); product and R-MAT matched on vertices and edges.
-  const Graph f = gen::holme_kim(362, 2, 0.9, 53);
+  const auto& registry = api::GeneratorRegistry::builtin();
+  const Graph f = registry.build("hk:n=362,m=2,p=0.9,seed=53");
   const Graph c = kron::kron_graph(f, f);
-  const Graph r = gen::rmat(
-      17, std::max<esz>(1, c.num_undirected_edges() / (vid{1} << 17)), {},
-      54);
+  const Graph r = registry.build(
+      "rmat:scale=17,ef=" +
+      std::to_string(
+          std::max<esz>(1, c.num_undirected_edges() / (vid{1} << 17))) +
+      ",seed=54");
 
   util::Table t({"graph", "vertices", "edges", "triangles",
                  "tri-free vertices", "tri-free edges", "avg local cc"});

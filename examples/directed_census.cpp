@@ -17,9 +17,11 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = cli.get_uint("seed", 11);
 
   // A: scale-free skeleton, randomly oriented with ~30% reciprocal edges.
-  const Graph skeleton = gen::holme_kim(n, 3, 0.5, seed);
+  const auto& registry = api::GeneratorRegistry::builtin();
+  const Graph skeleton = registry.build(
+      "hk:n=" + std::to_string(n) + ",m=3,p=0.5,seed=" + std::to_string(seed));
   const Graph a = gen::randomly_orient(skeleton, precip, seed + 1);
-  const Graph b = gen::clique(3);  // undirected right factor
+  const Graph b = registry.build("clique:n=3");  // undirected right factor
 
   const auto parts = triangle::split_directed(a);
   std::cout << "factor A: " << a.num_vertices() << " vertices, " << a.nnz()

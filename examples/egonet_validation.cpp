@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
   const vid n = cli.get_uint("n", 5000);
   const std::uint64_t seed = cli.get_uint("seed", 7);
 
-  const Graph a = gen::holme_kim(n, 3, 0.6, seed);
+  const Graph a = api::GeneratorRegistry::builtin().build(
+      "hk:n=" + std::to_string(n) + ",m=3,p=0.6,seed=" + std::to_string(seed));
   const Graph b = a.with_all_self_loops();
   const auto t = triangle::participation_vertices(a);
 

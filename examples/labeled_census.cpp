@@ -15,9 +15,11 @@ int main(int argc, char** argv) {
   const auto big_l = static_cast<std::uint32_t>(cli.get_uint("labels", 3));
   const std::uint64_t seed = cli.get_uint("seed", 13);
 
-  const Graph a = gen::holme_kim(n, 3, 0.6, seed);
+  const auto& registry = api::GeneratorRegistry::builtin();
+  const Graph a = registry.build(
+      "hk:n=" + std::to_string(n) + ",m=3,p=0.6,seed=" + std::to_string(seed));
   const triangle::Labeling lab = gen::random_labels(n, big_l, seed + 1);
-  const Graph b = gen::clique(3).with_all_self_loops();
+  const Graph b = registry.build("clique:n=3,loops=1");
 
   static const char* kColor[] = {"red", "green", "blue", "cyan", "plum"};
   auto color = [&](std::uint32_t q) {

@@ -16,10 +16,15 @@ int main(int argc, char** argv) {
   const std::size_t k = cli.get_uint("k", 3);
   const std::uint64_t seed = cli.get_uint("seed", 37);
 
-  std::vector<Graph> factors;
+  // Describe the whole product as one kron spec and let the registry build
+  // the factor list — the chain itself stays implicit.
+  std::string spec = "kron:";
   for (std::size_t i = 0; i < k; ++i) {
-    factors.push_back(gen::holme_kim(n, 3, 0.6, seed + i));
+    spec += (i ? "x(" : "(") + std::string("hk:n=") + std::to_string(n) +
+            ",m=3,p=0.6,seed=" + std::to_string(seed + i) + ")";
   }
+  std::vector<Graph> factors = api::GeneratorRegistry::builtin().build_factors(
+      api::GraphSpec::parse(spec));
   util::WallTimer timer;
   const kron::KronChain chain(factors);
   const count_t tau = chain.total_triangles();
@@ -46,7 +51,8 @@ int main(int argc, char** argv) {
   // Verify the whole machinery against a materialized small chain.
   std::vector<Graph> small;
   for (std::size_t i = 0; i < 3; ++i) {
-    small.push_back(gen::holme_kim(8, 2, 0.6, seed + 100 + i));
+    small.push_back(api::GeneratorRegistry::builtin().build(
+        "hk:n=8,m=2,p=0.6,seed=" + std::to_string(seed + 100 + i)));
   }
   const kron::KronChain sc(small);
   const Graph m = sc.materialize();

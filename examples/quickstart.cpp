@@ -1,6 +1,7 @@
-// Quickstart: build two small factors, form the (implicit) Kronecker
-// product, and read exact triangle statistics off the oracle — the
-// fifteen-line version of what the paper proposes.
+// Quickstart: describe two factors as generator specs, form the (implicit)
+// Kronecker product, stream its edges through a sink, and read exact
+// triangle statistics off the oracle — the fifteen-line version of what the
+// paper proposes, written against the pipeline facade.
 //
 //   ./quickstart
 #include <iostream>
@@ -12,9 +13,11 @@ int main() {
 
   // Factor A: the paper's Ex. 2 hub-cycle (5 vertices, 8 edges, 4
   // triangles). Factor B: a triangle with self loops added — self loops
-  // boost triangle counts in the product (Rem. 3).
-  const Graph a = gen::hub_cycle();
-  const Graph b = gen::clique(3).with_all_self_loops();
+  // boost triangle counts in the product (Rem. 3). Both come from the
+  // generator registry, so swapping families is a one-string change.
+  const auto& registry = api::GeneratorRegistry::builtin();
+  const Graph a = registry.build("hubcycle");
+  const Graph b = registry.build("clique:n=3,loops=1");
 
   const kron::KronGraphView c(a, b);
   const kron::TriangleOracle oracle(a, b);
@@ -30,15 +33,25 @@ int main() {
               << ", triangles " << oracle.vertex_triangles(p) << "\n";
   }
 
-  // Edge-level ground truth for the first few streamed edges — this is the
-  // "validation during generation" workflow.
+  // Edge-level ground truth during generation: pump the batched edge stream
+  // through a triangle-census sink — every emitted edge is annotated with
+  // its exact Δ(e) as it is generated.
+  api::TriangleCensusSink census(oracle);
+  api::stream_into(a, b, census);
+  std::cout << "\nstreamed " << census.edges_consumed()
+            << " stored entries; Σ Δ(e) = " << census.triangle_sum()
+            << " (counts each triangle once per edge-direction slot)\n";
+
+  // The first few streamed edges, annotated, via the batched pull API.
   std::cout << "\nfirst streamed edges with inline ground truth:\n";
   kron::EdgeStream stream(a, b);
-  for (int i = 0; i < 5; ++i) {
-    const auto e = stream.next();
-    if (!e) break;
-    std::cout << "  (" << e->u << "," << e->v << ") participates in "
-              << *oracle.edge_triangles(e->u, e->v) << " triangles\n";
+  kron::EdgeRecord first[5];
+  const std::size_t got = stream.next_batch(first);
+  for (std::size_t i = 0; i < got; ++i) {
+    std::cout << "  (" << first[i].u << "," << first[i].v
+              << ") participates in "
+              << *oracle.edge_triangles(first[i].u, first[i].v)
+              << " triangles\n";
   }
 
   // Everything above came from factor-sized computations; verify one value

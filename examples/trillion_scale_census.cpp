@@ -4,12 +4,13 @@
 // A⊗B from factor statistics alone — never materializing the products.
 //
 //   ./trillion_scale_census [--n 325729] [--m 3] [--ptriad 0.6]
-//                           [--seed 1803] [--graph file.txt]
+//                           [--seed 1803] [--spec SPEC] [--graph file.txt]
 //
-// With --graph, the factor is read from an edge list (e.g. the real
-// web-NotreDame data) instead of being synthesized; the file is
-// symmetrized and stripped of self loops on ingest, matching the paper's
-// preprocessing.
+// The factor comes from the generator registry (--spec overrides the
+// Holme–Kim default assembled from --n/--m/--ptriad/--seed). With --graph,
+// it is read from an edge list (e.g. the real web-NotreDame data) instead;
+// the file is symmetrized and stripped of self loops on ingest, matching
+// the paper's preprocessing.
 #include <iostream>
 
 #include "kronotri.hpp"
@@ -26,14 +27,14 @@ int main(int argc, char** argv) {
       opts.drop_self_loops = true;
       return io::read_edge_list(cli.get("graph", ""), opts);
     }
-    const vid n = cli.get_uint("n", 325729);
-    const vid m = cli.get_uint("m", 3);
-    const double pt = cli.get_double("ptriad", 0.6);
-    const std::uint64_t seed = cli.get_uint("seed", 1803);
-    std::cout << "generating scale-free factor (Holme–Kim, n=" << n
-              << ", m=" << m << ", p_triad=" << pt << ", seed=" << seed
-              << ") — web-NotreDame stand-in\n";
-    return gen::holme_kim(n, m, pt, seed);
+    const std::string spec =
+        cli.get("spec", "hk:n=" + std::to_string(cli.get_uint("n", 325729)) +
+                            ",m=" + std::to_string(cli.get_uint("m", 3)) +
+                            ",p=" + cli.get("ptriad", "0.6") + ",seed=" +
+                            std::to_string(cli.get_uint("seed", 1803)));
+    std::cout << "generating scale-free factor " << spec
+              << " — web-NotreDame stand-in\n";
+    return api::GeneratorRegistry::builtin().build(spec);
   }();
   const Graph b = a.with_all_self_loops();
   std::cout << "factor ready in " << total.seconds() << " s\n\n";

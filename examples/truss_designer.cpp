@@ -18,8 +18,12 @@ int main(int argc, char** argv) {
   const double pa = cli.get_double("pa", 0.3);
   const std::uint64_t seed = cli.get_uint("seed", 17);
 
-  const Graph a = gen::erdos_renyi(na, pa, seed);
-  const Graph b = gen::one_triangle_pa(nb, seed + 1);
+  const auto& registry = api::GeneratorRegistry::builtin();
+  const Graph a = registry.build(
+      "er:n=" + std::to_string(na) + ",p=" + cli.get("pa", "0.3") +
+      ",seed=" + std::to_string(seed));
+  const Graph b = registry.build("onetri:n=" + std::to_string(nb) +
+                                 ",seed=" + std::to_string(seed + 1));
   std::cout << "A: ER(" << na << ", " << pa << ") with "
             << a.num_undirected_edges() << " edges\n";
   std::cout << "B: one-triangle PA graph, " << nb << " vertices, "
@@ -43,8 +47,10 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   // Verify on a small instance by materializing and peeling C directly.
-  const Graph a_small = gen::erdos_renyi(8, 0.5, seed + 2);
-  const Graph b_small = gen::one_triangle_pa(12, seed + 3);
+  const Graph a_small = registry.build(
+      "er:n=8,p=0.5,seed=" + std::to_string(seed + 2));
+  const Graph b_small = registry.build(
+      "onetri:n=12,seed=" + std::to_string(seed + 3));
   const truss::KronTrussOracle small_oracle(a_small, b_small);
   const Graph c_small = kron::kron_graph(a_small, b_small);
   const auto direct = truss::decompose(c_small);

@@ -52,8 +52,12 @@ int main(int argc, char** argv) {
   const vid nb = cli.get_uint("nb", 50);
   const std::uint64_t seed = cli.get_uint("seed", 31);
 
-  const Graph a = gen::holme_kim(na, 3, 0.7, seed);
-  const Graph b = gen::holme_kim(nb, 2, 0.7, seed + 1).with_all_self_loops();
+  const auto& registry = api::GeneratorRegistry::builtin();
+  const Graph a = registry.build("hk:n=" + std::to_string(na) +
+                                 ",m=3,p=0.7,seed=" + std::to_string(seed));
+  const Graph b = registry.build("hk:n=" + std::to_string(nb) +
+                                 ",m=2,p=0.7,seed=" + std::to_string(seed + 1) +
+                                 ",loops=1");
   const kron::TriangleOracle oracle(a, b);
 
   std::cout << "benchmark instance C = A (x) B: " << oracle.num_vertices()
@@ -61,8 +65,12 @@ int main(int argc, char** argv) {
             << util::commas(oracle.total_triangles())
             << " triangles (known exactly before any counting)\n";
 
-  // What an external tool would receive.
-  const Graph c = kron::kron_graph(a, b);
+  // What an external tool would receive: the edge stream collected into an
+  // explicit graph through the sink pipeline (C is born streamed, not
+  // materialized from a Kronecker routine).
+  api::CooCollectorSink collector;
+  api::stream_into(a, b, collector);
+  const Graph c = collector.to_graph(oracle.num_vertices());
   std::vector<count_t> expected(c.num_vertices());
   for (vid p = 0; p < c.num_vertices(); ++p) {
     expected[p] = oracle.vertex_triangles(p);

@@ -1,0 +1,60 @@
+#include "api/pipeline.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "kron/stream.hpp"
+
+namespace kronotri::api {
+
+esz stream_into(const Graph& a, const Graph& b, EdgeSink& sink,
+                const StreamOptions& options) {
+  kron::EdgeStream stream(a, b, options.part, options.nparts);
+  std::vector<kron::EdgeRecord> batch(
+      options.batch_size > 0 ? options.batch_size : kDefaultBatchSize);
+  esz total = 0;
+  while (const std::size_t got = stream.next_batch(batch)) {
+    sink.consume(std::span<const kron::EdgeRecord>(batch.data(), got));
+    total += got;
+  }
+  sink.finish();
+  return total;
+}
+
+std::vector<std::unique_ptr<EdgeSink>> stream_parallel(
+    const Graph& a, const Graph& b, unsigned nthreads,
+    const SinkFactory& factory, std::size_t batch_size) {
+  if (nthreads == 0) {
+    nthreads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  std::vector<std::unique_ptr<EdgeSink>> sinks;
+  sinks.reserve(nthreads);
+  for (unsigned part = 0; part < nthreads; ++part) {
+    sinks.push_back(factory(part, nthreads));
+  }
+
+  std::vector<std::exception_ptr> errors(nthreads);
+  std::vector<std::thread> workers;
+  workers.reserve(nthreads);
+  for (unsigned part = 0; part < nthreads; ++part) {
+    workers.emplace_back([&, part] {
+      try {
+        StreamOptions options;
+        options.part = part;
+        options.nparts = nthreads;
+        options.batch_size = batch_size;
+        stream_into(a, b, *sinks[part], options);
+      } catch (...) {
+        errors[part] = std::current_exception();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+  return sinks;
+}
+
+}  // namespace kronotri::api

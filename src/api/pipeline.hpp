@@ -1,0 +1,52 @@
+// Pipeline drivers: pump a partitioned kron::EdgeStream into EdgeSinks.
+//
+// This is the paper's "essentially communication-free" distributed
+// generation ([3]) on one node: the nonzero pair space of C = A ⊗ B is
+// split into contiguous partitions, each worker thread owns one partition's
+// stream and one sink, and no worker ever talks to another. Fan-in (if any)
+// is the caller's merge over the returned sinks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "api/sink.hpp"
+#include "core/graph.hpp"
+
+namespace kronotri::api {
+
+/// Default edges-per-batch for the pull loop: big enough to amortize the
+/// virtual consume() call and the pair-space division, small enough to stay
+/// in L1/L2 (8192 records = 128 KiB).
+inline constexpr std::size_t kDefaultBatchSize = 8192;
+
+struct StreamOptions {
+  std::uint64_t part = 0;
+  std::uint64_t nparts = 1;
+  std::size_t batch_size = kDefaultBatchSize;
+};
+
+/// Streams one partition of C = A ⊗ B into `sink` using the batched pull
+/// API, calls sink.finish(), and returns the number of edges emitted.
+esz stream_into(const Graph& a, const Graph& b, EdgeSink& sink,
+                const StreamOptions& options = {});
+
+/// Makes the sink for partition `part` of `nparts`. Called on the spawning
+/// thread, before any worker starts.
+using SinkFactory =
+    std::function<std::unique_ptr<EdgeSink>(std::uint64_t part,
+                                            std::uint64_t nparts)>;
+
+/// Fans C = A ⊗ B out over `nthreads` contiguous partitions, one worker
+/// thread and one factory-made sink per partition (nthreads == 0 uses the
+/// hardware concurrency). The union of the partitions is exactly the edge
+/// multiset of the single-threaded stream. Returns the sinks, in partition
+/// order, after every worker has finished; rethrows the first worker
+/// exception, if any.
+std::vector<std::unique_ptr<EdgeSink>> stream_parallel(
+    const Graph& a, const Graph& b, unsigned nthreads,
+    const SinkFactory& factory, std::size_t batch_size = kDefaultBatchSize);
+
+}  // namespace kronotri::api

@@ -1,0 +1,129 @@
+// EdgeSink — where generated edges go.
+//
+// The streaming half of the pipeline facade: generation produces batches of
+// EdgeRecords (kron::EdgeStream::next_batch) and pushes them into a sink, so
+// writers and analyses consume C = A ⊗ B directly from the factor
+// representation without ever materializing the product. Sinks are
+// deliberately dumb — consume() takes a batch, finish() flushes — so one
+// sink instance per partition composes with stream_parallel().
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "kron/oracle.hpp"
+#include "kron/stream.hpp"
+
+namespace kronotri::api {
+
+class EdgeSink {
+ public:
+  virtual ~EdgeSink() = default;
+
+  /// Consumes one batch of edges. Called repeatedly; batches are never
+  /// interleaved on a single sink (each partition owns its sink).
+  virtual void consume(std::span<const kron::EdgeRecord> batch) = 0;
+
+  /// Called exactly once after the last batch.
+  virtual void finish() {}
+
+  /// Total edges consumed so far.
+  [[nodiscard]] esz edges_consumed() const noexcept { return consumed_; }
+
+ protected:
+  esz consumed_ = 0;
+};
+
+/// Writes "u v" text lines (the io::write_edge_list body format) to an
+/// ostream the caller owns.
+class TextEdgeSink : public EdgeSink {
+ public:
+  explicit TextEdgeSink(std::ostream& os) : os_(&os) {}
+  void consume(std::span<const kron::EdgeRecord> batch) override;
+  void finish() override;
+
+ private:
+  std::ostream* os_;
+  std::string buffer_;
+};
+
+/// Writes raw native-endian u64 pairs — the compact exchange format for
+/// piping partitions between processes.
+class BinaryEdgeSink : public EdgeSink {
+ public:
+  explicit BinaryEdgeSink(std::ostream& os) : os_(&os) {}
+  void consume(std::span<const kron::EdgeRecord> batch) override;
+  void finish() override;
+
+ private:
+  std::ostream* os_;
+};
+
+/// Collects edges in memory (COO triplets); to_graph() builds the explicit
+/// Graph — the materialization path expressed as a sink.
+class CooCollectorSink : public EdgeSink {
+ public:
+  void consume(std::span<const kron::EdgeRecord> batch) override;
+
+  [[nodiscard]] const std::vector<std::pair<vid, vid>>& edges() const noexcept {
+    return edges_;
+  }
+  std::vector<std::pair<vid, vid>>& edges() noexcept { return edges_; }
+
+  /// Builds the graph on `n` vertices from the collected directed entries.
+  [[nodiscard]] Graph to_graph(vid n, bool symmetrize = false) const;
+
+ private:
+  std::vector<std::pair<vid, vid>> edges_;
+};
+
+/// Accumulates the out-degree of every product vertex — a full degree
+/// census of C performed during generation.
+class DegreeCensusSink : public EdgeSink {
+ public:
+  explicit DegreeCensusSink(vid num_vertices) : degrees_(num_vertices, 0) {}
+  void consume(std::span<const kron::EdgeRecord> batch) override;
+
+  [[nodiscard]] const std::vector<count_t>& degrees() const noexcept {
+    return degrees_;
+  }
+
+  /// Merges another partition's census into this one (for fan-in after
+  /// stream_parallel).
+  void merge(const DegreeCensusSink& other);
+
+ private:
+  std::vector<count_t> degrees_;
+};
+
+/// Annotates every edge with its exact triangle count Δ_C(e) from the
+/// oracle and accumulates the total plus a histogram — the "validation
+/// during generation" workflow of the paper as a sink.
+class TriangleCensusSink : public EdgeSink {
+ public:
+  /// The oracle must outlive the sink.
+  explicit TriangleCensusSink(const kron::TriangleOracle& oracle)
+      : oracle_(&oracle) {}
+  void consume(std::span<const kron::EdgeRecord> batch) override;
+
+  /// Σ Δ(e) over consumed stored entries (each undirected edge contributes
+  /// once per stored direction; divide by 2 for loop-free products).
+  [[nodiscard]] count_t triangle_sum() const noexcept { return sum_; }
+  [[nodiscard]] const std::map<count_t, count_t>& histogram() const noexcept {
+    return histogram_;
+  }
+
+  void merge(const TriangleCensusSink& other);
+
+ private:
+  const kron::TriangleOracle* oracle_;
+  count_t sum_ = 0;
+  std::map<count_t, count_t> histogram_;
+};
+
+}  // namespace kronotri::api

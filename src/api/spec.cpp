@@ -1,0 +1,128 @@
+#include "api/spec.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/cli.hpp"
+
+namespace kronotri::api {
+
+namespace {
+
+[[noreturn]] void bad(std::string_view text, const std::string& why) {
+  throw std::invalid_argument("GraphSpec: " + why + " in \"" +
+                              std::string(text) + "\"");
+}
+
+std::map<std::string, std::string> parse_params(std::string_view text,
+                                                std::string_view whole) {
+  std::map<std::string, std::string> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    const std::string_view kv = text.substr(pos, comma - pos);
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      bad(whole, "expected key=value, got \"" + std::string(kv) + "\"");
+    }
+    out[std::string(kv.substr(0, eq))] = std::string(kv.substr(eq + 1));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+GraphSpec GraphSpec::parse(std::string_view text) {
+  GraphSpec spec;
+  if (text.empty()) bad(text, "empty spec");
+
+  const std::size_t colon = text.find(':');
+  spec.family = std::string(text.substr(0, colon));
+  if (spec.family.empty()) bad(text, "empty family name");
+
+  std::string_view rest =
+      colon == std::string_view::npos ? std::string_view{} : text.substr(colon + 1);
+
+  if (spec.family != "kron") {
+    spec.params = parse_params(rest, text);
+    return spec;
+  }
+
+  // kron: '(' spec ')' ('x' '(' spec ')')* [':' params]
+  std::size_t pos = 0;
+  while (pos < rest.size() && rest[pos] == '(') {
+    // Find the matching close paren (factor specs may nest kron specs).
+    int depth = 0;
+    std::size_t end = pos;
+    for (; end < rest.size(); ++end) {
+      if (rest[end] == '(') ++depth;
+      if (rest[end] == ')' && --depth == 0) break;
+    }
+    if (depth != 0) bad(text, "unbalanced parentheses");
+    spec.factors.push_back(parse(rest.substr(pos + 1, end - pos - 1)));
+    pos = end + 1;
+    if (pos < rest.size() && (rest[pos] == 'x' || rest[pos] == '*')) ++pos;
+  }
+  if (spec.factors.size() < 2) {
+    bad(text, "kron needs at least two (factor) specs");
+  }
+  if (pos < rest.size()) {
+    if (rest[pos] != ':') bad(text, "junk after factor list");
+    spec.params = parse_params(rest.substr(pos + 1), text);
+  }
+  return spec;
+}
+
+std::string GraphSpec::to_string() const {
+  std::ostringstream os;
+  os << family;
+  if (is_kron()) {
+    os << ':';
+    for (std::size_t i = 0; i < factors.size(); ++i) {
+      os << (i ? "x(" : "(") << factors[i].to_string() << ')';
+    }
+    if (!params.empty()) os << ':';
+  } else if (!params.empty()) {
+    os << ':';
+  }
+  bool first = true;
+  for (const auto& [k, v] : params) {
+    os << (first ? "" : ",") << k << '=' << v;
+    first = false;
+  }
+  return os.str();
+}
+
+bool GraphSpec::has(const std::string& key) const {
+  return params.count(key) > 0;
+}
+
+std::string GraphSpec::get(const std::string& key,
+                           const std::string& fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+std::uint64_t GraphSpec::get_uint(const std::string& key,
+                                  std::uint64_t fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback
+                            : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double GraphSpec::get_double(const std::string& key, double fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback
+                            : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool GraphSpec::get_bool(const std::string& key, bool fallback) const {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return util::parse_bool_token(it->second, "GraphSpec param " + key);
+}
+
+}  // namespace kronotri::api

@@ -1,0 +1,55 @@
+// GraphSpec — the declarative description of a graph to generate.
+//
+// A spec is a short string naming a generator family plus its parameters,
+// the unit of configuration for the whole pipeline facade: the CLI, the
+// examples and the benches all describe their inputs as specs and hand them
+// to the GeneratorRegistry. Grammar:
+//
+//   spec    := family [':' params]
+//            | 'kron:' '(' spec ')' ('x' '(' spec ')')+ [':' params]
+//   params  := key '=' value (',' key '=' value)*
+//
+// Examples:
+//   "hk:n=5000,m=3,p=0.6,seed=7"        Holme–Kim scale-free factor
+//   "clique:n=5"                        K_5
+//   "er:n=1000,p=0.01,seed=1,loops=1"   G(n,p) with all self loops added
+//   "kron:(hk:n=300,seed=3)x(clique:n=3,loops=1)"   two-factor product
+//
+// The modifier params `loops` (A + I) and `prune` (§III.D(a) reduction to
+// Δ ≤ 1) apply to every family; the registry applies them after the family
+// factory runs. parse() and to_string() round-trip.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kronotri::api {
+
+struct GraphSpec {
+  std::string family;                         ///< registry key, e.g. "hk"
+  std::map<std::string, std::string> params;  ///< key=value parameters
+  std::vector<GraphSpec> factors;             ///< non-empty iff family=="kron"
+
+  /// Parses the grammar above; throws std::invalid_argument on bad syntax.
+  static GraphSpec parse(std::string_view text);
+
+  /// Canonical text form (params in sorted key order); parse(to_string())
+  /// reproduces the spec exactly.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool is_kron() const noexcept { return family == "kron"; }
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& key,
+                                       std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+};
+
+}  // namespace kronotri::api

@@ -1,17 +1,18 @@
 #include "cli/commands.hpp"
 
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "analysis/egonet.hpp"
+#include "api/pipeline.hpp"
+#include "api/registry.hpp"
+#include "api/sink.hpp"
 #include "core/io.hpp"
-#include "gen/classic.hpp"
-#include "gen/one_triangle_pa.hpp"
-#include "gen/prune.hpp"
-#include "gen/random.hpp"
-#include "gen/rmat.hpp"
 #include "kron/oracle.hpp"
 #include "kron/view.hpp"
 #include "triangle/count.hpp"
@@ -24,7 +25,25 @@ namespace kronotri::cli {
 
 namespace {
 
+/// True when `src` parses as a GraphSpec whose family is registered —
+/// the test that routes graph arguments to the registry instead of a file.
+bool is_registered_spec(const std::string& src) {
+  try {
+    return api::GeneratorRegistry::builtin().contains(
+        api::GraphSpec::parse(src).family);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+/// Loads a graph argument: an existing file is read as an edge list (with
+/// the usual ingest options); anything that names a registered generator
+/// spec (e.g. "hk:n=5000,seed=7") is built through the registry, exactly as
+/// specified — the ingest options do not apply to generated graphs.
 Graph load(const std::string& path, bool symmetrize, bool drop_loops) {
+  if (!std::ifstream(path).good() && is_registered_spec(path)) {
+    return api::GeneratorRegistry::builtin().build(path);
+  }
   io::ReadOptions opts;
   opts.symmetrize = symmetrize;
   opts.drop_self_loops = drop_loops;
@@ -57,12 +76,21 @@ void usage(std::ostream& out) {
          "\n"
          "usage: kronotri <command> [flags]\n"
          "\n"
+         "Graph arguments (--a, --b, --graph) accept a file path OR a\n"
+         "generator spec like \"hk:n=5000,m=3,p=0.6,seed=7\" or\n"
+         "\"kron:(hk:n=300)x(clique:n=3,loops=1)\" (see generate --list).\n"
+         "\n"
          "commands:\n"
-         "  generate  --type hk|ba|er|rmat|onetri|clique|cycle|hubcycle --out FILE\n"
+         "  generate  --type FAMILY | --spec SPEC, --out FILE\n"
          "            [--n N] [--m M] [--p P] [--scale S] [--seed S]\n"
-         "            [--loops] [--prune]\n"
-         "            write a factor graph as an edge list; --prune applies\n"
-         "            the §III.D(a) reduction to Δ ≤ 1\n"
+         "            [--loops] [--prune] [--stream] [--threads T]\n"
+         "            [--format text|binary] [--list]\n"
+         "            write a graph as an edge list via the generator\n"
+         "            registry; --list prints every registered family;\n"
+         "            --prune applies the §III.D(a) reduction to Δ ≤ 1;\n"
+         "            --stream writes a 2-factor kron spec straight from\n"
+         "            the partitioned edge stream (never materializing C),\n"
+         "            fanning out over --threads partitions\n"
          "  census    --a FILE [--b FILE] [--loops-b] [--truth FILE] [--sample K]\n"
          "            exact V/E/triangle census of A, B and C = A ⊗ B;\n"
          "            --truth writes per-vertex counts of sampled product\n"
@@ -77,33 +105,105 @@ void usage(std::ostream& out) {
          "            --a FILE --b FILE (Thm 3 oracle; B must have Δ_B ≤ 1)\n";
 }
 
-int cmd_generate(const util::Cli& flags, std::ostream& out, std::ostream& err) {
+namespace {
+
+/// Builds the GraphSpec a `generate` invocation describes: --spec verbatim,
+/// or legacy --type plus the classic parameter flags folded into params.
+api::GraphSpec generate_spec(const util::Cli& flags) {
+  if (flags.has("spec")) return api::GraphSpec::parse(flags.get("spec", ""));
   const std::string type = flags.get("type", "hk");
-  const vid n = flags.get_uint("n", 1000);
-  const vid m = flags.get_uint("m", 3);
-  const double p = flags.get_double("p", 0.5);
-  const std::uint64_t seed = flags.get_uint("seed", 1);
+  if (type == "kron") {
+    throw std::invalid_argument(
+        "--type kron needs factor specs; use --spec "
+        "\"kron:(spec)x(spec)\" instead");
+  }
+  if (!api::GeneratorRegistry::builtin().contains(type)) {
+    throw std::invalid_argument("unknown --type " + type +
+                                " (see generate --list)");
+  }
+  api::GraphSpec spec;
+  spec.family = type;
+  spec.params["n"] = std::to_string(flags.get_uint("n", 1000));
+  spec.params["m"] = std::to_string(flags.get_uint("m", 3));
+  spec.params["ef"] = spec.params["m"];  // rmat reads the edge factor as ef
+  spec.params["p"] = flags.get("p", "0.5");
+  spec.params["seed"] = std::to_string(flags.get_uint("seed", 1));
+  spec.params["scale"] = std::to_string(flags.get_uint("scale", 10));
+  for (const char* key : {"a", "b", "c", "d"}) {
+    if (flags.has(key)) spec.params[key] = flags.get(key, "");
+  }
+  return spec;
+}
+
+}  // namespace
+
+int cmd_generate(const util::Cli& flags, std::ostream& out, std::ostream& err) {
+  const auto& registry = api::GeneratorRegistry::builtin();
+  if (flags.has("list")) {
+    util::Table t({"family", "parameters"});
+    for (const auto& [name, help] : registry.families()) t.row({name, help});
+    t.print(out);
+    out << "universal modifier params: loops=1 (A + I), prune=1 (Δ ≤ 1)\n";
+    return 0;
+  }
   const std::string path = flags.get("out", "");
   if (path.empty()) {
     err << "generate: --out is required\n";
     return 2;
   }
-  Graph g = [&]() -> Graph {
-    if (type == "hk") return gen::holme_kim(n, m, p, seed);
-    if (type == "ba") return gen::barabasi_albert(n, m, seed);
-    if (type == "er") return gen::erdos_renyi(n, p, seed);
-    if (type == "rmat") {
-      return gen::rmat(static_cast<unsigned>(flags.get_uint("scale", 10)), m,
-                       {}, seed);
+  api::GraphSpec spec = generate_spec(flags);
+  if (flags.has("prune")) {
+    spec.params["prune"] = "1";
+    if (!spec.has("seed")) spec.params["seed"] = std::to_string(
+        flags.get_uint("seed", 1));
+  }
+  if (flags.has("loops")) spec.params["loops"] = "1";
+
+  // Streaming path: a 2-factor kron spec goes straight from the partitioned
+  // edge stream into a file sink — C is never materialized. Refusing the
+  // other combinations (rather than quietly materializing) matters: the
+  // whole point of --stream is products too large to materialize.
+  if (flags.get_bool("stream", false)) {
+    if (!spec.is_kron() || spec.factors.size() != 2 ||
+        spec.get_bool("prune", false) || spec.get_bool("loops", false)) {
+      err << "generate: --stream requires a 2-factor kron spec without "
+             "loops/prune modifiers (got \""
+          << spec.to_string() << "\"); drop --stream to materialize\n";
+      return 2;
     }
-    if (type == "onetri") return gen::one_triangle_pa(n, seed);
-    if (type == "clique") return gen::clique(n);
-    if (type == "cycle") return gen::cycle(n);
-    if (type == "hubcycle") return gen::hub_cycle();
-    throw std::invalid_argument("unknown --type " + type);
-  }();
-  if (flags.has("prune")) g = gen::prune_to_one_triangle(g, seed);
-  if (flags.has("loops")) g = g.with_all_self_loops();
+    const auto factors = registry.build_factors(spec);
+    // --threads 0 = hardware concurrency (the stream_parallel contract).
+    const auto nthreads =
+        static_cast<unsigned>(flags.get_uint("threads", 1));
+    const bool binary = flags.get("format", "text") == "binary";
+    std::vector<std::unique_ptr<std::ofstream>> files;
+    auto sinks = api::stream_parallel(
+        factors[0], factors[1], nthreads,
+        [&](std::uint64_t part, std::uint64_t nparts)
+            -> std::unique_ptr<api::EdgeSink> {
+          const std::string name =
+              nparts == 1 ? path : path + ".part" + std::to_string(part);
+          files.push_back(std::make_unique<std::ofstream>(
+              name, binary ? std::ios::binary : std::ios::out));
+          if (!*files.back()) {
+            throw std::runtime_error("cannot open " + name);
+          }
+          if (binary) {
+            return std::make_unique<api::BinaryEdgeSink>(*files.back());
+          }
+          return std::make_unique<api::TextEdgeSink>(*files.back());
+        });
+    esz total = 0;
+    for (const auto& s : sinks) total += s->edges_consumed();
+    const kron::KronGraphView c(factors[0], factors[1]);
+    out << "streamed " << path << (sinks.size() > 1 ? ".part*" : "") << ": "
+        << c.num_vertices() << " vertices, " << total
+        << " stored entries across " << sinks.size() << " partition"
+        << (sinks.size() > 1 ? "s" : "") << "\n";
+    return 0;
+  }
+
+  const Graph g = registry.build(spec);
   io::write_edge_list(g, path);
   out << "wrote " << path << ": " << g.num_vertices() << " vertices, "
       << g.num_undirected_edges() << " edges, "

@@ -1,5 +1,6 @@
 #include "kron/stream.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace kronotri::kron {
@@ -37,6 +38,33 @@ std::optional<EdgeRecord> EdgeStream::next() {
   const auto& [i, j] = a_edges_[t / b_edges_.size()];
   const auto& [k, l] = b_edges_[t % b_edges_.size()];
   return EdgeRecord{index_.compose(i, k), index_.compose(j, l)};
+}
+
+std::size_t EdgeStream::next_batch(std::span<EdgeRecord> out) noexcept {
+  const esz bsz = b_edges_.size();
+  if (cursor_ >= hi_ || bsz == 0 || out.empty()) return 0;
+  std::size_t written = 0;
+  const std::size_t want =
+      static_cast<std::size_t>(std::min<esz>(out.size(), hi_ - cursor_));
+  // Decompose the cursor once; afterwards advance (ia, ib) incrementally.
+  esz ia = cursor_ / bsz;
+  esz ib = cursor_ % bsz;
+  while (written < want) {
+    const auto& [i, j] = a_edges_[ia];
+    const vid ubase = index_.compose(i, 0);
+    const vid vbase = index_.compose(j, 0);
+    const esz run = std::min<esz>(bsz - ib, want - written);
+    for (esz s = 0; s < run; ++s, ++ib) {
+      out[written++] = EdgeRecord{ubase + b_edges_[ib].first,
+                                  vbase + b_edges_[ib].second};
+    }
+    if (ib == bsz) {
+      ib = 0;
+      ++ia;
+    }
+  }
+  cursor_ += want;
+  return written;
 }
 
 }  // namespace kronotri::kron

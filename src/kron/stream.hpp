@@ -10,6 +10,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -32,6 +33,12 @@ class EdgeStream {
 
   /// Next edge of C in this partition, or nullopt when exhausted.
   std::optional<EdgeRecord> next();
+
+  /// Fill `out` with the next edges of this partition; returns how many were
+  /// written (< out.size() only at exhaustion, 0 when done). The hot path:
+  /// the pair-space division is amortized over each run of a single A-edge,
+  /// so the inner loop is two adds per emitted edge instead of a div/mod.
+  std::size_t next_batch(std::span<EdgeRecord> out) noexcept;
 
   /// Total number of edges this partition will emit.
   [[nodiscard]] esz partition_size() const noexcept { return hi_ - lo_; }

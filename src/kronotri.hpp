@@ -10,6 +10,10 @@
 #include "analysis/components.hpp"  // IWYU pragma: export
 #include "analysis/degree.hpp"    // IWYU pragma: export
 #include "analysis/egonet.hpp"    // IWYU pragma: export
+#include "api/pipeline.hpp"       // IWYU pragma: export
+#include "api/registry.hpp"       // IWYU pragma: export
+#include "api/sink.hpp"           // IWYU pragma: export
+#include "api/spec.hpp"           // IWYU pragma: export
 #include "core/coo.hpp"           // IWYU pragma: export
 #include "core/csr.hpp"           // IWYU pragma: export
 #include "core/graph.hpp"         // IWYU pragma: export

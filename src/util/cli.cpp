@@ -1,14 +1,20 @@
 #include "util/cli.hpp"
 
 #include <cstdlib>
+#include <stdexcept>
 
 namespace kronotri::util {
 
 Cli::Cli(int argc, char** argv) {
   if (argc > 0) program_ = argv[0];
+  bool flags_done = false;
   for (int i = 1; i < argc; ++i) {
     std::string tok = argv[i];
-    if (tok.rfind("--", 0) != 0) {
+    if (!flags_done && tok == "--") {  // end-of-flags terminator
+      flags_done = true;
+      continue;
+    }
+    if (flags_done || tok.rfind("--", 0) != 0) {
       positional_.push_back(std::move(tok));
       continue;
     }
@@ -44,6 +50,23 @@ std::uint64_t Cli::get_uint(const std::string& name, std::uint64_t fallback) con
 double Cli::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool parse_bool_token(const std::string& value, const std::string& context) {
+  if (value == "1" || value == "true" || value == "yes" || value == "on") {
+    return true;
+  }
+  if (value == "0" || value == "false" || value == "no" || value == "off") {
+    return false;
+  }
+  throw std::invalid_argument(context + ": expected a boolean, got \"" +
+                              value + "\"");
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return parse_bool_token(it->second, "--" + name);
 }
 
 }  // namespace kronotri::util

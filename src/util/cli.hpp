@@ -1,7 +1,9 @@
 // Tiny command-line flag parser shared by the examples and benchmark
 // harnesses. Supports `--name value` and `--name=value`, with typed getters
 // and defaults; unknown flags are collected so google-benchmark flags pass
-// through untouched.
+// through untouched. A bare `--` ends flag parsing: everything after it is
+// positional, so values that themselves start with `--` can be passed
+// positionally (or via the always-unambiguous `--name=value` form).
 #pragma once
 
 #include <cstdint>
@@ -10,6 +12,12 @@
 #include <vector>
 
 namespace kronotri::util {
+
+/// Parses a boolean token: 1/true/yes/on → true, 0/false/no/off → false;
+/// throws std::invalid_argument naming `context` on anything else. Shared
+/// by Cli::get_bool and api::GraphSpec::get_bool so flag and spec booleans
+/// accept exactly the same vocabulary.
+bool parse_bool_token(const std::string& value, const std::string& context);
 
 class Cli {
  public:
@@ -24,6 +32,11 @@ class Cli {
                                        std::uint64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
+
+  /// Boolean flag value: a bare `--name` is true; an explicit value must be
+  /// one of 1/true/yes/on or 0/false/no/off (throws std::invalid_argument
+  /// otherwise). An absent flag returns `fallback`.
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
 
   /// Positional arguments (non-flag tokens), in order.
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {

@@ -1,0 +1,279 @@
+// Tests for the pipeline facade: GraphSpec parsing, the GeneratorRegistry
+// (every built-in family + kron composition + modifiers), and the EdgeSink
+// implementations.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "api/pipeline.hpp"
+#include "api/registry.hpp"
+#include "api/sink.hpp"
+#include "api/spec.hpp"
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "kron/multi.hpp"
+#include "kron/oracle.hpp"
+#include "kron/product.hpp"
+#include "kron/view.hpp"
+#include "triangle/count.hpp"
+#include "truss/kron_truss.hpp"
+
+namespace {
+
+using namespace kronotri;
+using api::GeneratorRegistry;
+using api::GraphSpec;
+
+TEST(GraphSpec, ParsesFamilyAndParams) {
+  const auto s = GraphSpec::parse("hk:n=5000,m=3,p=0.6,seed=7");
+  EXPECT_EQ(s.family, "hk");
+  EXPECT_EQ(s.get_uint("n", 0), 5000u);
+  EXPECT_EQ(s.get_uint("m", 0), 3u);
+  EXPECT_DOUBLE_EQ(s.get_double("p", 0.0), 0.6);
+  EXPECT_EQ(s.get_uint("seed", 0), 7u);
+  EXPECT_FALSE(s.is_kron());
+  EXPECT_TRUE(s.has("n"));
+  EXPECT_FALSE(s.has("q"));
+}
+
+TEST(GraphSpec, ParsesBareFamily) {
+  const auto s = GraphSpec::parse("hubcycle");
+  EXPECT_EQ(s.family, "hubcycle");
+  EXPECT_TRUE(s.params.empty());
+}
+
+TEST(GraphSpec, ParsesKronComposition) {
+  const auto s =
+      GraphSpec::parse("kron:(hk:n=300,seed=3)x(clique:n=3,loops=1)");
+  ASSERT_TRUE(s.is_kron());
+  ASSERT_EQ(s.factors.size(), 2u);
+  EXPECT_EQ(s.factors[0].family, "hk");
+  EXPECT_EQ(s.factors[1].family, "clique");
+  EXPECT_TRUE(s.factors[1].get_bool("loops", false));
+}
+
+TEST(GraphSpec, ParsesNestedKronAndOuterParams) {
+  const auto s = GraphSpec::parse(
+      "kron:(kron:(clique:n=3)x(cycle:n=4))x(path:n=2):loops=1");
+  ASSERT_TRUE(s.is_kron());
+  ASSERT_EQ(s.factors.size(), 2u);
+  EXPECT_TRUE(s.factors[0].is_kron());
+  EXPECT_TRUE(s.get_bool("loops", false));
+}
+
+TEST(GraphSpec, RoundTripsThroughToString) {
+  for (const char* text :
+       {"hubcycle", "hk:m=3,n=5000,p=0.6,seed=7",
+        "kron:(clique:n=3)x(hk:n=10,seed=2)",
+        "kron:(kron:(clique:n=3)x(cycle:n=4))x(path:n=2):loops=1"}) {
+    const auto s = GraphSpec::parse(text);
+    EXPECT_EQ(s.to_string(), text);
+    const auto reparsed = GraphSpec::parse(s.to_string());
+    EXPECT_EQ(reparsed.to_string(), s.to_string());
+  }
+}
+
+TEST(GraphSpec, RejectsMalformedInput) {
+  EXPECT_THROW(GraphSpec::parse(""), std::invalid_argument);
+  EXPECT_THROW(GraphSpec::parse(":n=1"), std::invalid_argument);
+  EXPECT_THROW(GraphSpec::parse("hk:n"), std::invalid_argument);
+  EXPECT_THROW(GraphSpec::parse("hk:=3"), std::invalid_argument);
+  EXPECT_THROW(GraphSpec::parse("kron:(clique:n=3)"), std::invalid_argument);
+  EXPECT_THROW(GraphSpec::parse("kron:(clique:n=3"), std::invalid_argument);
+  EXPECT_THROW(GraphSpec::parse("kron:(clique:n=3)x(cycle:n=4)junk"),
+               std::invalid_argument);
+}
+
+TEST(Registry, BuildsEveryBuiltinFamily) {
+  const auto& reg = GeneratorRegistry::builtin();
+  EXPECT_EQ(reg.build("clique:n=5"), gen::clique(5));
+  EXPECT_EQ(reg.build("clique:n=4,loops=1"), gen::clique_with_loops(4));
+  EXPECT_EQ(reg.build("cycle:n=6"), gen::cycle(6));
+  EXPECT_EQ(reg.build("path:n=7"), gen::path(7));
+  EXPECT_EQ(reg.build("star:n=8"), gen::star(8));
+  EXPECT_EQ(reg.build("bipartite:a=3,b=4"), gen::complete_bipartite(3, 4));
+  EXPECT_EQ(reg.build("hubcycle"), gen::hub_cycle());
+  EXPECT_EQ(reg.build("er:n=50,p=0.2,seed=9"), gen::erdos_renyi(50, 0.2, 9));
+  EXPECT_EQ(reg.build("er-m:n=50,m=100,seed=9"),
+            gen::erdos_renyi_m(50, 100, 9));
+  EXPECT_EQ(reg.build("ba:n=50,m=2,seed=9"), gen::barabasi_albert(50, 2, 9));
+  EXPECT_EQ(reg.build("hk:n=50,m=2,p=0.4,seed=9"),
+            gen::holme_kim(50, 2, 0.4, 9));
+  // rmat/onetri: structural sanity (they are seeded-deterministic too).
+  const Graph r = reg.build("rmat:scale=6,ef=4,seed=3");
+  EXPECT_EQ(r.num_vertices(), 64u);
+  EXPECT_TRUE(r.is_undirected());
+  const Graph o = reg.build("onetri:n=80,seed=3");
+  EXPECT_EQ(o.num_vertices(), 80u);
+  EXPECT_TRUE(truss::edges_in_at_most_one_triangle(o));
+}
+
+TEST(Registry, UnknownFamilyAndParamValidation) {
+  const auto& reg = GeneratorRegistry::builtin();
+  EXPECT_THROW(reg.build("frobnicate:n=3"), std::invalid_argument);
+  EXPECT_FALSE(reg.contains("frobnicate"));
+  EXPECT_TRUE(reg.contains("hk"));
+  EXPECT_TRUE(reg.contains("kron"));
+  EXPECT_THROW(reg.build("clique:n=3,loops=maybe"), std::invalid_argument);
+}
+
+TEST(Registry, KronSpecMaterializesTheProduct) {
+  const auto& reg = GeneratorRegistry::builtin();
+  const Graph c = reg.build("kron:(hubcycle)x(clique:n=3,loops=1)");
+  const Graph expected =
+      kron::kron_graph(gen::hub_cycle(), gen::clique_with_loops(3));
+  EXPECT_EQ(c, expected);
+}
+
+TEST(Registry, ThreeFactorKronMatchesKronChain) {
+  const auto& reg = GeneratorRegistry::builtin();
+  const Graph c =
+      reg.build("kron:(clique:n=3)x(cycle:n=4)x(hk:n=6,m=2,p=0.5,seed=1)");
+  std::vector<Graph> factors = {gen::clique(3), gen::cycle(4),
+                                gen::holme_kim(6, 2, 0.5, 1)};
+  EXPECT_EQ(c, kron::KronChain(factors).materialize());
+}
+
+TEST(Registry, BuildFactorsReturnsFactorListWithoutMaterializing) {
+  const auto& reg = GeneratorRegistry::builtin();
+  const auto fs = reg.build_factors(
+      GraphSpec::parse("kron:(hubcycle)x(clique:n=3,loops=1)"));
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0], gen::hub_cycle());
+  EXPECT_EQ(fs[1], gen::clique_with_loops(3));
+  const auto single = reg.build_factors(GraphSpec::parse("clique:n=4"));
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], gen::clique(4));
+}
+
+TEST(Registry, ModifiersApplyPruneThenLoops) {
+  const auto& reg = GeneratorRegistry::builtin();
+  const Graph pruned = reg.build("hk:n=60,m=3,p=0.7,seed=4,prune=1");
+  EXPECT_TRUE(truss::edges_in_at_most_one_triangle(pruned));
+  const Graph both = reg.build("hk:n=60,m=3,p=0.7,seed=4,prune=1,loops=1");
+  EXPECT_EQ(both, pruned.with_all_self_loops());
+}
+
+TEST(Registry, CustomFamilyRegistration) {
+  GeneratorRegistry reg;
+  reg.add("two-cliques", "disjoint K_n pair: n", [](const GraphSpec& s) {
+    const vid n = s.get_uint("n", 3);
+    std::vector<std::pair<vid, vid>> edges;
+    for (vid u = 0; u < n; ++u) {
+      for (vid v = u + 1; v < n; ++v) {
+        edges.emplace_back(u, v);
+        edges.emplace_back(n + u, n + v);
+      }
+    }
+    return Graph::from_edges(2 * n, edges, true);
+  });
+  EXPECT_TRUE(reg.contains("two-cliques"));
+  const Graph g = reg.build("two-cliques:n=4");
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(triangle::count_total(g), 8u);  // 2 × C(4,3)
+}
+
+TEST(Registry, FamiliesListingCoversAllBuiltins) {
+  const auto fams = GeneratorRegistry::builtin().families();
+  std::size_t found = 0;
+  for (const char* want : {"clique", "cycle", "path", "star", "bipartite",
+                           "hubcycle", "er", "er-m", "ba", "hk", "rmat",
+                           "onetri", "kron"}) {
+    for (const auto& [name, help] : fams) {
+      if (name == want) {
+        ++found;
+        EXPECT_FALSE(help.empty()) << name;
+      }
+    }
+  }
+  EXPECT_EQ(found, 13u);
+}
+
+// ---- sinks -----------------------------------------------------------------
+
+TEST(Sinks, TextSinkWritesEdgeLines) {
+  const Graph a = gen::path(3);
+  std::ostringstream os;
+  api::TextEdgeSink sink(os);
+  api::stream_into(a, a, sink);
+  std::istringstream is(os.str());
+  std::size_t lines = 0;
+  vid u = 0, v = 0;
+  while (is >> u >> v) ++lines;
+  EXPECT_EQ(lines, a.nnz() * a.nnz());
+  EXPECT_EQ(sink.edges_consumed(), a.nnz() * a.nnz());
+}
+
+TEST(Sinks, BinarySinkRoundTrips) {
+  const Graph a = gen::clique(4);
+  std::ostringstream os;
+  api::BinaryEdgeSink sink(os);
+  api::stream_into(a, a, sink);
+  const std::string bytes = os.str();
+  ASSERT_EQ(bytes.size(), a.nnz() * a.nnz() * 2 * sizeof(vid));
+  // Reinterpret and compare against the per-edge stream.
+  kron::EdgeStream s(a, a);
+  const char* p = bytes.data();
+  while (auto e = s.next()) {
+    vid u = 0, v = 0;
+    std::memcpy(&u, p, sizeof(vid));
+    std::memcpy(&v, p + sizeof(vid), sizeof(vid));
+    p += 2 * sizeof(vid);
+    EXPECT_EQ(u, e->u);
+    EXPECT_EQ(v, e->v);
+  }
+}
+
+TEST(Sinks, CooCollectorMaterializesTheProduct) {
+  const Graph a = gen::hub_cycle();
+  const Graph b = gen::clique(3);
+  api::CooCollectorSink sink;
+  api::stream_into(a, b, sink);
+  const Graph c =
+      sink.to_graph(a.num_vertices() * b.num_vertices());
+  EXPECT_EQ(c, kron::kron_graph(a, b));
+}
+
+TEST(Sinks, DegreeCensusMatchesTheView) {
+  const Graph a = gen::holme_kim(30, 2, 0.6, 2);
+  const Graph b = a.with_all_self_loops();
+  api::DegreeCensusSink sink(a.num_vertices() * b.num_vertices());
+  api::stream_into(a, b, sink);
+  const kron::KronGraphView c(a, b);
+  for (vid p = 0; p < c.num_vertices(); ++p) {
+    EXPECT_EQ(sink.degrees()[p], c.out_degree(p)) << "vertex " << p;
+  }
+}
+
+TEST(Sinks, TriangleCensusMatchesOracleTotals) {
+  const Graph a = gen::holme_kim(25, 2, 0.7, 6);
+  const Graph b = a;  // loop-free product: every stored entry is off-diagonal
+  const kron::TriangleOracle oracle(a, b);
+  api::TriangleCensusSink sink(oracle);
+  api::stream_into(a, b, sink);
+  // Σ_e Δ(e) over stored (directed) entries = 2·Σ_{undirected e} Δ(e)
+  // = 2·3·τ(C): each triangle has 3 edges, each edge stored twice.
+  EXPECT_EQ(sink.triangle_sum(), 6 * oracle.total_triangles());
+}
+
+TEST(Sinks, MergedParallelTriangleCensusEqualsSingleThreaded) {
+  const Graph a = gen::holme_kim(25, 2, 0.7, 6);
+  const kron::TriangleOracle oracle(a, a);
+  auto sinks = api::stream_parallel(
+      a, a, 4,
+      [&](std::uint64_t, std::uint64_t) {
+        return std::make_unique<api::TriangleCensusSink>(oracle);
+      },
+      /*batch_size=*/64);
+  auto& merged = static_cast<api::TriangleCensusSink&>(*sinks[0]);
+  for (std::size_t i = 1; i < sinks.size(); ++i) {
+    merged.merge(static_cast<const api::TriangleCensusSink&>(*sinks[i]));
+  }
+  EXPECT_EQ(merged.triangle_sum(), 6 * oracle.total_triangles());
+  EXPECT_EQ(merged.edges_consumed(), a.nnz() * a.nnz());
+}
+
+}  // namespace

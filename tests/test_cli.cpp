@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "api/registry.hpp"
 #include "cli/commands.hpp"
 #include "core/io.hpp"
 #include "gen/classic.hpp"
@@ -92,6 +93,109 @@ TEST_F(CliTest, GenerateRejectsUnknownType) {
                     nullptr, &err),
             1);
   EXPECT_NE(err.find("unknown --type"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateListPrintsRegisteredFamilies) {
+  std::string out;
+  ASSERT_EQ(run_cmd({"generate", "--list"}, &out), 0);
+  for (const char* fam : {"clique", "cycle", "path", "star", "bipartite",
+                          "hubcycle", "er", "er-m", "ba", "hk", "rmat",
+                          "onetri", "kron"}) {
+    EXPECT_NE(out.find(fam), std::string::npos) << fam;
+  }
+}
+
+TEST_F(CliTest, GenerateAcceptsEveryRegistryFamilyAsType) {
+  for (const char* type : {"path", "star", "cycle", "er-m", "ba"}) {
+    const std::string path = tmp(std::string("fam_") + type + ".txt");
+    std::string out;
+    ASSERT_EQ(run_cmd({"generate", "--type", type, "--n", "30", "--m", "2",
+                       "--out", path},
+                      &out),
+              0)
+        << type;
+    const Graph g = io::read_edge_list(path);
+    EXPECT_GE(g.num_vertices(), 2u) << type;
+  }
+}
+
+TEST_F(CliTest, GenerateSpecRoundTripsThroughRegistry) {
+  const std::string path = tmp("spec.txt");
+  std::string out;
+  ASSERT_EQ(run_cmd({"generate", "--spec=kron:(hubcycle)x(clique:n=3,loops=1)",
+                     "--out", path},
+                    &out),
+            0);
+  const Graph g = io::read_edge_list(path);
+  EXPECT_EQ(g.num_vertices(), 15u);  // 5 × 3
+  // Same product built directly through the registry.
+  const Graph direct = api::GeneratorRegistry::builtin().build(
+      "kron:(hubcycle)x(clique:n=3,loops=1)");
+  EXPECT_EQ(g, direct);
+}
+
+TEST_F(CliTest, GenerateStreamedKronMatchesMaterialized) {
+  const std::string mat = tmp("mat.txt");
+  const std::string streamed = tmp("streamed.txt");
+  const std::string spec = "kron:(hubcycle)x(clique:n=3)";
+  ASSERT_EQ(run_cmd({"generate", "--spec", spec, "--out", mat}, nullptr), 0);
+  std::string out;
+  ASSERT_EQ(run_cmd({"generate", "--spec", spec, "--stream", "--out", streamed},
+                    &out),
+            0);
+  EXPECT_NE(out.find("streamed"), std::string::npos);
+  const Graph a = io::read_edge_list(mat);
+  const Graph b = io::read_edge_list(streamed);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(CliTest, GenerateStreamRefusesIneligibleSpecs) {
+  std::string err;
+  // Non-kron spec: refuse rather than silently materializing.
+  EXPECT_EQ(run_cmd({"generate", "--spec", "hk:n=50", "--stream", "--out",
+                     tmp("s1.txt")},
+                    nullptr, &err),
+            2);
+  EXPECT_NE(err.find("--stream requires"), std::string::npos);
+  // Modifier on the product: also refused.
+  EXPECT_EQ(run_cmd({"generate", "--spec",
+                     "kron:(hubcycle)x(clique:n=3):loops=1", "--stream",
+                     "--out", tmp("s2.txt")},
+                    nullptr, &err),
+            2);
+  EXPECT_NE(err.find("--stream requires"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateTypeKronPointsAtSpec) {
+  std::string err;
+  EXPECT_EQ(run_cmd({"generate", "--type", "kron", "--out", tmp("k.txt")},
+                    nullptr, &err),
+            1);
+  EXPECT_NE(err.find("--spec"), std::string::npos);
+}
+
+TEST_F(CliTest, CensusAcceptsSpecArguments) {
+  std::string out;
+  ASSERT_EQ(run_cmd({"census", "--a", "hubcycle", "--loops-b"}, &out), 0);
+  EXPECT_NE(out.find("C = A (x) B"), std::string::npos);
+}
+
+TEST_F(CliTest, EgonetAcceptsSpecArguments) {
+  std::string out;
+  EXPECT_EQ(run_cmd({"egonet", "--a", "hk:n=60,m=2,p=0.5,seed=3", "--loops-b",
+                     "--vertex", "17"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("MATCH"), std::string::npos);
+}
+
+TEST_F(CliTest, TrussAcceptsSpecArguments) {
+  std::string out;
+  EXPECT_EQ(run_cmd({"truss", "--a", "er:n=20,p=0.35,seed=2", "--b",
+                     "onetri:n=30,seed=4"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("Thm 3 oracle"), std::string::npos);
 }
 
 TEST_F(CliTest, CensusPrintsTableAndTruth) {

@@ -1,0 +1,191 @@
+// EdgeStream contract tests: partitions are an exact disjoint cover of the
+// product's edge multiset for ANY nparts (including ones that do not divide
+// nnz(A)·nnz(B)), the batched pull equals the per-edge pull, and the
+// parallel fan-out equals the single-threaded stream.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "api/pipeline.hpp"
+#include "api/sink.hpp"
+#include "gen/classic.hpp"
+#include "gen/random.hpp"
+#include "helpers.hpp"
+#include "kron/product.hpp"
+#include "kron/stream.hpp"
+
+namespace {
+
+using namespace kronotri;
+
+using EdgeList = std::vector<std::pair<vid, vid>>;
+
+EdgeList drain_per_edge(const Graph& a, const Graph& b, std::uint64_t part,
+                        std::uint64_t nparts) {
+  kron::EdgeStream s(a, b, part, nparts);
+  EdgeList out;
+  while (auto e = s.next()) out.emplace_back(e->u, e->v);
+  return out;
+}
+
+EdgeList drain_batched(const Graph& a, const Graph& b, std::uint64_t part,
+                       std::uint64_t nparts, std::size_t batch_size) {
+  kron::EdgeStream s(a, b, part, nparts);
+  std::vector<kron::EdgeRecord> buf(batch_size);
+  EdgeList out;
+  while (const std::size_t got = s.next_batch(buf)) {
+    for (std::size_t i = 0; i < got; ++i) out.emplace_back(buf[i].u, buf[i].v);
+  }
+  return out;
+}
+
+/// Every stored nonzero of the materialized product, in stream order
+/// (row-major over (A-edge, B-edge) pairs is NOT sorted product order, so
+/// comparisons sort first).
+EdgeList materialized_edges(const Graph& a, const Graph& b) {
+  const Graph c = kron::kron_graph(a, b);
+  EdgeList out;
+  for (vid u = 0; u < c.num_vertices(); ++u) {
+    for (const vid v : c.neighbors(u)) out.emplace_back(u, v);
+  }
+  return out;
+}
+
+class StreamPartitionTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamPartitionTest, PartitionsExactlyDisjointlyCoverProductEdges) {
+  const Graph a = kt_test::random_undirected(9, 0.4, 11, /*loop_p=*/0.3);
+  const Graph b = kt_test::random_undirected(7, 0.5, 12, /*loop_p=*/0.5);
+  const std::uint64_t nparts = GetParam();
+  const esz total = a.nnz() * b.nnz();
+  ASSERT_NE(total % nparts, 0u)
+      << "pick nparts that does not divide " << total
+      << " so the remainder path is exercised";
+
+  EdgeList all;
+  esz size_sum = 0;
+  for (std::uint64_t part = 0; part < nparts; ++part) {
+    kron::EdgeStream s(a, b, part, nparts);
+    size_sum += s.partition_size();
+    const EdgeList mine = drain_per_edge(a, b, part, nparts);
+    EXPECT_EQ(mine.size(), s.partition_size());
+    all.insert(all.end(), mine.begin(), mine.end());
+  }
+  EXPECT_EQ(size_sum, total);
+  EXPECT_EQ(all.size(), total);
+
+  // Disjoint: concatenating in partition order reproduces the 1-partition
+  // stream exactly (same order, no overlap, no gap).
+  EXPECT_EQ(all, drain_per_edge(a, b, 0, 1));
+
+  // Exact cover: as a multiset, the union is the stored nonzeros of C.
+  EdgeList expected = materialized_edges(a, b);
+  std::sort(all.begin(), all.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(all, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(NonDividingCounts, StreamPartitionTest,
+                         ::testing::Values(3u, 7u, 13u, 17u));
+
+TEST(EdgeStreamBatch, BatchedEqualsPerEdgeForAssortedBatchSizes) {
+  const Graph a = gen::holme_kim(40, 3, 0.6, 5);
+  const Graph b = a.with_all_self_loops();
+  const EdgeList reference = drain_per_edge(a, b, 0, 1);
+  for (const std::size_t bs : {1u, 2u, 3u, 64u, 4096u, 1u << 20}) {
+    EXPECT_EQ(drain_batched(a, b, 0, 1, bs), reference) << "batch " << bs;
+  }
+}
+
+TEST(EdgeStreamBatch, BatchedEqualsPerEdgePerPartition) {
+  const Graph a = kt_test::random_undirected(8, 0.5, 21);
+  const Graph b = kt_test::random_undirected(6, 0.5, 22, 0.4);
+  const std::uint64_t nparts = 5;
+  for (std::uint64_t part = 0; part < nparts; ++part) {
+    EXPECT_EQ(drain_batched(a, b, part, nparts, 7),
+              drain_per_edge(a, b, part, nparts))
+        << "partition " << part;
+  }
+}
+
+TEST(EdgeStreamBatch, MixedPullsInterleave) {
+  const Graph a = gen::clique(4);
+  const Graph b = gen::cycle(5);
+  kron::EdgeStream s(a, b);
+  const EdgeList reference = drain_per_edge(a, b, 0, 1);
+  EdgeList got;
+  std::vector<kron::EdgeRecord> buf(3);
+  while (got.size() < reference.size()) {
+    if (got.size() % 2 == 0) {
+      const auto e = s.next();
+      ASSERT_TRUE(e.has_value());
+      got.emplace_back(e->u, e->v);
+    } else {
+      const std::size_t n = s.next_batch(buf);
+      for (std::size_t i = 0; i < n; ++i) got.emplace_back(buf[i].u, buf[i].v);
+    }
+  }
+  EXPECT_FALSE(s.next().has_value());
+  EXPECT_EQ(s.next_batch(buf), 0u);
+  EXPECT_EQ(got, reference);
+}
+
+TEST(EdgeStreamBatch, ExhaustionAndReset) {
+  const Graph a = gen::path(3);
+  kron::EdgeStream s(a, a);
+  std::vector<kron::EdgeRecord> buf(1024);
+  EXPECT_EQ(s.next_batch(buf), a.nnz() * a.nnz());
+  EXPECT_EQ(s.next_batch(buf), 0u);
+  s.reset();
+  EXPECT_EQ(s.next_batch(buf), a.nnz() * a.nnz());
+}
+
+TEST(StreamParallel, FourThreadEdgeMultisetMatchesSingleThreaded) {
+  const Graph a = gen::holme_kim(60, 3, 0.6, 33);
+  const Graph b = a.with_all_self_loops();
+
+  auto sinks = api::stream_parallel(
+      a, b, 4,
+      [](std::uint64_t, std::uint64_t) {
+        return std::make_unique<api::CooCollectorSink>();
+      },
+      /*batch_size=*/101);
+  ASSERT_EQ(sinks.size(), 4u);
+
+  EdgeList parallel_edges;
+  for (const auto& sink : sinks) {
+    const auto& coo = static_cast<const api::CooCollectorSink&>(*sink);
+    parallel_edges.insert(parallel_edges.end(), coo.edges().begin(),
+                          coo.edges().end());
+  }
+  EdgeList reference = drain_per_edge(a, b, 0, 1);
+  EXPECT_EQ(parallel_edges.size(), reference.size());
+  std::sort(parallel_edges.begin(), parallel_edges.end());
+  std::sort(reference.begin(), reference.end());
+  EXPECT_EQ(parallel_edges, reference);
+}
+
+TEST(StreamParallel, MoreThreadsThanEdgesStillCoversExactly) {
+  const Graph a = gen::path(3);  // nnz = 4; 9 partitions, most empty
+  auto sinks = api::stream_parallel(a, a, 9, [](std::uint64_t, std::uint64_t) {
+    return std::make_unique<api::CooCollectorSink>();
+  });
+  esz total = 0;
+  for (const auto& s : sinks) total += s->edges_consumed();
+  EXPECT_EQ(total, a.nnz() * a.nnz());
+}
+
+TEST(StreamInto, CountsAndFinishes) {
+  const Graph a = gen::clique(5);
+  api::CooCollectorSink sink;
+  api::StreamOptions options;
+  options.batch_size = 16;
+  const esz n = api::stream_into(a, a, sink, options);
+  EXPECT_EQ(n, a.nnz() * a.nnz());
+  EXPECT_EQ(sink.edges_consumed(), n);
+  EXPECT_EQ(sink.edges().size(), n);
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/types.hpp"
 #include "util/cli.hpp"
@@ -124,6 +125,48 @@ TEST(Cli, DoubleParsing) {
   util::Cli cli(3, const_cast<char**>(argv));
   EXPECT_DOUBLE_EQ(cli.get_double("p", 0.0), 0.25);
   EXPECT_DOUBLE_EQ(cli.get_double("q", 0.5), 0.5);
+}
+
+TEST(Cli, GetBoolBareFlagAndExplicitValues) {
+  const char* argv[] = {"prog", "--verbose", "--cache=0",   "--warm", "yes",
+                        "--x",  "off",       "--bad=maybe"};
+  util::Cli cli(8, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.get_bool("cache", true));
+  EXPECT_TRUE(cli.get_bool("warm", false));
+  EXPECT_FALSE(cli.get_bool("x", true));
+  EXPECT_TRUE(cli.get_bool("absent", true));
+  EXPECT_FALSE(cli.get_bool("absent", false));
+  EXPECT_THROW(static_cast<void>(cli.get_bool("bad", false)),
+               std::invalid_argument);
+}
+
+TEST(Cli, DoubleDashTerminatorMakesRestPositional) {
+  const char* argv[] = {"prog", "--n", "3", "--", "--weird-name", "--x=1"};
+  util::Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_uint("n", 0), 3u);
+  EXPECT_FALSE(cli.has("weird-name"));
+  EXPECT_FALSE(cli.has("x"));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "--weird-name");
+  EXPECT_EQ(cli.positional()[1], "--x=1");
+}
+
+TEST(Cli, EqualsFormCarriesValuesStartingWithDashes) {
+  // `--out --weird-name` is ambiguous (two boolean flags); the `=` form is
+  // the supported way to pass a value that itself starts with `--`.
+  const char* argv[] = {"prog", "--out=--weird-name", "--flag"};
+  util::Cli cli(3, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get("out", ""), "--weird-name");
+  EXPECT_TRUE(cli.get_bool("flag", false));
+}
+
+TEST(Cli, FlagFollowedByFlagParsesAsTwoBooleans) {
+  // Documented behavior the `--` terminator and `=` form exist to avoid.
+  const char* argv[] = {"prog", "--out", "--weird-name"};
+  util::Cli cli(3, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.get_bool("out", false));
+  EXPECT_TRUE(cli.get_bool("weird-name", false));
 }
 
 TEST(Stats, HistogramCounts) {
