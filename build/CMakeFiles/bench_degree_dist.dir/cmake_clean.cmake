@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_degree_dist.dir/bench/bench_degree_dist.cpp.o"
+  "CMakeFiles/bench_degree_dist.dir/bench/bench_degree_dist.cpp.o.d"
+  "bench/bench_degree_dist"
+  "bench/bench_degree_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_degree_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_directed_census.dir/bench/bench_directed_census.cpp.o"
+  "CMakeFiles/bench_directed_census.dir/bench/bench_directed_census.cpp.o.d"
+  "bench/bench_directed_census"
+  "bench/bench_directed_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_directed_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex1_cliques.dir/bench/bench_ex1_cliques.cpp.o"
+  "CMakeFiles/bench_ex1_cliques.dir/bench/bench_ex1_cliques.cpp.o.d"
+  "bench/bench_ex1_cliques"
+  "bench/bench_ex1_cliques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex1_cliques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

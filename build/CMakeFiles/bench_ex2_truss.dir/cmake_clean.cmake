@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex2_truss.dir/bench/bench_ex2_truss.cpp.o"
+  "CMakeFiles/bench_ex2_truss.dir/bench/bench_ex2_truss.cpp.o.d"
+  "bench/bench_ex2_truss"
+  "bench/bench_ex2_truss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex2_truss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ex2_truss.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_egonets.dir/bench/bench_fig7_egonets.cpp.o"
+  "CMakeFiles/bench_fig7_egonets.dir/bench/bench_fig7_egonets.cpp.o.d"
+  "bench/bench_fig7_egonets"
+  "bench/bench_fig7_egonets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_egonets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generation.dir/bench/bench_generation.cpp.o"
+  "CMakeFiles/bench_generation.dir/bench/bench_generation.cpp.o.d"
+  "bench/bench_generation"
+  "bench/bench_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_labeled_census.dir/bench/bench_labeled_census.cpp.o"
+  "CMakeFiles/bench_labeled_census.dir/bench/bench_labeled_census.cpp.o.d"
+  "bench/bench_labeled_census"
+  "bench/bench_labeled_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_labeled_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

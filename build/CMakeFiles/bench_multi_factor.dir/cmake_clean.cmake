@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_factor.dir/bench/bench_multi_factor.cpp.o"
+  "CMakeFiles/bench_multi_factor.dir/bench/bench_multi_factor.cpp.o.d"
+  "bench/bench_multi_factor"
+  "bench/bench_multi_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stochastic_vs_nonstochastic.dir/bench/bench_stochastic_vs_nonstochastic.cpp.o"
+  "CMakeFiles/bench_stochastic_vs_nonstochastic.dir/bench/bench_stochastic_vs_nonstochastic.cpp.o.d"
+  "bench/bench_stochastic_vs_nonstochastic"
+  "bench/bench_stochastic_vs_nonstochastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stochastic_vs_nonstochastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

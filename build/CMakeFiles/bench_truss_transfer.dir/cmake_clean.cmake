@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_truss_transfer.dir/bench/bench_truss_transfer.cpp.o"
+  "CMakeFiles/bench_truss_transfer.dir/bench/bench_truss_transfer.cpp.o.d"
+  "bench/bench_truss_transfer"
+  "bench/bench_truss_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_truss_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

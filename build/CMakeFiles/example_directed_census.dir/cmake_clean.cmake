@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_directed_census.dir/examples/directed_census.cpp.o"
+  "CMakeFiles/example_directed_census.dir/examples/directed_census.cpp.o.d"
+  "examples/directed_census"
+  "examples/directed_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_directed_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

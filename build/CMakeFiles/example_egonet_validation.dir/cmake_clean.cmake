@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_egonet_validation.dir/examples/egonet_validation.cpp.o"
+  "CMakeFiles/example_egonet_validation.dir/examples/egonet_validation.cpp.o.d"
+  "examples/egonet_validation"
+  "examples/egonet_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_egonet_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_generate_edges.dir/examples/generate_edges.cpp.o"
+  "CMakeFiles/example_generate_edges.dir/examples/generate_edges.cpp.o.d"
+  "examples/generate_edges"
+  "examples/generate_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_generate_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_generate_edges.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_labeled_census.dir/examples/labeled_census.cpp.o"
+  "CMakeFiles/example_labeled_census.dir/examples/labeled_census.cpp.o.d"
+  "examples/labeled_census"
+  "examples/labeled_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_labeled_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

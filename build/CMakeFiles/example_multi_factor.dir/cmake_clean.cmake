@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_factor.dir/examples/multi_factor.cpp.o"
+  "CMakeFiles/example_multi_factor.dir/examples/multi_factor.cpp.o.d"
+  "examples/multi_factor"
+  "examples/multi_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

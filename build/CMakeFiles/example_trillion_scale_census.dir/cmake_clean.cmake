@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trillion_scale_census.dir/examples/trillion_scale_census.cpp.o"
+  "CMakeFiles/example_trillion_scale_census.dir/examples/trillion_scale_census.cpp.o.d"
+  "examples/trillion_scale_census"
+  "examples/trillion_scale_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trillion_scale_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_truss_designer.dir/examples/truss_designer.cpp.o"
+  "CMakeFiles/example_truss_designer.dir/examples/truss_designer.cpp.o.d"
+  "examples/truss_designer"
+  "examples/truss_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_truss_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

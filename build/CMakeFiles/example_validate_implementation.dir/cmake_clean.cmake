@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_validate_implementation.dir/examples/validate_implementation.cpp.o"
+  "CMakeFiles/example_validate_implementation.dir/examples/validate_implementation.cpp.o.d"
+  "examples/validate_implementation"
+  "examples/validate_implementation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_validate_implementation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_validate_implementation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kronotri-cli.dir/tools/kronotri_main.cpp.o"
+  "CMakeFiles/kronotri-cli.dir/tools/kronotri_main.cpp.o.d"
+  "kronotri"
+  "kronotri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kronotri-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/components.cpp" "CMakeFiles/kronotri.dir/src/analysis/components.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/analysis/components.cpp.o.d"
+  "/root/repo/src/analysis/degree.cpp" "CMakeFiles/kronotri.dir/src/analysis/degree.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/analysis/degree.cpp.o.d"
+  "/root/repo/src/analysis/egonet.cpp" "CMakeFiles/kronotri.dir/src/analysis/egonet.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/analysis/egonet.cpp.o.d"
+  "/root/repo/src/api/pipeline.cpp" "CMakeFiles/kronotri.dir/src/api/pipeline.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/api/pipeline.cpp.o.d"
+  "/root/repo/src/api/registry.cpp" "CMakeFiles/kronotri.dir/src/api/registry.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/api/registry.cpp.o.d"
+  "/root/repo/src/api/sink.cpp" "CMakeFiles/kronotri.dir/src/api/sink.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/api/sink.cpp.o.d"
+  "/root/repo/src/api/spec.cpp" "CMakeFiles/kronotri.dir/src/api/spec.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/api/spec.cpp.o.d"
+  "/root/repo/src/cli/commands.cpp" "CMakeFiles/kronotri.dir/src/cli/commands.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/cli/commands.cpp.o.d"
+  "/root/repo/src/core/coo.cpp" "CMakeFiles/kronotri.dir/src/core/coo.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/core/coo.cpp.o.d"
+  "/root/repo/src/core/csr.cpp" "CMakeFiles/kronotri.dir/src/core/csr.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/core/csr.cpp.o.d"
+  "/root/repo/src/core/graph.cpp" "CMakeFiles/kronotri.dir/src/core/graph.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/core/graph.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "CMakeFiles/kronotri.dir/src/core/io.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/core/io.cpp.o.d"
+  "/root/repo/src/core/ops.cpp" "CMakeFiles/kronotri.dir/src/core/ops.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/core/ops.cpp.o.d"
+  "/root/repo/src/gen/classic.cpp" "CMakeFiles/kronotri.dir/src/gen/classic.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/gen/classic.cpp.o.d"
+  "/root/repo/src/gen/one_triangle_pa.cpp" "CMakeFiles/kronotri.dir/src/gen/one_triangle_pa.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/gen/one_triangle_pa.cpp.o.d"
+  "/root/repo/src/gen/prune.cpp" "CMakeFiles/kronotri.dir/src/gen/prune.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/gen/prune.cpp.o.d"
+  "/root/repo/src/gen/random.cpp" "CMakeFiles/kronotri.dir/src/gen/random.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/gen/random.cpp.o.d"
+  "/root/repo/src/gen/rmat.cpp" "CMakeFiles/kronotri.dir/src/gen/rmat.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/gen/rmat.cpp.o.d"
+  "/root/repo/src/kron/census_oracle.cpp" "CMakeFiles/kronotri.dir/src/kron/census_oracle.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/kron/census_oracle.cpp.o.d"
+  "/root/repo/src/kron/directed.cpp" "CMakeFiles/kronotri.dir/src/kron/directed.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/kron/directed.cpp.o.d"
+  "/root/repo/src/kron/formulas.cpp" "CMakeFiles/kronotri.dir/src/kron/formulas.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/kron/formulas.cpp.o.d"
+  "/root/repo/src/kron/labeled.cpp" "CMakeFiles/kronotri.dir/src/kron/labeled.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/kron/labeled.cpp.o.d"
+  "/root/repo/src/kron/multi.cpp" "CMakeFiles/kronotri.dir/src/kron/multi.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/kron/multi.cpp.o.d"
+  "/root/repo/src/kron/oracle.cpp" "CMakeFiles/kronotri.dir/src/kron/oracle.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/kron/oracle.cpp.o.d"
+  "/root/repo/src/kron/product.cpp" "CMakeFiles/kronotri.dir/src/kron/product.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/kron/product.cpp.o.d"
+  "/root/repo/src/kron/stream.cpp" "CMakeFiles/kronotri.dir/src/kron/stream.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/kron/stream.cpp.o.d"
+  "/root/repo/src/kron/view.cpp" "CMakeFiles/kronotri.dir/src/kron/view.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/kron/view.cpp.o.d"
+  "/root/repo/src/triangle/bruteforce.cpp" "CMakeFiles/kronotri.dir/src/triangle/bruteforce.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/triangle/bruteforce.cpp.o.d"
+  "/root/repo/src/triangle/clustering.cpp" "CMakeFiles/kronotri.dir/src/triangle/clustering.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/triangle/clustering.cpp.o.d"
+  "/root/repo/src/triangle/count.cpp" "CMakeFiles/kronotri.dir/src/triangle/count.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/triangle/count.cpp.o.d"
+  "/root/repo/src/triangle/directed.cpp" "CMakeFiles/kronotri.dir/src/triangle/directed.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/triangle/directed.cpp.o.d"
+  "/root/repo/src/triangle/forward.cpp" "CMakeFiles/kronotri.dir/src/triangle/forward.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/triangle/forward.cpp.o.d"
+  "/root/repo/src/triangle/labeled.cpp" "CMakeFiles/kronotri.dir/src/triangle/labeled.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/triangle/labeled.cpp.o.d"
+  "/root/repo/src/triangle/support.cpp" "CMakeFiles/kronotri.dir/src/triangle/support.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/triangle/support.cpp.o.d"
+  "/root/repo/src/truss/decompose.cpp" "CMakeFiles/kronotri.dir/src/truss/decompose.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/truss/decompose.cpp.o.d"
+  "/root/repo/src/truss/kron_truss.cpp" "CMakeFiles/kronotri.dir/src/truss/kron_truss.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/truss/kron_truss.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "CMakeFiles/kronotri.dir/src/util/cli.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/util/cli.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/kronotri.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/kronotri.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_components.dir/tests/test_components.cpp.o"
+  "CMakeFiles/test_components.dir/tests/test_components.cpp.o.d"
+  "test_components"
+  "test_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

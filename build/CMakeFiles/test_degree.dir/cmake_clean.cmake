@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_degree.dir/tests/test_degree.cpp.o"
+  "CMakeFiles/test_degree.dir/tests/test_degree.cpp.o.d"
+  "test_degree"
+  "test_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

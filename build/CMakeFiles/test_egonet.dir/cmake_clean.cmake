@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_egonet.dir/tests/test_egonet.cpp.o"
+  "CMakeFiles/test_egonet.dir/tests/test_egonet.cpp.o.d"
+  "test_egonet"
+  "test_egonet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_egonet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

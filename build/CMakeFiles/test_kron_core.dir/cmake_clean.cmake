@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kron_core.dir/tests/test_kron_core.cpp.o"
+  "CMakeFiles/test_kron_core.dir/tests/test_kron_core.cpp.o.d"
+  "test_kron_core"
+  "test_kron_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kron_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kron_directed.dir/tests/test_kron_directed.cpp.o"
+  "CMakeFiles/test_kron_directed.dir/tests/test_kron_directed.cpp.o.d"
+  "test_kron_directed"
+  "test_kron_directed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kron_directed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

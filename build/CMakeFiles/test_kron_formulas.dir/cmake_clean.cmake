@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kron_formulas.dir/tests/test_kron_formulas.cpp.o"
+  "CMakeFiles/test_kron_formulas.dir/tests/test_kron_formulas.cpp.o.d"
+  "test_kron_formulas"
+  "test_kron_formulas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kron_formulas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kron_labeled.dir/tests/test_kron_labeled.cpp.o"
+  "CMakeFiles/test_kron_labeled.dir/tests/test_kron_labeled.cpp.o.d"
+  "test_kron_labeled"
+  "test_kron_labeled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kron_labeled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

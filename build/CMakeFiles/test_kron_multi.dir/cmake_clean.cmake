@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kron_multi.dir/tests/test_kron_multi.cpp.o"
+  "CMakeFiles/test_kron_multi.dir/tests/test_kron_multi.cpp.o.d"
+  "test_kron_multi"
+  "test_kron_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kron_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

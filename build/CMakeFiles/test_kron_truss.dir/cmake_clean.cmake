@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kron_truss.dir/tests/test_kron_truss.cpp.o"
+  "CMakeFiles/test_kron_truss.dir/tests/test_kron_truss.cpp.o.d"
+  "test_kron_truss"
+  "test_kron_truss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kron_truss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oracle_extras.dir/tests/test_oracle_extras.cpp.o"
+  "CMakeFiles/test_oracle_extras.dir/tests/test_oracle_extras.cpp.o.d"
+  "test_oracle_extras"
+  "test_oracle_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oracle_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

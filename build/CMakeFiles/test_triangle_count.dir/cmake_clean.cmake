@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triangle_count.dir/tests/test_triangle_count.cpp.o"
+  "CMakeFiles/test_triangle_count.dir/tests/test_triangle_count.cpp.o.d"
+  "test_triangle_count"
+  "test_triangle_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triangle_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

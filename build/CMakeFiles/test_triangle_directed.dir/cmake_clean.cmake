@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triangle_directed.dir/tests/test_triangle_directed.cpp.o"
+  "CMakeFiles/test_triangle_directed.dir/tests/test_triangle_directed.cpp.o.d"
+  "test_triangle_directed"
+  "test_triangle_directed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triangle_directed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triangle_labeled.dir/tests/test_triangle_labeled.cpp.o"
+  "CMakeFiles/test_triangle_labeled.dir/tests/test_triangle_labeled.cpp.o.d"
+  "test_triangle_labeled"
+  "test_triangle_labeled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triangle_labeled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
