@@ -4,7 +4,9 @@
 // stream_parallel fan-out on a scale-20-equivalent product (≈2^20 product
 // vertices), and writes the headline numbers to BENCH_generation.json so
 // the perf trajectory is machine-readable across PRs.
+#include <ctime>
 #include <fstream>
+#include <thread>
 
 #include "common.hpp"
 #include "kronotri.hpp"
@@ -13,12 +15,51 @@ namespace {
 
 using namespace kronotri;
 
+/// Degree census that also records its worker thread's CPU seconds between
+/// the first batch and finish(). Wall-clock eps on an oversubscribed box
+/// measures the scheduler; CPU seconds per edge measures what the fan-out
+/// actually controls — per-item cost with no cross-worker synchronization.
+class TimedDegreeSink : public api::DegreeCensusSink {
+ public:
+  using api::DegreeCensusSink::DegreeCensusSink;
+
+  void consume(std::span<const kron::EdgeRecord> batch) override {
+    if (!started_) {
+      start_ns_ = cpu_now_ns();
+      started_ = true;
+    }
+    DegreeCensusSink::consume(batch);
+  }
+  void finish() override {
+    if (started_) {
+      cpu_seconds_ = static_cast<double>(cpu_now_ns() - start_ns_) * 1e-9;
+    }
+  }
+
+  [[nodiscard]] double cpu_seconds() const noexcept { return cpu_seconds_; }
+
+ private:
+  static std::uint64_t cpu_now_ns() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+
+  bool started_ = false;
+  std::uint64_t start_ns_ = 0;
+  double cpu_seconds_ = 0;
+};
+
 struct GenerationNumbers {
   esz edges = 0;
   double per_edge_eps = 0;
   double batched_eps = 0;
+  double batched_census_eps = 0;
   double parallel_eps = 0;
+  double parallel_cpu_eps = 0;
   unsigned threads = 0;
+  unsigned hardware_threads = 0;
   vid product_vertices = 0;
 };
 
@@ -26,16 +67,35 @@ void write_json(const GenerationNumbers& n) {
   std::ofstream json("BENCH_generation.json");
   json << "{\n"
        << "  \"bench\": \"generation\",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n"
        << "  \"product_vertices\": " << n.product_vertices << ",\n"
        << "  \"stored_entries\": " << n.edges << ",\n"
        << "  \"per_edge_eps\": " << n.per_edge_eps << ",\n"
        << "  \"batched_eps\": " << n.batched_eps << ",\n"
        << "  \"batched_speedup\": " << n.batched_eps / n.per_edge_eps << ",\n"
+       << "  \"batched_census_eps\": " << n.batched_census_eps << ",\n"
        << "  \"parallel_eps\": " << n.parallel_eps << ",\n"
-       << "  \"parallel_threads\": " << n.threads << "\n"
+       << "  \"parallel_threads\": " << n.threads << ",\n"
+       << "  \"parallel_vs_batched_census\": "
+       << n.parallel_eps / n.batched_census_eps << ",\n"
+       << "  \"parallel_cpu_eps\": " << n.parallel_cpu_eps << ",\n"
+       << "  \"parallel_scaling_efficiency\": "
+       << n.parallel_cpu_eps / n.batched_census_eps << "\n"
        << "}\n";
   std::cout << "\nwrote BENCH_generation.json (batched speedup "
-            << util::human(n.batched_eps / n.per_edge_eps, 3) << "x)\n";
+            << util::human(n.batched_eps / n.per_edge_eps, 3)
+            << "x; parallel vs 1-thread census "
+            << util::human(n.parallel_eps / n.batched_census_eps, 3)
+            << "x wall, " << util::human(
+                   n.parallel_cpu_eps / n.batched_census_eps, 3)
+            << "x per CPU-second";
+  if (n.hardware_threads < n.threads) {
+    std::cout << " — " << n.threads << " partitions share "
+              << n.hardware_threads
+              << " hardware thread(s), so wall eps is scheduler-bound";
+  }
+  std::cout << ")\n";
 }
 
 void print_artifact() {
@@ -62,6 +122,7 @@ void print_artifact() {
   GenerationNumbers numbers;
   numbers.product_vertices = c.num_vertices();
   numbers.threads = 4;
+  numbers.hardware_threads = std::thread::hardware_concurrency();
 
   util::Table t({"mode", "partitions", "edges emitted", "time (s)",
                  "edges/s"});
@@ -73,9 +134,13 @@ void print_artifact() {
     return static_cast<double>(total) / secs;
   };
 
+  // Flattened once, shared by every stream below — the fan-out no longer
+  // re-flattens both factors per worker.
+  const kron::FlatEdges fa(a), fb(b);
+
   {
     util::WallTimer timer;
-    kron::EdgeStream stream(a, b);
+    kron::EdgeStream stream(fa, fb);
     esz total = 0;
     vid acc = 0;
     while (auto e = stream.next()) {
@@ -89,7 +154,7 @@ void print_artifact() {
   }
   {
     util::WallTimer timer;
-    kron::EdgeStream stream(a, b);
+    kron::EdgeStream stream(fa, fb);
     std::vector<kron::EdgeRecord> batch(api::kDefaultBatchSize);
     esz total = 0;
     vid acc = 0;
@@ -101,13 +166,27 @@ void print_artifact() {
     numbers.batched_eps = record("batched pull", 1, total, timer.seconds());
   }
   {
+    // Work-equal single-thread baseline for the fan-out: the same degree
+    // census through the same sink machinery, one partition.
+    util::WallTimer timer;
+    api::DegreeCensusSink sink(c.num_vertices());
+    const esz total = api::stream_into(fa, fb, sink);
+    benchmark::DoNotOptimize(sink.degrees().data());
+    numbers.batched_census_eps =
+        record("batched pull + degree census", 1, total, timer.seconds());
+  }
+  {
     // Degree-census sinks: real per-edge work on every worker, merged after.
     util::WallTimer timer;
     auto sinks = api::stream_parallel(
-        a, b, numbers.threads, [&](std::uint64_t, std::uint64_t) {
-          return std::make_unique<api::DegreeCensusSink>(c.num_vertices());
+        fa, fb, numbers.threads, [&](std::uint64_t, std::uint64_t) {
+          return std::make_unique<TimedDegreeSink>(c.num_vertices());
         });
     const double secs = timer.seconds();
+    double cpu_secs = 0;
+    for (const auto& s : sinks) {
+      cpu_secs += static_cast<const TimedDegreeSink&>(*s).cpu_seconds();
+    }
     auto& merged = static_cast<api::DegreeCensusSink&>(*sinks[0]);
     for (std::size_t i = 1; i < sinks.size(); ++i) {
       merged.merge(static_cast<const api::DegreeCensusSink&>(*sinks[i]));
@@ -116,6 +195,11 @@ void print_artifact() {
     numbers.parallel_eps =
         record("stream_parallel + degree census", numbers.threads,
                merged.edges_consumed(), secs);
+    numbers.parallel_cpu_eps =
+        static_cast<double>(merged.edges_consumed()) / cpu_secs;
+    t.row({"  (per CPU-second across workers)", std::to_string(numbers.threads),
+           "", std::to_string(cpu_secs),
+           util::human(numbers.parallel_cpu_eps)});
   }
   t.print(std::cout);
   std::cout << "\npartitions only need the two factors — the distributed "

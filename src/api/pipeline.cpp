@@ -4,15 +4,13 @@
 #include <exception>
 #include <thread>
 
-#include "kron/stream.hpp"
-
 namespace kronotri::api {
 
-esz stream_into(const Graph& a, const Graph& b, EdgeSink& sink,
-                const StreamOptions& options) {
-  kron::EdgeStream stream(a, b, options.part, options.nparts);
-  std::vector<kron::EdgeRecord> batch(
-      options.batch_size > 0 ? options.batch_size : kDefaultBatchSize);
+namespace {
+
+esz pump(kron::EdgeStream& stream, EdgeSink& sink, std::size_t batch_size) {
+  std::vector<kron::EdgeRecord> batch(batch_size > 0 ? batch_size
+                                                     : kDefaultBatchSize);
   esz total = 0;
   while (const std::size_t got = stream.next_batch(batch)) {
     sink.consume(std::span<const kron::EdgeRecord>(batch.data(), got));
@@ -22,8 +20,22 @@ esz stream_into(const Graph& a, const Graph& b, EdgeSink& sink,
   return total;
 }
 
+}  // namespace
+
+esz stream_into(const Graph& a, const Graph& b, EdgeSink& sink,
+                const StreamOptions& options) {
+  kron::EdgeStream stream(a, b, options.part, options.nparts);
+  return pump(stream, sink, options.batch_size);
+}
+
+esz stream_into(const kron::FlatEdges& a, const kron::FlatEdges& b,
+                EdgeSink& sink, const StreamOptions& options) {
+  kron::EdgeStream stream(a, b, options.part, options.nparts);
+  return pump(stream, sink, options.batch_size);
+}
+
 std::vector<std::unique_ptr<EdgeSink>> stream_parallel(
-    const Graph& a, const Graph& b, unsigned nthreads,
+    const kron::FlatEdges& a, const kron::FlatEdges& b, unsigned nthreads,
     const SinkFactory& factory, std::size_t batch_size) {
   if (nthreads == 0) {
     nthreads = std::max(1u, std::thread::hardware_concurrency());
@@ -55,6 +67,14 @@ std::vector<std::unique_ptr<EdgeSink>> stream_parallel(
     if (err) std::rethrow_exception(err);
   }
   return sinks;
+}
+
+std::vector<std::unique_ptr<EdgeSink>> stream_parallel(
+    const Graph& a, const Graph& b, unsigned nthreads,
+    const SinkFactory& factory, std::size_t batch_size) {
+  const kron::FlatEdges fa(a);
+  const kron::FlatEdges fb(b);
+  return stream_parallel(fa, fb, nthreads, factory, batch_size);
 }
 
 }  // namespace kronotri::api

@@ -4,7 +4,10 @@
 // generation ([3]) on one node: the nonzero pair space of C = A ⊗ B is
 // split into contiguous partitions, each worker thread owns one partition's
 // stream and one sink, and no worker ever talks to another. Fan-in (if any)
-// is the caller's merge over the returned sinks.
+// is the caller's merge over the returned sinks. The factors are flattened
+// into shared kron::FlatEdges views exactly once, before any worker starts
+// — workers share the read-only views instead of re-flattening per
+// partition.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +17,7 @@
 
 #include "api/sink.hpp"
 #include "core/graph.hpp"
+#include "kron/stream.hpp"
 
 namespace kronotri::api {
 
@@ -33,6 +37,10 @@ struct StreamOptions {
 esz stream_into(const Graph& a, const Graph& b, EdgeSink& sink,
                 const StreamOptions& options = {});
 
+/// Same, over pre-flattened factors (no per-call flatten).
+esz stream_into(const kron::FlatEdges& a, const kron::FlatEdges& b,
+                EdgeSink& sink, const StreamOptions& options = {});
+
 /// Makes the sink for partition `part` of `nparts`. Called on the spawning
 /// thread, before any worker starts.
 using SinkFactory =
@@ -41,12 +49,17 @@ using SinkFactory =
 
 /// Fans C = A ⊗ B out over `nthreads` contiguous partitions, one worker
 /// thread and one factory-made sink per partition (nthreads == 0 uses the
-/// hardware concurrency). The union of the partitions is exactly the edge
-/// multiset of the single-threaded stream. Returns the sinks, in partition
-/// order, after every worker has finished; rethrows the first worker
-/// exception, if any.
+/// hardware concurrency). Both factors are flattened once and shared by all
+/// workers. The union of the partitions is exactly the edge multiset of the
+/// single-threaded stream. Returns the sinks, in partition order, after
+/// every worker has finished; rethrows the first worker exception, if any.
 std::vector<std::unique_ptr<EdgeSink>> stream_parallel(
     const Graph& a, const Graph& b, unsigned nthreads,
+    const SinkFactory& factory, std::size_t batch_size = kDefaultBatchSize);
+
+/// Same, over caller-owned pre-flattened factors (reusable across calls).
+std::vector<std::unique_ptr<EdgeSink>> stream_parallel(
+    const kron::FlatEdges& a, const kron::FlatEdges& b, unsigned nthreads,
     const SinkFactory& factory, std::size_t batch_size = kDefaultBatchSize);
 
 }  // namespace kronotri::api

@@ -60,7 +60,8 @@ Graph CooCollectorSink::to_graph(vid n, bool symmetrize) const {
 
 void DegreeCensusSink::consume(std::span<const kron::EdgeRecord> batch) {
   consumed_ += batch.size();
-  for (const auto& e : batch) ++degrees_[e.u];
+  count_t* const d = degrees_.data();
+  for (const auto& e : batch) ++d[e.u];
 }
 
 void DegreeCensusSink::merge(const DegreeCensusSink& other) {

@@ -83,8 +83,12 @@ class CooCollectorSink : public EdgeSink {
 };
 
 /// Accumulates the out-degree of every product vertex — a full degree
-/// census of C performed during generation.
-class DegreeCensusSink : public EdgeSink {
+/// census of C performed during generation. Each partition's counter array
+/// is its own heap allocation, touched by exactly one worker until
+/// merge(); the class alignment only keeps the sink objects themselves
+/// (the consumed_ counter and vector header) off a shared cache line when
+/// sinks are allocated back-to-back.
+class alignas(64) DegreeCensusSink : public EdgeSink {
  public:
   explicit DegreeCensusSink(vid num_vertices) : degrees_(num_vertices, 0) {}
   void consume(std::span<const kron::EdgeRecord> batch) override;

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <numeric>
 #include <stdexcept>
 #include <vector>
 
@@ -17,6 +18,15 @@
 #include "core/types.hpp"
 
 namespace kronotri::ops {
+
+/// In-place inclusive prefix sum — the scan step of every two-pass parallel
+/// CSR build (count per row in parallel, scan, fill in parallel). Callers
+/// store per-row tallies at v[r+1] with v[0] == 0, so after the scan v[r] is
+/// the first output slot of row r and v.back() the total.
+template <typename T>
+inline void prefix_sum_inplace(std::vector<T>& v) {
+  std::partial_sum(v.begin(), v.end(), v.begin());
+}
 
 /// Aᵗ — counting-sort based transpose, O(nnz + rows + cols).
 template <typename T>

@@ -18,9 +18,10 @@ std::vector<std::pair<vid, vid>> flatten(const Graph& g) {
 
 }  // namespace
 
-EdgeStream::EdgeStream(const Graph& a, const Graph& b, std::uint64_t part,
-                       std::uint64_t nparts)
-    : a_edges_(flatten(a)), b_edges_(flatten(b)), index_(b.num_vertices()) {
+FlatEdges::FlatEdges(const Graph& g)
+    : edges_(flatten(g)), num_vertices_(g.num_vertices()) {}
+
+void EdgeStream::init_partition(std::uint64_t part, std::uint64_t nparts) {
   if (nparts == 0 || part >= nparts) {
     throw std::invalid_argument("EdgeStream: part must be < nparts");
   }
@@ -30,6 +31,24 @@ EdgeStream::EdgeStream(const Graph& a, const Graph& b, std::uint64_t part,
   lo_ = part * base + std::min<esz>(part, rem);
   hi_ = lo_ + base + (part < rem ? 1 : 0);
   cursor_ = lo_;
+}
+
+EdgeStream::EdgeStream(const Graph& a, const Graph& b, std::uint64_t part,
+                       std::uint64_t nparts)
+    : a_owned_(flatten(a)),
+      b_owned_(flatten(b)),
+      a_edges_(a_owned_),
+      b_edges_(b_owned_),
+      index_(b.num_vertices()) {
+  init_partition(part, nparts);
+}
+
+EdgeStream::EdgeStream(const FlatEdges& a, const FlatEdges& b,
+                       std::uint64_t part, std::uint64_t nparts)
+    : a_edges_(a.edges()),
+      b_edges_(b.edges()),
+      index_(b.num_vertices()) {
+  init_partition(part, nparts);
 }
 
 std::optional<EdgeRecord> EdgeStream::next() {

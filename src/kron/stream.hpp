@@ -5,8 +5,12 @@
 // [0, nnz(A)·nnz(B)) therefore emits every stored edge of C exactly once,
 // and splitting that space into contiguous ranges gives the
 // "essentially communication-free" distributed generation of [3]: each
-// worker needs only the two small factors and its range bounds. This class
-// is one such worker.
+// worker needs only the two small factors and its range bounds.
+//
+// FlatEdges is the flattened nonzero list of one factor, built once and
+// shared read-only by every partition — the seed implementation had each
+// worker's EdgeStream re-flatten both factors, so an N-way fan-out paid the
+// flatten (and its allocations) N times before emitting a single edge.
 #pragma once
 
 #include <optional>
@@ -24,12 +28,43 @@ struct EdgeRecord {
   vid v;  ///< destination product vertex
 };
 
+/// Flattened nonzero list of a factor graph. Immutable after construction,
+/// safe to share across partition streams and worker threads.
+class FlatEdges {
+ public:
+  explicit FlatEdges(const Graph& g);
+
+  [[nodiscard]] std::span<const std::pair<vid, vid>> edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] vid num_vertices() const noexcept { return num_vertices_; }
+
+ private:
+  std::vector<std::pair<vid, vid>> edges_;
+  vid num_vertices_;
+};
+
 class EdgeStream {
  public:
   /// Stream partition `part` of `nparts` (contiguous split of the nonzero
-  /// pair space). Factors must outlive the stream.
+  /// pair space). Flattens both factors privately; factors need not outlive
+  /// the stream. Prefer the FlatEdges overload when fanning out.
   EdgeStream(const Graph& a, const Graph& b, std::uint64_t part = 0,
              std::uint64_t nparts = 1);
+
+  /// Same partition semantics over pre-flattened factors shared by all
+  /// partitions. `a` and `b` must outlive the stream.
+  EdgeStream(const FlatEdges& a, const FlatEdges& b, std::uint64_t part = 0,
+             std::uint64_t nparts = 1);
+
+  // Copying is deleted: a Graph-constructed stream's spans point into its
+  // own owned vectors, so a memberwise copy would alias the source's
+  // storage. Moves keep the spans valid (heap buffers move with the
+  // vectors).
+  EdgeStream(const EdgeStream&) = delete;
+  EdgeStream& operator=(const EdgeStream&) = delete;
+  EdgeStream(EdgeStream&&) noexcept = default;
+  EdgeStream& operator=(EdgeStream&&) noexcept = default;
 
   /// Next edge of C in this partition, or nullopt when exhausted.
   std::optional<EdgeRecord> next();
@@ -49,8 +84,12 @@ class EdgeStream {
   void reset() noexcept { cursor_ = lo_; }
 
  private:
-  std::vector<std::pair<vid, vid>> a_edges_;  // flattened nonzeros of A
-  std::vector<std::pair<vid, vid>> b_edges_;  // flattened nonzeros of B
+  void init_partition(std::uint64_t part, std::uint64_t nparts);
+
+  std::vector<std::pair<vid, vid>> a_owned_;  // backing store, Graph ctor only
+  std::vector<std::pair<vid, vid>> b_owned_;
+  std::span<const std::pair<vid, vid>> a_edges_;  // flattened nonzeros of A
+  std::span<const std::pair<vid, vid>> b_edges_;  // flattened nonzeros of B
   KronIndex index_;
   esz lo_ = 0;
   esz hi_ = 0;

@@ -36,6 +36,7 @@
 #include "kron/stream.hpp"        // IWYU pragma: export
 #include "kron/view.hpp"          // IWYU pragma: export
 #include "triangle/bruteforce.hpp"  // IWYU pragma: export
+#include "triangle/census.hpp"    // IWYU pragma: export
 #include "triangle/clustering.hpp"  // IWYU pragma: export
 #include "triangle/count.hpp"     // IWYU pragma: export
 #include "triangle/directed.hpp"  // IWYU pragma: export

@@ -1,89 +1,96 @@
 #include "triangle/count.hpp"
 
-#include <algorithm>
-#include <numeric>
 #include <stdexcept>
 
 #include "core/ops.hpp"
-#include "triangle/forward.hpp"
+#include "triangle/census.hpp"
+#include "triangle/support.hpp"
 
 namespace kronotri::triangle {
 
-namespace {
-
-BoolCsr simple_part(const Graph& a) {
-  if (!a.is_undirected()) {
-    throw std::invalid_argument(
-        "triangle analytics (Def. 5/6) require an undirected graph");
-  }
-  return a.has_self_loops() ? ops::remove_diag(a.matrix()) : a.matrix();
-}
-
-}  // namespace
-
 UndirectedStats analyze(const Graph& a) {
-  const BoolCsr s = simple_part(a);
-  const vid n = s.rows();
-  const Oriented o = orient_by_degree(s);
+  const CensusWorkspace ws(a);
+  const vid n = ws.num_vertices();
+  const esz m = ws.num_edges();
+
+  struct Tls {
+    std::vector<count_t> vert;
+    std::vector<count_t> edge;
+  };
+  std::vector<Tls> tls(census_workers());
+  for (auto& t : tls) {
+    t.vert.assign(n, 0);
+    t.edge.assign(m, 0);
+  }
 
   UndirectedStats st;
+  st.wedge_checks = ws.for_each_triangle(
+      tls, [](Tls& t, vid u, vid v, vid w, esz euv, esz euw, esz evw) {
+        ++t.vert[u];
+        ++t.vert[v];
+        ++t.vert[w];
+        ++t.edge[euv];
+        ++t.edge[euw];
+        ++t.edge[evw];
+      });
+
   st.per_vertex.assign(n, 0);
-  std::vector<count_t> edge_vals(s.nnz(), 0);
+  count_t vertex_sum = 0;
+#pragma omp parallel for schedule(static) reduction(+ : vertex_sum)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+    count_t acc = 0;
+    for (const auto& t : tls) acc += t.vert[static_cast<vid>(v)];
+    st.per_vertex[static_cast<vid>(v)] = acc;
+    vertex_sum += acc;
+  }
+  st.total = vertex_sum / 3;
 
-  auto bump_edge = [&](vid x, vid y) {
-    const esz k1 = s.find(x, y), k2 = s.find(y, x);
-#pragma omp atomic
-    ++edge_vals[k1];
-#pragma omp atomic
-    ++edge_vals[k2];
-  };
-
-  count_t triangles = 0;
-  st.wedge_checks = forward_triangles(o, n, [&](vid u, vid v, vid w) {
-#pragma omp atomic
-    ++st.per_vertex[u];
-#pragma omp atomic
-    ++st.per_vertex[v];
-#pragma omp atomic
-    ++st.per_vertex[w];
-    bump_edge(u, v);
-    bump_edge(u, w);
-    bump_edge(v, w);
-#pragma omp atomic
-    ++triangles;
-  });
-  st.total = triangles;
-  st.per_edge = CountCsr::from_parts(n, n, s.row_ptr(), s.col_idx(),
-                                     std::move(edge_vals));
+  std::vector<count_t> per_edge(m, 0);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t e = 0; e < static_cast<std::int64_t>(m); ++e) {
+    count_t acc = 0;
+    for (const auto& t : tls) acc += t.edge[static_cast<esz>(e)];
+    per_edge[static_cast<esz>(e)] = acc;
+  }
+  st.per_edge = ws.mirror_edge_counts(per_edge);
   return st;
 }
 
 std::vector<count_t> participation_vertices(const Graph& a) {
-  const BoolCsr s = simple_part(a);
-  const vid n = s.rows();
-  const Oriented o = orient_by_degree(s);
-  std::vector<count_t> t(n, 0);
-  forward_triangles(o, n, [&](vid u, vid v, vid w) {
-#pragma omp atomic
-    ++t[u];
-#pragma omp atomic
-    ++t[v];
-#pragma omp atomic
-    ++t[w];
-  });
-  return t;
+  const CensusWorkspace ws(a, CensusWorkspace::Detail::kVertexOnly);
+  const vid n = ws.num_vertices();
+  std::vector<std::vector<count_t>> tls(census_workers());
+  for (auto& t : tls) t.assign(n, 0);
+  ws.for_each_triangle_vertices(
+      tls, [](std::vector<count_t>& t, vid u, vid v, vid w) {
+        ++t[u];
+        ++t[v];
+        ++t[w];
+      });
+  std::vector<count_t> out(n, 0);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+    count_t acc = 0;
+    for (const auto& t : tls) acc += t[static_cast<vid>(v)];
+    out[static_cast<vid>(v)] = acc;
+  }
+  return out;
 }
 
-CountCsr participation_edges(const Graph& a) { return analyze(a).per_edge; }
+CountCsr participation_edges(const Graph& a) { return edge_support_masked(a); }
 
 count_t count_total(const Graph& a) {
-  const BoolCsr s = simple_part(a);
-  const Oriented o = orient_by_degree(s);
+  const CensusWorkspace ws(a, CensusWorkspace::Detail::kVertexOnly);
+  // Padded per-worker counters: adjacent count_t slots would put every
+  // worker's hot counter on one cache line.
+  struct alignas(64) PaddedCount {
+    count_t value = 0;
+  };
+  std::vector<PaddedCount> tls(census_workers());
+  ws.for_each_triangle_vertices(
+      tls, [](PaddedCount& t, vid, vid, vid) { ++t.value; });
   count_t total = 0;
-  forward_triangles(o, s.rows(), [&](vid, vid, vid) {
-#pragma omp atomic
-    ++total;
-  });
+  for (const auto& t : tls) total += t.value;
   return total;
 }
 

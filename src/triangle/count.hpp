@@ -8,6 +8,11 @@
 // per the definitions. The kernel also reports the number of wedge checks
 // performed — the work measure the paper quotes in §VI (7,734,429 wedge
 // checks for web-NotreDame).
+//
+// All entry points run on the atomic-free census engine
+// (triangle/census.hpp): thread-local accumulation indexed by vertex id and
+// undirected edge id, reduced after enumeration — no per-triangle atomics
+// or binary searches, bit-identical counts at every thread count.
 #pragma once
 
 #include <vector>

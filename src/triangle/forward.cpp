@@ -1,5 +1,7 @@
 #include "triangle/forward.hpp"
 
+#include "core/ops.hpp"
+
 namespace kronotri::triangle {
 
 Oriented orient_by_degree(const BoolCsr& s) {
@@ -10,13 +12,18 @@ Oriented orient_by_degree(const BoolCsr& s) {
   };
   Oriented o;
   o.row_ptr.assign(n + 1, 0);
-  for (vid u = 0; u < n; ++u) {
+#pragma omp parallel for schedule(static)
+  for (std::int64_t uu = 0; uu < static_cast<std::int64_t>(n); ++uu) {
+    const vid u = static_cast<vid>(uu);
     esz c = 0;
     for (const vid v : s.row_cols(u)) c += precedes(u, v) ? 1u : 0u;
-    o.row_ptr[u + 1] = o.row_ptr[u] + c;
+    o.row_ptr[u + 1] = c;
   }
+  ops::prefix_sum_inplace(o.row_ptr);
   o.succ.resize(o.row_ptr.back());
-  for (vid u = 0; u < n; ++u) {
+#pragma omp parallel for schedule(static)
+  for (std::int64_t uu = 0; uu < static_cast<std::int64_t>(n); ++uu) {
+    const vid u = static_cast<vid>(uu);
     esz w = o.row_ptr[u];
     for (const vid v : s.row_cols(u)) {
       if (precedes(u, v)) o.succ[w++] = v;  // sorted: the row itself is sorted

@@ -3,7 +3,7 @@
 #include <cassert>
 
 #include "core/ops.hpp"
-#include "triangle/forward.hpp"
+#include "triangle/census.hpp"
 
 namespace kronotri::triangle {
 
@@ -97,44 +97,66 @@ CountCsr labeled_edge_participation(const Graph& a, const Labeling& lab,
 
 LabeledCensus labeled_census(const Graph& a, const Labeling& lab) {
   require_census_preconditions(a, lab);
-  const BoolCsr& s = a.matrix();
-  const vid n = s.rows();
+  // Loop-free per the preconditions, so the workspace structure is exactly
+  // a.matrix().
+  const CensusWorkspace ws(a);
+  const vid n = ws.num_vertices();
+  const esz m = ws.num_edges();
   const std::uint32_t big_l = lab.num_labels;
+  const std::size_t npairs =
+      static_cast<std::size_t>(big_l) * (big_l + 1) / 2;
 
   LabeledCensus census;
   census.num_labels = big_l;
-  census.at_vertices.assign(static_cast<std::size_t>(big_l) * (big_l + 1) / 2,
-                            std::vector<count_t>(n, 0));
-  std::vector<std::vector<count_t>> edge_vals(
-      big_l, std::vector<count_t>(s.nnz(), 0));
 
-  auto bump_edge = [&](std::uint32_t q3, vid x, vid y) {
-    const esz k1 = s.find(x, y), k2 = s.find(y, x);
-#pragma omp atomic
-    ++edge_vals[q3][k1];
-#pragma omp atomic
-    ++edge_vals[q3][k2];
+  // Thread-local accumulation: one flat (label-pair × vertex) block and one
+  // flat (third-label × edge-id) block per worker, bumped with plain
+  // increments and reduced after enumeration.
+  struct Tls {
+    std::vector<count_t> vert;  // npairs × n
+    std::vector<count_t> edge;  // big_l × m
   };
+  std::vector<Tls> tls(census_workers());
+  for (auto& t : tls) {
+    t.vert.assign(npairs * n, 0);
+    t.edge.assign(static_cast<std::size_t>(big_l) * m, 0);
+  }
 
-  const Oriented o = orient_by_degree(s);
-  forward_triangles(o, n, [&](vid u, vid v, vid w) {
-    const std::uint32_t qu = lab.label[u], qv = lab.label[v],
-                        qw = lab.label[w];
-#pragma omp atomic
-    ++census.at_vertices[census.pair_index(qv, qw)][u];
-#pragma omp atomic
-    ++census.at_vertices[census.pair_index(qu, qw)][v];
-#pragma omp atomic
-    ++census.at_vertices[census.pair_index(qu, qv)][w];
-    bump_edge(qw, u, v);
-    bump_edge(qv, u, w);
-    bump_edge(qu, v, w);
-  });
+  const std::uint32_t* const ql = lab.label.data();
+  ws.for_each_triangle(
+      tls, [&](Tls& t, vid u, vid v, vid w, esz euv, esz euw, esz evw) {
+        const std::uint32_t qu = ql[u], qv = ql[v], qw = ql[w];
+        t.vert[census.pair_index(qv, qw) * n + u] += 1;
+        t.vert[census.pair_index(qu, qw) * n + v] += 1;
+        t.vert[census.pair_index(qu, qv) * n + w] += 1;
+        t.edge[static_cast<std::size_t>(qw) * m + euv] += 1;
+        t.edge[static_cast<std::size_t>(qv) * m + euw] += 1;
+        t.edge[static_cast<std::size_t>(qu) * m + evw] += 1;
+      });
+
+  census.at_vertices.assign(npairs, std::vector<count_t>(n, 0));
+  for (std::size_t pi = 0; pi < npairs; ++pi) {
+    auto& out = census.at_vertices[pi];
+#pragma omp parallel for schedule(static)
+    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+      count_t acc = 0;
+      for (const auto& t : tls) acc += t.vert[pi * n + static_cast<vid>(v)];
+      out[static_cast<vid>(v)] = acc;
+    }
+  }
 
   census.at_edges.reserve(big_l);
+  std::vector<count_t> per_edge(m);
   for (std::uint32_t q = 0; q < big_l; ++q) {
-    census.at_edges.push_back(CountCsr::from_parts(
-        n, n, s.row_ptr(), s.col_idx(), std::move(edge_vals[q])));
+#pragma omp parallel for schedule(static)
+    for (std::int64_t e = 0; e < static_cast<std::int64_t>(m); ++e) {
+      count_t acc = 0;
+      for (const auto& t : tls) {
+        acc += t.edge[static_cast<std::size_t>(q) * m + static_cast<esz>(e)];
+      }
+      per_edge[static_cast<esz>(e)] = acc;
+    }
+    census.at_edges.push_back(ws.mirror_edge_counts(per_edge));
   }
   return census;
 }

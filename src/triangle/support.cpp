@@ -1,19 +1,13 @@
 #include "triangle/support.hpp"
 
-#include <stdexcept>
-
 #include "core/ops.hpp"
+#include "triangle/census.hpp"
 
 namespace kronotri::triangle {
 
 CountCsr edge_support_masked(const Graph& a) {
-  if (!a.is_undirected()) {
-    throw std::invalid_argument("edge_support_masked requires undirected graph");
-  }
-  const BoolCsr s =
-      a.has_self_loops() ? ops::remove_diag(a.matrix()) : a.matrix();
-  // (S·S) ∘ S with S symmetric: pass S as its own transpose.
-  return ops::masked_product(s, s, s);
+  const CensusWorkspace ws(a);
+  return ws.mirror_edge_counts(ws.edge_census());
 }
 
 std::vector<count_t> vertex_from_edge_support(const CountCsr& delta) {

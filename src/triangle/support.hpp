@@ -1,11 +1,11 @@
-// Edge-support computation via the masked linear-algebra kernel.
+// Edge-support computation: Δ_A = A ∘ A² for a loop-free undirected A
+// (Def. 6), the paper's Fig. 2 (right) — (A²)_{ij} counts 2-paths between
+// i and j, so A ∘ A² counts triangles at every edge.
 //
-// Δ_A = A ∘ A² for a loop-free undirected A (Def. 6) evaluated as a masked
-// product, i.e. without materializing A². This mirrors the paper's Fig. 2
-// (right): (A²)_{ij} counts 2-paths between i and j, so A ∘ A² counts
-// triangles at every edge. It is the linear-algebra counterpart of the
-// intersection kernel in count.cpp; tests and the ablation bench compare
-// the two.
+// Since the census-engine rework this runs on the atomic-free enumeration
+// engine (triangle/census.hpp) rather than a masked SpGEMM; the
+// linear-algebra formulation is still available as
+// ops::masked_product(S, S, S) and the ablation bench compares the two.
 #pragma once
 
 #include "core/csr.hpp"
@@ -13,7 +13,7 @@
 
 namespace kronotri::triangle {
 
-/// Δ_A via masked SpGEMM. Requires undirected; self loops are stripped.
+/// Δ_A. Requires undirected; self loops are stripped.
 CountCsr edge_support_masked(const Graph& a);
 
 /// t_A = ½·Δ_A·1 (useful identity from Def. 6).

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/ops.hpp"
+#include "triangle/census.hpp"
 #include "triangle/support.hpp"
 
 namespace kronotri::truss {
@@ -16,57 +17,16 @@ count_t TrussDecomposition::edges_in_truss(count_t kappa) const {
   return c / 2;  // symmetric storage counts both directions
 }
 
-namespace {
-
-/// Undirected edge ids: every off-diagonal stored entry (i,j) of the
-/// symmetric structure maps to one id shared with (j,i).
-struct EdgeIds {
-  BoolCsr structure;           // A − I∘A
-  std::vector<esz> id;         // per stored entry
-  std::vector<std::pair<vid, vid>> ends;  // id -> (u,v) with u < v
-};
-
-EdgeIds build_edge_ids(const Graph& a) {
-  if (!a.is_undirected()) {
-    throw std::invalid_argument("truss decomposition requires undirected graph");
-  }
-  EdgeIds e;
-  e.structure = a.has_self_loops() ? ops::remove_diag(a.matrix()) : a.matrix();
-  e.id.assign(e.structure.nnz(), 0);
-  for (vid u = 0; u < e.structure.rows(); ++u) {
-    const auto row = e.structure.row_cols(u);
-    for (std::size_t k = 0; k < row.size(); ++k) {
-      const vid v = row[k];
-      if (u < v) {
-        const esz eid = e.ends.size();
-        e.id[e.structure.row_ptr()[u] + k] = eid;
-        e.id[e.structure.find(v, u)] = eid;
-        e.ends.emplace_back(u, v);
-      }
-    }
-  }
-  return e;
-}
-
-}  // namespace
-
 TrussDecomposition decompose(const Graph& a) {
-  EdgeIds eids = build_edge_ids(a);
-  const BoolCsr& s = eids.structure;
-  const esz m = eids.ends.size();
+  // The census workspace provides the loop-free structure, the shared
+  // undirected edge ids, and the initial supports Δ(e) — already indexed by
+  // edge id, so no symmetric count matrix has to be built and re-read.
+  const triangle::CensusWorkspace ws(a);
+  const BoolCsr& s = ws.structure();
+  const triangle::EdgeIdMap& eids = ws.edge_ids();
+  const esz m = eids.num_edges();
 
-  // Initial support Δ(e) via the masked kernel.
-  const CountCsr delta = triangle::edge_support_masked(Graph(s));
-  std::vector<count_t> sup(m, 0);
-  for (vid u = 0; u < s.rows(); ++u) {
-    const auto row = s.row_cols(u);
-    for (std::size_t k = 0; k < row.size(); ++k) {
-      if (u < row[k]) {
-        sup[eids.id[s.row_ptr()[u] + k]] =
-            delta.values()[s.row_ptr()[u] + k];
-      }
-    }
-  }
+  std::vector<count_t> sup = ws.edge_census();
 
   // Bucket ordering (Batagelj–Zaveršnik): edges sorted by current support,
   // with position/bucket arrays allowing O(1) "decrement support" moves.
@@ -118,8 +78,8 @@ TrussDecomposition decompose(const Graph& a) {
       } else if (ru[p] > rv[q]) {
         ++q;
       } else {
-        const esz euw = eids.id[s.row_ptr()[u] + p];
-        const esz evw = eids.id[s.row_ptr()[v] + q];
+        const esz euw = eids.slot_id[s.row_ptr()[u] + p];
+        const esz evw = eids.slot_id[s.row_ptr()[v] + q];
         if (!peeled[euw] && !peeled[evw]) {
           // Decrement only above the threshold: edges at or below it keep
           // their (already determined) peel level, and the bucket swap must
@@ -137,7 +97,7 @@ TrussDecomposition decompose(const Graph& a) {
   std::vector<count_t> vals(s.nnz(), 0);
   count_t max_truss = 2;
   for (esz k = 0; k < s.nnz(); ++k) {
-    vals[k] = truss_of[eids.id[k]];
+    vals[k] = truss_of[eids.slot_id[k]];
     max_truss = std::max(max_truss, vals[k]);
   }
   out.truss_number = CountCsr::from_parts(s.rows(), s.cols(), s.row_ptr(),
