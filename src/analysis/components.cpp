@@ -1,12 +1,47 @@
 #include "analysis/components.hpp"
 
+#include <atomic>
+#include <cstdint>
+#include <numeric>
 #include <stdexcept>
+
+#include "core/ops.hpp"
 
 namespace kronotri::analysis {
 
 namespace {
 
 constexpr vid kUnvisited = ~vid{0};
+
+/// Relaxed atomic view of a parent slot — every access during the hook and
+/// compress phases goes through these, since plain reads racing the CAS
+/// writes would be formal data races (and would license the compiler to
+/// cache the loads the link loop needs fresh).
+vid parent_load(const std::vector<vid>& parent, vid i) {
+  return std::atomic_ref<const vid>(parent[i]).load(std::memory_order_relaxed);
+}
+
+/// Union by CAS, always hooking the larger root towards the smaller
+/// endpoint (GAPBS/Afforest-style). Parent pointers only ever decrease, so
+/// the minimum vertex of a component can never be hooked away and ends up
+/// as the unique root.
+void link(vid x, vid y, std::vector<vid>& parent) {
+  vid p1 = parent_load(parent, x);
+  vid p2 = parent_load(parent, y);
+  while (p1 != p2) {
+    const vid high = std::max(p1, p2);
+    const vid low = std::min(p1, p2);
+    std::atomic_ref<vid> slot(parent[high]);
+    vid expected = high;
+    if (slot.load(std::memory_order_relaxed) == low ||
+        slot.compare_exchange_strong(expected, low,
+                                     std::memory_order_relaxed)) {
+      break;
+    }
+    p1 = parent_load(parent, parent_load(parent, high));
+    p2 = parent_load(parent, low);
+  }
+}
 
 /// Per-component classification for the Weichsel count.
 struct CompClass {
@@ -53,6 +88,54 @@ std::vector<CompClass> classify(const Graph& g, const Components& comps) {
 }  // namespace
 
 Components connected_components(const Graph& g) {
+  const Graph u = g.is_undirected() ? g : g.undirected_closure();
+  const vid n = u.num_vertices();
+  std::vector<vid> parent(n);
+  std::iota(parent.begin(), parent.end(), vid{0});
+
+  // Hook: one pass over the edges is enough — link() loops until the two
+  // trees share a root or a CAS merges them, so every edge's union
+  // completes before the pass moves on.
+#pragma omp parallel for schedule(dynamic, 256)
+  for (std::int64_t xx = 0; xx < static_cast<std::int64_t>(n); ++xx) {
+    const vid x = static_cast<vid>(xx);
+    for (const vid y : u.neighbors(x)) {
+      if (y > x) link(x, y, parent);  // each undirected edge linked once
+    }
+  }
+
+  // Compress: pointer jumping to the (stable) roots. Writes shorten paths
+  // monotonically, so concurrent readers only ever skip ahead.
+#pragma omp parallel for schedule(static)
+  for (std::int64_t vv = 0; vv < static_cast<std::int64_t>(n); ++vv) {
+    const vid v = static_cast<vid>(vv);
+    vid r = parent_load(parent, v);
+    while (parent_load(parent, r) != r) r = parent_load(parent, r);
+    std::atomic_ref<vid>(parent[v]).store(r, std::memory_order_relaxed);
+  }
+
+  // Deterministic numbering: component id = rank of its root (= minimum
+  // vertex), matching the serial DFS's discovery order exactly.
+  std::vector<vid> rank(n + 1, 0);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t vv = 0; vv < static_cast<std::int64_t>(n); ++vv) {
+    const vid v = static_cast<vid>(vv);
+    rank[v + 1] = parent[v] == v ? 1 : 0;
+  }
+  ops::prefix_sum_inplace(rank);
+
+  Components out;
+  out.count = rank[n];
+  out.component.assign(n, 0);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t vv = 0; vv < static_cast<std::int64_t>(n); ++vv) {
+    const vid v = static_cast<vid>(vv);
+    out.component[v] = rank[parent[v]];
+  }
+  return out;
+}
+
+Components connected_components_serial(const Graph& g) {
   const Graph u = g.is_undirected() ? g : g.undirected_closure();
   Components out;
   out.component.assign(u.num_vertices(), kUnvisited);

@@ -23,8 +23,18 @@ struct Components {
   count_t count = 0;
 };
 
-/// Connected components of the undirected closure of g (BFS).
+/// Connected components of the undirected closure of g. Parallel
+/// Shiloach–Vishkin/Afforest-style union-find: CAS hooking of the larger
+/// root onto the smaller endpoint, then pointer-jumping compression. Roots
+/// converge to each component's minimum vertex, and labels are the rank of
+/// that root — exactly the discovery order of the serial DFS, so the output
+/// is bit-identical to connected_components_serial() at every thread count.
 Components connected_components(const Graph& g);
+
+/// The reference single-threaded DFS labeling (discovery order of the
+/// smallest vertex per component). Work-equal baseline for the parallel
+/// implementation (benches) and its determinism oracle (tests).
+Components connected_components_serial(const Graph& g);
 
 /// True when every vertex is reachable from vertex 0 (empty graphs are
 /// connected).

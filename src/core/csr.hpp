@@ -21,6 +21,10 @@
 #include "core/coo.hpp"
 #include "core/types.hpp"
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 namespace kronotri {
 
 template <typename T>
@@ -33,10 +37,34 @@ class CsrMatrix {
   CsrMatrix(vid rows, vid cols)
       : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
 
+  /// Entry count below which from_coo() takes the serial sort path — a
+  /// counting-sort build pays per-chunk row histograms, which only amortize
+  /// once the triplet list is comfortably larger than the scheduling and
+  /// allocation overhead.
+  static constexpr std::size_t kParallelCooCutoff = 1u << 13;
+
   /// Builds from triplets. Entries are sorted; duplicates are combined
-  /// according to `policy`. Zero values are kept (explicit zeros are legal
-  /// but none of our generators produce them).
+  /// according to `policy` (kKeep retains the value appearing first in the
+  /// triplet list). Zero values are kept (explicit zeros are legal but none
+  /// of our generators produce them). Large inputs take a parallel
+  /// counting-sort path; the result is bit-identical to from_coo_serial()
+  /// regardless of size or thread count.
   static CsrMatrix from_coo(const Coo<T>& coo, DupPolicy policy = DupPolicy::kSum) {
+    // Tall sparse inputs (rows outnumbering triplets) would pay the
+    // counting sort's O(chunks·rows) histograms for no win — the serial
+    // sort of a triplet list that small is near-free.
+    if (coo.entries().size() < kParallelCooCutoff ||
+        static_cast<std::size_t>(coo.rows()) > coo.entries().size()) {
+      return from_coo_serial(coo, policy);
+    }
+    return from_coo_parallel(coo, policy);
+  }
+
+  /// The reference single-threaded build: stable sort by (row, col), then a
+  /// linear merge pass. Kept callable on its own as the work-equal baseline
+  /// for the parallel build (benches) and its determinism oracle (tests).
+  static CsrMatrix from_coo_serial(const Coo<T>& coo,
+                                   DupPolicy policy = DupPolicy::kSum) {
     CsrMatrix m(coo.rows(), coo.cols());
     std::vector<CooEntry<T>> entries = coo.entries();
     for (const auto& e : entries) {
@@ -44,10 +72,10 @@ class CsrMatrix {
         throw std::out_of_range("Coo entry outside matrix dimensions");
       }
     }
-    std::sort(entries.begin(), entries.end(),
-              [](const CooEntry<T>& a, const CooEntry<T>& b) {
-                return a.row != b.row ? a.row < b.row : a.col < b.col;
-              });
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const CooEntry<T>& a, const CooEntry<T>& b) {
+                       return a.row != b.row ? a.row < b.row : a.col < b.col;
+                     });
     m.col_idx_.reserve(entries.size());
     m.values_.reserve(entries.size());
     vid last_row = ~vid{0};
@@ -160,6 +188,135 @@ class CsrMatrix {
   }
 
  private:
+  /// Counting-sort build: contiguous input chunks keep per-row entry order
+  /// equal to triplet order for every chunk count, so the output (including
+  /// which duplicate kKeep retains) is independent of the thread count.
+  ///   1. per-chunk row histograms (also the bounds check),
+  ///   2. row offsets by prefix sum, per-(chunk,row) cursors,
+  ///   3. order-preserving parallel scatter into a row-bucketed staging area,
+  ///   4. per-row stable sort by column + duplicate combine in place,
+  ///   5. prefix sum of deduplicated row lengths + parallel compaction.
+  static CsrMatrix from_coo_parallel(const Coo<T>& coo, DupPolicy policy) {
+    CsrMatrix m(coo.rows(), coo.cols());
+    const auto& entries = coo.entries();
+    const std::size_t nz = entries.size();
+    const vid rows = m.rows_;
+#ifdef _OPENMP
+    const std::size_t workers = static_cast<std::size_t>(omp_get_max_threads());
+#else
+    const std::size_t workers = 1;
+#endif
+    const std::size_t chunks =
+        std::max<std::size_t>(1, std::min(workers, nz / 2048));
+    const auto chunk_begin = [&](std::size_t c) { return nz * c / chunks; };
+
+    std::vector<std::vector<esz>> counts(chunks);
+    std::size_t bad = 0;
+#pragma omp parallel for schedule(static, 1) reduction(+ : bad)
+    for (std::int64_t cc = 0; cc < static_cast<std::int64_t>(chunks); ++cc) {
+      const auto c = static_cast<std::size_t>(cc);
+      counts[c].assign(rows, 0);
+      for (std::size_t i = chunk_begin(c); i < chunk_begin(c + 1); ++i) {
+        const auto& e = entries[i];
+        if (e.row >= m.rows_ || e.col >= m.cols_) {
+          ++bad;
+          continue;
+        }
+        ++counts[c][e.row];
+      }
+    }
+    if (bad != 0) {
+      throw std::out_of_range("Coo entry outside matrix dimensions");
+    }
+
+    // start[r] = first staging slot of row r; counts[c][r] becomes the
+    // running cursor for chunk c's slice of row r.
+    std::vector<esz> start(rows + 1, 0);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t rr = 0; rr < static_cast<std::int64_t>(rows); ++rr) {
+      const auto r = static_cast<vid>(rr);
+      esz total = 0;
+      for (std::size_t c = 0; c < chunks; ++c) total += counts[c][r];
+      start[r + 1] = total;
+    }
+    std::partial_sum(start.begin(), start.end(), start.begin());
+#pragma omp parallel for schedule(static)
+    for (std::int64_t rr = 0; rr < static_cast<std::int64_t>(rows); ++rr) {
+      const auto r = static_cast<vid>(rr);
+      esz cursor = start[r];
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const esz len = counts[c][r];
+        counts[c][r] = cursor;
+        cursor += len;
+      }
+    }
+
+    std::vector<vid> stage_cols(nz);
+    std::vector<T> stage_vals(nz);
+#pragma omp parallel for schedule(static, 1)
+    for (std::int64_t cc = 0; cc < static_cast<std::int64_t>(chunks); ++cc) {
+      const auto c = static_cast<std::size_t>(cc);
+      for (std::size_t i = chunk_begin(c); i < chunk_begin(c + 1); ++i) {
+        const auto& e = entries[i];
+        const esz pos = counts[c][e.row]++;
+        stage_cols[pos] = e.col;
+        stage_vals[pos] = e.value;
+      }
+    }
+
+    struct ColVal {
+      vid col;
+      T value;
+    };
+#pragma omp parallel
+    {
+      std::vector<ColVal> scratch;
+#pragma omp for schedule(dynamic, 512)
+      for (std::int64_t rr = 0; rr < static_cast<std::int64_t>(rows); ++rr) {
+        const auto r = static_cast<vid>(rr);
+        const esz lo = start[r];
+        const std::size_t len = start[r + 1] - lo;
+        if (len == 0) continue;
+        scratch.resize(len);
+        for (std::size_t k = 0; k < len; ++k) {
+          scratch[k] = {stage_cols[lo + k], stage_vals[lo + k]};
+        }
+        std::stable_sort(scratch.begin(), scratch.end(),
+                         [](const ColVal& a, const ColVal& b) {
+                           return a.col < b.col;
+                         });
+        esz out = lo;
+        for (std::size_t k = 0; k < len; ++k) {
+          if (out != lo && stage_cols[out - 1] == scratch[k].col) {
+            if (policy == DupPolicy::kSum) {
+              stage_vals[out - 1] =
+                  static_cast<T>(stage_vals[out - 1] + scratch[k].value);
+            }
+            continue;
+          }
+          stage_cols[out] = scratch[k].col;
+          stage_vals[out] = scratch[k].value;
+          ++out;
+        }
+        m.row_ptr_[r + 1] = out - lo;  // deduplicated length, scanned below
+      }
+    }
+
+    std::partial_sum(m.row_ptr_.begin(), m.row_ptr_.end(), m.row_ptr_.begin());
+    m.col_idx_.resize(m.row_ptr_.back());
+    m.values_.resize(m.row_ptr_.back());
+#pragma omp parallel for schedule(static)
+    for (std::int64_t rr = 0; rr < static_cast<std::int64_t>(rows); ++rr) {
+      const auto r = static_cast<vid>(rr);
+      const esz len = m.row_ptr_[r + 1] - m.row_ptr_[r];
+      std::copy_n(stage_cols.begin() + start[r], len,
+                  m.col_idx_.begin() + m.row_ptr_[r]);
+      std::copy_n(stage_vals.begin() + start[r], len,
+                  m.values_.begin() + m.row_ptr_[r]);
+    }
+    return m;
+  }
+
   vid rows_;
   vid cols_;
   std::vector<esz> row_ptr_;

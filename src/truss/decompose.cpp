@@ -1,6 +1,9 @@
 #include "truss/decompose.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 
 #include "core/ops.hpp"
@@ -8,6 +11,30 @@
 #include "triangle/support.hpp"
 
 namespace kronotri::truss {
+
+namespace {
+
+/// Edge lifecycle in the level-synchronous peel. Transitions only happen at
+/// sub-round barriers, so a round always reads the state fixed at its start.
+enum : std::uint8_t { kAlive = 0, kInFrontier = 1, kPeeled = 2 };
+
+/// Assembles the symmetric truss_number matrix from per-edge-id values.
+TrussDecomposition assemble(const BoolCsr& s, const triangle::EdgeIdMap& eids,
+                            const std::vector<count_t>& truss_of, esz m) {
+  TrussDecomposition out;
+  std::vector<count_t> vals(s.nnz(), 0);
+  count_t max_truss = 2;
+  for (esz k = 0; k < s.nnz(); ++k) {
+    vals[k] = truss_of[eids.slot_id[k]];
+    max_truss = std::max(max_truss, vals[k]);
+  }
+  out.truss_number = CountCsr::from_parts(s.rows(), s.cols(), s.row_ptr(),
+                                          s.col_idx(), std::move(vals));
+  out.max_truss = m == 0 ? 2 : max_truss;
+  return out;
+}
+
+}  // namespace
 
 count_t TrussDecomposition::edges_in_truss(count_t kappa) const {
   count_t c = 0;
@@ -18,6 +45,150 @@ count_t TrussDecomposition::edges_in_truss(count_t kappa) const {
 }
 
 TrussDecomposition decompose(const Graph& a) {
+  const triangle::CensusWorkspace ws(a);
+  const BoolCsr& s = ws.structure();
+  const triangle::EdgeIdMap& eids = ws.edge_ids();
+  const esz m = eids.num_edges();
+
+  std::vector<count_t> sup = ws.edge_census();
+  std::vector<std::uint8_t> state(m, kAlive);
+  std::vector<count_t> truss_of(m, 2);
+
+  const unsigned workers = triangle::census_workers();
+  std::vector<std::vector<esz>> tl_found(workers);
+  std::vector<esz> curr;
+  count_t level = 0;
+
+  // Decrement sup[t] unless it already sits at the level (edges at or below
+  // the threshold keep their peel level — the clamp the serial peel applies
+  // by never touching the peeled prefix). Exactly one CAS observes the
+  // crossing to `level`, so the crossing thread enqueues t exactly once.
+  const auto try_decrement = [&](esz t, std::vector<esz>& found) {
+    std::atomic_ref<count_t> slot(sup[t]);
+    count_t cur = slot.load(std::memory_order_relaxed);
+    while (cur > level) {
+      if (slot.compare_exchange_weak(cur, cur - 1,
+                                     std::memory_order_relaxed)) {
+        if (cur - 1 == level) found.push_back(t);
+        break;
+      }
+    }
+  };
+
+  esz remaining = m;
+  while (remaining > 0) {
+    // Jump to the smallest surviving support: the level loop advances by
+    // distinct support values, not by 1, so sparse distributions don't pay
+    // an O(m) scan per empty level.
+    count_t lo = std::numeric_limits<count_t>::max();
+#pragma omp parallel
+    {
+      count_t local_lo = std::numeric_limits<count_t>::max();
+#pragma omp for schedule(static) nowait
+      for (std::int64_t e = 0; e < static_cast<std::int64_t>(m); ++e) {
+        if (state[static_cast<esz>(e)] == kAlive) {
+          local_lo = std::min(local_lo, sup[static_cast<esz>(e)]);
+        }
+      }
+#pragma omp critical(kronotri_truss_min)
+      lo = std::min(lo, local_lo);
+    }
+    level = std::max(level, lo);
+
+    // Initial frontier of this level (thread-local gather, then concat).
+#pragma omp parallel
+    {
+#ifdef _OPENMP
+      auto& found = tl_found[static_cast<std::size_t>(omp_get_thread_num())];
+#else
+      auto& found = tl_found.front();
+#endif
+      found.clear();
+#pragma omp for schedule(static) nowait
+      for (std::int64_t e = 0; e < static_cast<std::int64_t>(m); ++e) {
+        if (state[static_cast<esz>(e)] == kAlive &&
+            sup[static_cast<esz>(e)] <= level) {
+          found.push_back(static_cast<esz>(e));
+        }
+      }
+    }
+    curr.clear();
+    for (auto& found : tl_found) {
+      curr.insert(curr.end(), found.begin(), found.end());
+      found.clear();
+    }
+    for (const esz e : curr) state[e] = kInFrontier;
+
+    // Sub-rounds: peel the frontier, collect the edges its removal drags to
+    // the level, repeat until the level is exhausted.
+    while (!curr.empty()) {
+#pragma omp parallel
+      {
+#ifdef _OPENMP
+        auto& found = tl_found[static_cast<std::size_t>(omp_get_thread_num())];
+#else
+        auto& found = tl_found.front();
+#endif
+#pragma omp for schedule(dynamic, 64) nowait
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(curr.size());
+             ++i) {
+          const esz e = curr[static_cast<std::size_t>(i)];
+          const auto [u, v] = eids.ends[e];
+          const auto ru = s.row_cols(u), rv = s.row_cols(v);
+          std::size_t p = 0, q = 0;
+          while (p < ru.size() && q < rv.size()) {
+            if (ru[p] < rv[q]) {
+              ++p;
+            } else if (ru[p] > rv[q]) {
+              ++q;
+            } else {
+              const esz euw = eids.slot_id[s.row_ptr()[u] + p];
+              const esz evw = eids.slot_id[s.row_ptr()[v] + q];
+              const std::uint8_t su = state[euw], sv = state[evw];
+              if (su != kPeeled && sv != kPeeled) {
+                // Frontier-frontier triangles are destroyed once: the
+                // smaller edge id performs the shared decrement.
+                if (su == kInFrontier && sv == kInFrontier) {
+                  // all three peel together — nothing survives to update
+                } else if (su == kInFrontier) {
+                  if (e < euw) try_decrement(evw, found);
+                } else if (sv == kInFrontier) {
+                  if (e < evw) try_decrement(euw, found);
+                } else {
+                  try_decrement(euw, found);
+                  try_decrement(evw, found);
+                }
+              }
+              ++p;
+              ++q;
+            }
+          }
+        }
+      }
+
+      remaining -= curr.size();
+      const count_t kappa = level + 2;
+#pragma omp parallel for schedule(static)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(curr.size());
+           ++i) {
+        const esz e = curr[static_cast<std::size_t>(i)];
+        truss_of[e] = kappa;
+        state[e] = kPeeled;
+      }
+
+      curr.clear();
+      for (auto& found : tl_found) {
+        curr.insert(curr.end(), found.begin(), found.end());
+        found.clear();
+      }
+      for (const esz e : curr) state[e] = kInFrontier;
+    }
+  }
+
+  return assemble(s, eids, truss_of, m);
+}
+
+TrussDecomposition decompose_serial(const Graph& a) {
   // The census workspace provides the loop-free structure, the shared
   // undirected edge ids, and the initial supports Δ(e) — already indexed by
   // edge id, so no symmetric count matrix has to be built and re-read.
@@ -58,7 +229,9 @@ TrussDecomposition decompose(const Graph& a) {
     --sup[e];
   };
 
-  std::vector<bool> peeled(m, false);
+  // uint8_t, not vector<bool>: the peel inner loop reads this per triangle
+  // and the bitset proxy costs show up there.
+  std::vector<std::uint8_t> peeled(m, 0);
   std::vector<count_t> truss_of(m, 2);
   count_t current = 0;  // monotone support threshold
   for (esz step = 0; step < m; ++step) {
@@ -93,17 +266,7 @@ TrussDecomposition decompose(const Graph& a) {
     }
   }
 
-  TrussDecomposition out;
-  std::vector<count_t> vals(s.nnz(), 0);
-  count_t max_truss = 2;
-  for (esz k = 0; k < s.nnz(); ++k) {
-    vals[k] = truss_of[eids.slot_id[k]];
-    max_truss = std::max(max_truss, vals[k]);
-  }
-  out.truss_number = CountCsr::from_parts(s.rows(), s.cols(), s.row_ptr(),
-                                          s.col_idx(), std::move(vals));
-  out.max_truss = m == 0 ? 2 : max_truss;
-  return out;
+  return assemble(s, eids, truss_of, m);
 }
 
 Graph truss_subgraph(const TrussDecomposition& t, count_t kappa) {

@@ -4,10 +4,15 @@
 // least κ−2 triangles inside the subgraph (we follow the paper and compute
 // the edge sets T^{(κ)} without splitting into components). The *truss
 // number* of an edge is the largest κ with e ∈ T^{(κ)}; triangle-free edges
-// get truss number 2. The decomposition is computed by support peeling in
-// non-decreasing support order (the bucket technique of Batagelj–Zaveršnik
-// k-cores lifted to edges), which matches the paper's "simple (yet
-// inefficient) algorithm" output exactly while running in roughly
+// get truss number 2.
+//
+// decompose() peels level-synchronously in the style of PKT (Kabir &
+// Madduri): all edges at the current support level form a frontier whose
+// triangles are enumerated in parallel, supports of surviving edges drop via
+// bounded CAS (never below the level), and edges crossing the level join the
+// next sub-round's frontier. The κ-truss decomposition is unique, so the
+// result is bit-identical to the serial Batagelj–Zaveršnik bucket peel
+// (decompose_serial) at every thread count. Both run in roughly
 // O(Σ_e Δ(e)) after the initial support computation.
 #pragma once
 
@@ -29,9 +34,14 @@ struct TrussDecomposition {
   [[nodiscard]] count_t edges_in_truss(count_t kappa) const;
 };
 
-/// Computes the decomposition. Requires an undirected graph; self loops are
-/// ignored.
+/// Computes the decomposition with the parallel level-synchronous peel.
+/// Requires an undirected graph; self loops are ignored.
 TrussDecomposition decompose(const Graph& a);
+
+/// The reference single-threaded bucket peel (Batagelj–Zaveršnik order).
+/// Work-equal baseline for decompose() (benches) and its determinism oracle
+/// (tests).
+TrussDecomposition decompose_serial(const Graph& a);
 
 /// The κ-truss T^{(κ)} as a subgraph of g (same vertex set, only edges with
 /// truss number ≥ κ). Pass the decomposition of g.
