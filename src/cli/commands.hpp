@@ -7,6 +7,7 @@
 //   kronotri generate --type hk --n 10000 --out A.txt
 //   kronotri census   --a A.txt --b B.txt [--truth t.txt] [--sample 9]
 //   kronotri validate --a A.txt --b B.txt --claims counts.txt
+//   kronotri validate --spec "kron:(hk:n=5000)x(clique:n=3)" --mem-budget 4M
 //   kronotri egonet   --a A.txt --b B.txt --vertex 12345
 //   kronotri truss    --graph G.txt  |  --a A.txt --b B.txt (Thm 3)
 #pragma once

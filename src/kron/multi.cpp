@@ -79,6 +79,32 @@ esz KronChain::nonloop_degree(vid p) const {
   return d - loop;
 }
 
+std::vector<vid> KronChain::neighbors(vid p) const {
+  const std::vector<vid> xs = decompose(p);
+  std::vector<vid> out;
+  out.reserve(out_degree(p));
+  // Odometer over the factor rows, left factor most significant; factor
+  // rows are sorted, so composed ids come out ascending.
+  std::vector<std::span<const vid>> rows(factors_.size());
+  for (std::size_t i = 0; i < factors_.size(); ++i) {
+    rows[i] = factors_[i].neighbors(xs[i]);
+    if (rows[i].empty()) return out;
+  }
+  std::vector<std::size_t> idx(factors_.size(), 0);
+  for (;;) {
+    vid id = 0;
+    for (std::size_t i = 0; i < factors_.size(); ++i) {
+      id = id * factors_[i].num_vertices() + rows[i][idx[i]];
+    }
+    out.push_back(id);
+    std::size_t i = factors_.size();
+    while (i > 0 && idx[i - 1] + 1 == rows[i - 1].size()) --i;
+    if (i == 0) return out;
+    ++idx[i - 1];
+    for (std::size_t j = i; j < factors_.size(); ++j) idx[j] = 0;
+  }
+}
+
 Graph KronChain::materialize() const {
   BoolCsr acc = factors_.front().matrix();
   for (std::size_t i = 1; i < factors_.size(); ++i) {

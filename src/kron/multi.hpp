@@ -55,6 +55,11 @@ class KronChain {
   [[nodiscard]] esz out_degree(vid p) const;
   [[nodiscard]] esz nonloop_degree(vid p) const;
 
+  /// Sorted out-neighbor list of p (materialized per call; size =
+  /// out_degree, includes p itself when every factor has the loop) — the
+  /// k-factor analogue of KronGraphView::neighbors.
+  [[nodiscard]] std::vector<vid> neighbors(vid p) const;
+
   /// Materializes the product — small chains only (tests/examples).
   [[nodiscard]] Graph materialize() const;
 

@@ -49,3 +49,5 @@
 #include "util/stats.hpp"         // IWYU pragma: export
 #include "util/table.hpp"         // IWYU pragma: export
 #include "util/timer.hpp"         // IWYU pragma: export
+#include "validate/report.hpp"    // IWYU pragma: export
+#include "validate/streaming_census.hpp"  // IWYU pragma: export

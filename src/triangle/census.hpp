@@ -22,6 +22,7 @@
 // this engine.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -45,6 +46,14 @@ inline unsigned census_workers() noexcept {
 #else
   return 1;
 #endif
+}
+
+/// Team size for an enumeration whose caller supplied `tls_size`
+/// thread-local slots: never more threads than slots, never more slots
+/// used than census_workers(), at least one.
+inline int census_team(std::size_t tls_size) noexcept {
+  return static_cast<int>(std::max<std::size_t>(
+      1, std::min<std::size_t>(tls_size, census_workers())));
 }
 
 /// Undirected edge ids over a symmetric loop-free structure: the two stored
@@ -84,15 +93,20 @@ class CensusWorkspace {
 
   /// Enumerates each triangle exactly once, calling
   /// visit(tls[worker], u, v, w, eid_uv, eid_uw, eid_vw) with u ≺ v ≺ w in
-  /// degree order and the three undirected edge ids. `tls` must hold at
-  /// least census_workers() entries; each worker only touches its own, so
+  /// degree order and the three undirected edge ids. The team size is
+  /// min(tls.size(), census_workers()) — callers whose thread-local state
+  /// is expensive (the labeled census' O(L²·n) blocks) clamp parallelism by
+  /// sizing `tls` smaller. Each worker only touches its own entry, so
   /// `visit` needs no synchronization. Returns the wedge-check count.
   template <typename TLS, typename Visit>
   count_t for_each_triangle(std::vector<TLS>& tls, Visit&& visit) const {
     const std::int64_t n = static_cast<std::int64_t>(s_.rows());
     const esz* const eid = oriented_eid_.data();
     count_t checks = 0;
-#pragma omp parallel reduction(+ : checks)
+#ifdef _OPENMP
+    const int team = census_team(tls.size());
+#endif
+#pragma omp parallel num_threads(team) reduction(+ : checks)
     {
 #ifdef _OPENMP
       TLS& local = tls[static_cast<std::size_t>(omp_get_thread_num())];
@@ -118,7 +132,10 @@ class CensusWorkspace {
                                      Visit&& visit) const {
     const std::int64_t n = static_cast<std::int64_t>(s_.rows());
     count_t checks = 0;
-#pragma omp parallel reduction(+ : checks)
+#ifdef _OPENMP
+    const int team = census_team(tls.size());
+#endif
+#pragma omp parallel num_threads(team) reduction(+ : checks)
     {
 #ifdef _OPENMP
       TLS& local = tls[static_cast<std::size_t>(omp_get_thread_num())];

@@ -1,6 +1,8 @@
 #include "triangle/labeled.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <iostream>
 
 #include "core/ops.hpp"
 #include "triangle/census.hpp"
@@ -95,7 +97,8 @@ CountCsr labeled_edge_participation(const Graph& a, const Labeling& lab,
   return ops::masked_product(mask, f, f);
 }
 
-LabeledCensus labeled_census(const Graph& a, const Labeling& lab) {
+LabeledCensus labeled_census(const Graph& a, const Labeling& lab,
+                             std::size_t max_accumulator_bytes) {
   require_census_preconditions(a, lab);
   // Loop-free per the preconditions, so the workspace structure is exactly
   // a.matrix().
@@ -111,12 +114,27 @@ LabeledCensus labeled_census(const Graph& a, const Labeling& lab) {
 
   // Thread-local accumulation: one flat (label-pair × vertex) block and one
   // flat (third-label × edge-id) block per worker, bumped with plain
-  // increments and reduced after enumeration.
+  // increments and reduced after enumeration. The O(T·L²·n) footprint is
+  // estimated up front and the team clamped to the budget — counts are
+  // exact integer sums, so any team size gives the same census.
   struct Tls {
     std::vector<count_t> vert;  // npairs × n
     std::vector<count_t> edge;  // big_l × m
   };
-  std::vector<Tls> tls(census_workers());
+  const std::size_t per_worker_bytes =
+      (npairs * n + static_cast<std::size_t>(big_l) * m) * sizeof(count_t);
+  std::size_t workers = census_workers();
+  const std::size_t allowed = std::max<std::size_t>(
+      1, per_worker_bytes > 0 ? max_accumulator_bytes / per_worker_bytes
+                              : workers);
+  if (workers > allowed) {
+    std::cerr << "labeled_census: clamping team " << workers << " -> "
+              << allowed << " workers (" << per_worker_bytes
+              << " accumulator bytes/worker, budget " << max_accumulator_bytes
+              << ")\n";
+    workers = allowed;
+  }
+  std::vector<Tls> tls(workers);
   for (auto& t : tls) {
     t.vert.assign(npairs * n, 0);
     t.edge.assign(static_cast<std::size_t>(big_l) * m, 0);

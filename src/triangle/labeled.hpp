@@ -62,7 +62,6 @@ CountCsr labeled_edge_participation(const Graph& a, const Labeling& lab,
                                     std::uint32_t q1, std::uint32_t q2,
                                     std::uint32_t q3);
 
-/// Whole census in one triangle-enumeration pass.
 struct LabeledCensus {
   std::uint32_t num_labels = 0;
   /// at_vertices[pair_index(qa,qb)][v] = # triangles at v whose other two
@@ -81,6 +80,18 @@ struct LabeledCensus {
   }
 };
 
-LabeledCensus labeled_census(const Graph& a, const Labeling& lab);
+/// Default ceiling for the labeled census' thread-local accumulators
+/// (ROADMAP "labeled-census memory" item): each worker holds
+/// (L(L+1)/2·n + L·m) counters, so wide teams on large labeled graphs can
+/// silently allocate tens of GiB.
+inline constexpr std::size_t kLabeledCensusAccumulatorBudget = 1ull << 30;
+
+/// Whole census in one triangle-enumeration pass. The worker team is
+/// clamped (with a one-line stderr warning) so the thread-local
+/// accumulators stay within `max_accumulator_bytes`; counts are identical
+/// at every team size.
+LabeledCensus labeled_census(
+    const Graph& a, const Labeling& lab,
+    std::size_t max_accumulator_bytes = kLabeledCensusAccumulatorBudget);
 
 }  // namespace kronotri::triangle

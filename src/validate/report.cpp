@@ -1,0 +1,165 @@
+#include "validate/report.hpp"
+
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+
+#include "kron/multi.hpp"
+#include "kron/oracle.hpp"
+#include "util/table.hpp"
+
+namespace kronotri::validate {
+
+namespace {
+
+count_t abs_diff(count_t a, count_t b) { return a > b ? a - b : b - a; }
+
+/// Shared report builder: runs the engine once, folding every shard's
+/// measured counts against the supplied point predictors.
+ValidationReport build_report(
+    const StreamingCensus& census,
+    const std::function<count_t(vid)>& vertex_pred,
+    const std::function<std::optional<count_t>(vid, vid)>& edge_pred,
+    count_t predicted_total, const StreamingOptions& opt) {
+  ValidationReport r;
+  r.num_vertices = census.num_vertices();
+  r.num_factors = census.num_factors();
+  r.mem_budget_bytes = opt.mem_budget_bytes;
+  r.predicted_total = predicted_total;
+
+  r.stats = census.run([&](const StreamingCensus::Shard& shard) {
+    const auto vc = shard.vertex_counts();
+    for (std::size_t i = 0; i < vc.size(); ++i) {
+      const count_t measured = vc[i];
+      const count_t predicted = vertex_pred(shard.lo() + static_cast<vid>(i));
+      ++r.vertices_checked;
+      ++r.vertex_histogram[measured];
+      if (measured != predicted) {
+        ++r.vertex_mismatches;
+        r.vertex_max_abs_err =
+            std::max(r.vertex_max_abs_err, abs_diff(measured, predicted));
+      }
+    }
+    shard.for_each_owned_edge([&](vid u, vid v, count_t measured) {
+      ++r.edges_checked;
+      ++r.edge_histogram[measured];
+      const std::optional<count_t> predicted = edge_pred(u, v);
+      if (!predicted) {
+        // The streamed pair is an edge of C by construction; a predictor
+        // refusing it is itself a mismatch.
+        ++r.edge_mismatches;
+        r.edge_max_abs_err = std::max(r.edge_max_abs_err, measured);
+      } else if (*predicted != measured) {
+        ++r.edge_mismatches;
+        r.edge_max_abs_err =
+            std::max(r.edge_max_abs_err, abs_diff(measured, *predicted));
+      }
+    });
+  });
+  r.measured_total = r.stats.total_triangles;
+  r.num_edges = r.stats.num_edges;
+  return r;
+}
+
+void write_histogram_json(std::ostream& os, const char* key,
+                          const std::map<count_t, count_t>& hist) {
+  os << "  \"" << key << "\": {";
+  bool first = true;
+  for (const auto& [value, freq] : hist) {
+    os << (first ? "" : ", ") << "\"" << value << "\": " << freq;
+    first = false;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void ValidationReport::print(std::ostream& os) const {
+  os << "streaming validation of " << (spec.empty() ? "product" : spec) << "\n";
+  util::Table t({"", "value"});
+  t.row({"product vertices", util::commas(num_vertices)});
+  t.row({"product edges", util::commas(num_edges)});
+  t.row({"factors", std::to_string(num_factors)});
+  t.row({"shards", std::to_string(stats.num_shards)});
+  t.row({"memory budget (B)", util::commas(mem_budget_bytes)});
+  t.row({"peak accumulator (B)", util::commas(stats.peak_accumulator_bytes)});
+  t.row({"wedge checks", util::commas(stats.wedge_checks)});
+  t.row({"measured triangles", util::commas(measured_total)});
+  t.row({"predicted triangles", util::commas(predicted_total)});
+  t.row({"vertex mismatches", util::commas(vertex_mismatches) + " / " +
+                                  util::commas(vertices_checked)});
+  t.row({"edge mismatches",
+         util::commas(edge_mismatches) + " / " + util::commas(edges_checked)});
+  t.row({"max abs error (V/E)", util::commas(vertex_max_abs_err) + " / " +
+                                    util::commas(edge_max_abs_err)});
+  if (histogram_checked) {
+    t.row({"vertex histogram",
+           vertex_histogram == predicted_vertex_histogram
+               ? "matches closed form"
+               : "DIFFERS from closed form"});
+  }
+  t.print(os);
+  os << (pass() ? "PASS" : "FAIL") << "\n";
+}
+
+void ValidationReport::write_json(std::ostream& os) const {
+  os << "{\n"
+     << "  \"spec\": \"" << spec << "\",\n"
+     << "  \"num_vertices\": " << num_vertices << ",\n"
+     << "  \"num_edges\": " << num_edges << ",\n"
+     << "  \"num_factors\": " << num_factors << ",\n"
+     << "  \"mem_budget_bytes\": " << mem_budget_bytes << ",\n"
+     << "  \"num_shards\": " << stats.num_shards << ",\n"
+     << "  \"peak_accumulator_bytes\": " << stats.peak_accumulator_bytes
+     << ",\n"
+     << "  \"wedge_checks\": " << stats.wedge_checks << ",\n"
+     << "  \"measured_total\": " << measured_total << ",\n"
+     << "  \"predicted_total\": " << predicted_total << ",\n"
+     << "  \"vertices_checked\": " << vertices_checked << ",\n"
+     << "  \"vertex_mismatches\": " << vertex_mismatches << ",\n"
+     << "  \"vertex_max_abs_err\": " << vertex_max_abs_err << ",\n"
+     << "  \"edges_checked\": " << edges_checked << ",\n"
+     << "  \"edge_mismatches\": " << edge_mismatches << ",\n"
+     << "  \"edge_max_abs_err\": " << edge_max_abs_err << ",\n"
+     << "  \"histogram_checked\": " << (histogram_checked ? "true" : "false")
+     << ",\n";
+  write_histogram_json(os, "vertex_histogram", vertex_histogram);
+  os << ",\n";
+  write_histogram_json(os, "edge_histogram", edge_histogram);
+  os << ",\n  \"pass\": " << (pass() ? "true" : "false") << "\n}";
+}
+
+ValidationReport validate_product(const Graph& a, const Graph& b,
+                                  const StreamingOptions& opt) {
+  const kron::TriangleOracle oracle(a, b);
+  const StreamingCensus census(a, b, opt);
+  ValidationReport r = build_report(
+      census, [&](vid p) { return oracle.vertex_triangles(p); },
+      [&](vid p, vid q) { return oracle.edge_triangles(p, q); },
+      oracle.total_triangles(), opt);
+  try {
+    r.predicted_vertex_histogram = oracle.triangle_histogram();
+    r.histogram_checked = true;
+  } catch (const std::logic_error&) {
+    // Multi-term regime (both factors have loops): no closed-form
+    // histogram, the pointwise comparison above still covers every vertex.
+  }
+  return r;
+}
+
+ValidationReport validate_chain(const kron::KronChain& chain,
+                                const StreamingOptions& opt) {
+  // Surface the ≥-one-loop-free-factor precondition before streaming.
+  (void)chain.total_triangles();
+  const StreamingCensus census(chain, opt);
+  return build_report(
+      census, [&](vid p) { return chain.vertex_triangles(p); },
+      [&](vid p, vid q) -> std::optional<count_t> {
+        if (!chain.has_edge(p, q)) return std::nullopt;
+        return chain.edge_triangles(p, q);
+      },
+      chain.total_triangles(), opt);
+}
+
+}  // namespace kronotri::validate

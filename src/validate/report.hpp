@@ -1,0 +1,84 @@
+// ValidationReport — measured streaming census vs closed-form predictions.
+//
+// The paper's validation loop, packaged: run the sharded StreamingCensus
+// over the implicit product, and compare every measured per-vertex and
+// per-edge triangle count against the factor-side closed forms (the
+// kron::TriangleOracle Thm 1/2 / Cor 1/2 expressions for two factors, the
+// KronChain generalization for longer chains). Per *Same Stats, Different
+// Graphs*, the report keeps the full measured count distributions
+// (histograms), not just totals, plus max-abs-error and a pass/fail
+// verdict — the artifact the CLI prints and CI gates on.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "core/graph.hpp"
+#include "validate/streaming_census.hpp"
+
+namespace kronotri::kron {
+class KronChain;
+}
+
+namespace kronotri::validate {
+
+struct ValidationReport {
+  std::string spec;  ///< human-readable product description (caller-set)
+  vid num_vertices = 0;
+  count_t num_edges = 0;  ///< undirected non-loop edges of C
+  std::size_t num_factors = 0;
+  std::size_t mem_budget_bytes = 0;
+
+  count_t measured_total = 0;
+  count_t predicted_total = 0;
+
+  count_t vertices_checked = 0;
+  count_t vertex_mismatches = 0;
+  count_t vertex_max_abs_err = 0;
+  count_t edges_checked = 0;
+  count_t edge_mismatches = 0;
+  count_t edge_max_abs_err = 0;
+
+  /// Measured count → frequency over all vertices / all undirected edges.
+  std::map<count_t, count_t> vertex_histogram;
+  std::map<count_t, count_t> edge_histogram;
+
+  /// Closed-form vertex histogram (factor-side, TriangleOracle) when the
+  /// product's triangle formula is a single Kronecker term; empty (and
+  /// histogram_checked = false) otherwise.
+  std::map<count_t, count_t> predicted_vertex_histogram;
+  bool histogram_checked = false;
+
+  StreamingStats stats;
+
+  [[nodiscard]] bool pass() const noexcept {
+    return vertex_mismatches == 0 && edge_mismatches == 0 &&
+           measured_total == predicted_total &&
+           stats.vertex_count_sum == 3 * measured_total &&
+           stats.edge_count_sum == 3 * measured_total &&
+           (!histogram_checked ||
+            vertex_histogram == predicted_vertex_histogram);
+  }
+
+  /// Human-readable summary (the `kronotri validate --spec` output).
+  void print(std::ostream& os) const;
+
+  /// Single JSON object with every scalar field plus the histograms — the
+  /// building block of BENCH_validate.json and `validate --json`.
+  void write_json(std::ostream& os) const;
+};
+
+/// Streams the census of C = A ⊗ B under `opt` and validates it against the
+/// two-factor closed forms (any self-loop configuration). Factors must be
+/// undirected.
+ValidationReport validate_product(const Graph& a, const Graph& b,
+                                  const StreamingOptions& opt = {});
+
+/// Same for a k-factor chain; predictions use the KronChain formulas, which
+/// require at least one loop-free factor (std::invalid_argument otherwise).
+ValidationReport validate_chain(const kron::KronChain& chain,
+                                const StreamingOptions& opt = {});
+
+}  // namespace kronotri::validate

@@ -1,0 +1,303 @@
+#include "validate/streaming_census.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "kron/multi.hpp"
+#include "kron/view.hpp"
+
+namespace kronotri::validate {
+
+namespace {
+
+/// A chain of k factors with ≥ 2 vertices each has ≥ 2^k product vertices,
+/// so 64 factors already saturates the vid space — a fixed cap lets the hot
+/// loops keep per-vertex coordinate state on the stack.
+constexpr std::size_t kMaxFactors = 64;
+
+std::vector<const Graph*> chain_factor_ptrs(const kron::KronChain& chain) {
+  std::vector<const Graph*> fs;
+  fs.reserve(chain.num_factors());
+  for (std::size_t i = 0; i < chain.num_factors(); ++i) {
+    fs.push_back(&chain.factor(i));
+  }
+  return fs;
+}
+
+}  // namespace
+
+StreamingCensus::StreamingCensus(std::vector<const Graph*> factors,
+                                 StreamingOptions opt)
+    : factors_(std::move(factors)), opt_(opt) {
+  if (factors_.empty()) {
+    throw std::invalid_argument("StreamingCensus needs at least one factor");
+  }
+  if (factors_.size() > kMaxFactors) {
+    throw std::invalid_argument("StreamingCensus: too many factors");
+  }
+  radix_.reserve(factors_.size());
+  for (const Graph* f : factors_) {
+    if (!f->is_undirected()) {
+      throw std::invalid_argument(
+          "streaming census (Def. 5/6) requires undirected factors — an "
+          "undirected product needs every factor undirected");
+    }
+    radix_.push_back(f->num_vertices());
+    n_ *= f->num_vertices();
+  }
+  weight_.assign(factors_.size(), 1);
+  for (std::size_t i = factors_.size() - 1; i-- > 0;) {
+    weight_[i] = weight_[i + 1] * radix_[i + 1];
+  }
+  plan_shards();
+}
+
+StreamingCensus::StreamingCensus(const Graph& a, const Graph& b,
+                                 StreamingOptions opt)
+    : StreamingCensus(std::vector<const Graph*>{&a, &b}, opt) {}
+
+StreamingCensus::StreamingCensus(const kron::KronGraphView& view,
+                                 StreamingOptions opt)
+    : StreamingCensus(
+          std::vector<const Graph*>{&view.factor_a(), &view.factor_b()}, opt) {}
+
+StreamingCensus::StreamingCensus(const kron::KronChain& chain,
+                                 StreamingOptions opt)
+    : StreamingCensus(chain_factor_ptrs(chain), opt) {}
+
+void StreamingCensus::decompose(vid p, vid* coords) const noexcept {
+  for (std::size_t i = factors_.size(); i-- > 0;) {
+    coords[i] = p % radix_[i];
+    p /= radix_[i];
+  }
+}
+
+esz StreamingCensus::upper_degree(vid p) const {
+  const std::size_t k = factors_.size();
+  vid coords[kMaxFactors];
+  decompose(p, coords);
+  // suffix[f] = Π_{i ≥ f} d_i(x_i): the free choices once factor f−1 fixed
+  // the comparison.
+  esz suffix[kMaxFactors + 1];
+  suffix[k] = 1;
+  for (std::size_t i = k; i-- > 0;) {
+    suffix[i] = suffix[i + 1] * factors_[i]->out_degree(coords[i]);
+  }
+  // A neighbor tuple composes to an id > p exactly when its first differing
+  // coordinate exceeds p's; a tuple can only agree on the prefix 0..f−1 if
+  // every prefix factor has a self loop at its coordinate.
+  esz total = 0;
+  for (std::size_t f = 0; f < k; ++f) {
+    const auto row = factors_[f]->neighbors(coords[f]);
+    const esz greater = static_cast<esz>(
+        row.end() - std::upper_bound(row.begin(), row.end(), coords[f]));
+    total += greater * suffix[f + 1];
+    if (!factors_[f]->has_edge(coords[f], coords[f])) return total;
+  }
+  return total;  // all-equal tuple is p itself, not > p
+}
+
+void StreamingCensus::neighbors_with_coords(vid p, const vid* p_coords,
+                                            std::vector<vid>& ids,
+                                            std::vector<vid>& coords) const {
+  const std::size_t k = factors_.size();
+  ids.clear();
+  coords.clear();
+  std::span<const vid> rows[kMaxFactors];
+  esz deg = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    rows[i] = factors_[i]->neighbors(p_coords[i]);
+    deg *= rows[i].size();
+  }
+  if (deg == 0) return;
+  ids.reserve(deg);
+  coords.reserve(deg * k);
+
+  // Odometer over the factor rows, left digit most significant; rows are
+  // sorted, so composed ids come out ascending. value[i] is the partial sum
+  // of the first i digits.
+  std::size_t idx[kMaxFactors] = {};
+  vid value[kMaxFactors + 1];
+  value[0] = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    value[i + 1] = value[i] + rows[i][0] * weight_[i];
+  }
+  for (;;) {
+    const vid id = value[k];
+    if (id != p) {  // drop the self loop — the census runs on C − I∘C
+      ids.push_back(id);
+      for (std::size_t i = 0; i < k; ++i) coords.push_back(rows[i][idx[i]]);
+    }
+    std::size_t i = k;
+    while (i > 0 && idx[i - 1] + 1 == rows[i - 1].size()) --i;
+    if (i == 0) return;
+    ++idx[i - 1];
+    for (std::size_t j = i; j < k; ++j) idx[j] = 0;
+    for (std::size_t j = i - 1; j < k; ++j) {
+      value[j + 1] = value[j] + rows[j][idx[j]] * weight_[j];
+    }
+  }
+}
+
+void StreamingCensus::plan_shards() {
+  shards_.clear();
+  if (n_ == 0) return;
+  if (opt_.force_shards > 0) {
+    const std::uint64_t s = std::min<std::uint64_t>(opt_.force_shards, n_);
+    for (std::uint64_t i = 0; i < s; ++i) {
+      const vid lo = static_cast<vid>(n_ / s * i + std::min<vid>(i, n_ % s));
+      const vid hi =
+          static_cast<vid>(n_ / s * (i + 1) + std::min<vid>(i + 1, n_ % s));
+      if (lo < hi) shards_.push_back({lo, hi});
+    }
+    return;
+  }
+  const std::size_t budget = std::max<std::size_t>(opt_.mem_budget_bytes, 1);
+  // Chunked planning keeps the cost scan O(chunk) in memory: per-vertex
+  // accumulator cost is one vertex counter, one offset slot, and one edge
+  // counter per owned edge (upper_degree is analytic — no enumeration).
+  constexpr vid kChunk = 1u << 15;
+  std::vector<std::size_t> cost;
+  vid lo = 0;
+  std::size_t used = sizeof(esz);  // the offsets array's sentinel entry
+  for (vid base = 0; base < n_; base += kChunk) {
+    const vid end = std::min<vid>(n_, base + kChunk);
+    cost.assign(static_cast<std::size_t>(end - base), 0);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t uu = 0; uu < static_cast<std::int64_t>(end - base);
+         ++uu) {
+      cost[static_cast<std::size_t>(uu)] =
+          sizeof(count_t) + sizeof(esz) +
+          sizeof(count_t) *
+              static_cast<std::size_t>(upper_degree(base + static_cast<vid>(uu)));
+    }
+    for (vid u = base; u < end; ++u) {
+      const std::size_t c = cost[static_cast<std::size_t>(u - base)];
+      if (u > lo && used + c > budget) {
+        shards_.push_back({lo, u});
+        lo = u;
+        used = sizeof(esz);
+      }
+      used += c;
+    }
+  }
+  shards_.push_back({lo, n_});
+}
+
+void StreamingCensus::process_shard(ShardRange range,
+                                    std::vector<count_t>& vertex,
+                                    std::vector<count_t>& edge,
+                                    std::vector<esz>& offsets,
+                                    count_t& wedge_checks) const {
+  const vid lo = range.lo;
+  const std::int64_t len = static_cast<std::int64_t>(range.hi - range.lo);
+  const std::size_t k = factors_.size();
+
+  offsets.assign(static_cast<std::size_t>(len) + 1, 0);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t uu = 0; uu < len; ++uu) {
+    offsets[static_cast<std::size_t>(uu) + 1] =
+        upper_degree(lo + static_cast<vid>(uu));
+  }
+  for (std::int64_t uu = 0; uu < len; ++uu) {
+    offsets[static_cast<std::size_t>(uu) + 1] +=
+        offsets[static_cast<std::size_t>(uu)];
+  }
+  vertex.assign(static_cast<std::size_t>(len), 0);
+  edge.assign(offsets[static_cast<std::size_t>(len)], 0);
+
+  count_t checks = 0;
+#pragma omp parallel reduction(+ : checks)
+  {
+    std::vector<vid> ids, coords;
+#pragma omp for schedule(dynamic, 16) nowait
+    for (std::int64_t uu = 0; uu < len; ++uu) {
+      const vid u = lo + static_cast<vid>(uu);
+      vid ucoords[kMaxFactors];
+      decompose(u, ucoords);
+      neighbors_with_coords(u, ucoords, ids, coords);
+      const std::size_t deg = ids.size();
+      const std::size_t split = static_cast<std::size_t>(
+          std::upper_bound(ids.begin(), ids.end(), u) - ids.begin());
+      assert(deg - split == offsets[static_cast<std::size_t>(uu) + 1] -
+                                offsets[static_cast<std::size_t>(uu)]);
+      // Every counter below is owned by this u alone: vertex[uu] and the
+      // owned-edge slice [offsets[uu], offsets[uu+1]) — single-writer, so
+      // no atomics, no thread-local copies, no reduction.
+      count_t t = 0;
+      count_t* const eb = edge.data() + offsets[static_cast<std::size_t>(uu)];
+      for (std::size_t i = 0; i + 1 < deg; ++i) {
+        const vid* const ci = coords.data() + i * k;
+        for (std::size_t j = i + 1; j < deg; ++j) {
+          const vid* const cj = coords.data() + j * k;
+          ++checks;
+          bool closed = true;
+          for (std::size_t f = 0; f < k; ++f) {
+            if (!factors_[f]->has_edge(ci[f], cj[f])) {
+              closed = false;
+              break;
+            }
+          }
+          if (!closed) continue;
+          ++t;
+          if (i >= split) ++eb[i - split];
+          if (j >= split) ++eb[j - split];
+        }
+      }
+      vertex[static_cast<std::size_t>(uu)] = t;
+    }
+  }
+  wedge_checks = checks;
+}
+
+StreamingStats StreamingCensus::run(const ShardConsumer& consumer) const {
+  StreamingStats st;
+  st.num_shards = shards_.size();
+  std::vector<count_t> vertex, edge;
+  std::vector<esz> offsets;
+  for (const ShardRange range : shards_) {
+    count_t checks = 0;
+    process_shard(range, vertex, edge, offsets, checks);
+    st.wedge_checks += checks;
+    st.peak_accumulator_bytes =
+        std::max(st.peak_accumulator_bytes,
+                 vertex.size() * sizeof(count_t) +
+                     edge.size() * sizeof(count_t) + offsets.size() * sizeof(esz));
+    count_t vsum = 0, esum = 0;
+#pragma omp parallel for schedule(static) reduction(+ : vsum)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(vertex.size());
+         ++i) {
+      vsum += vertex[static_cast<std::size_t>(i)];
+    }
+#pragma omp parallel for schedule(static) reduction(+ : esum)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(edge.size()); ++i) {
+      esum += edge[static_cast<std::size_t>(i)];
+    }
+    st.vertex_count_sum += vsum;
+    st.edge_count_sum += esum;
+    st.num_edges += edge.size();
+    if (consumer) consumer(Shard(*this, range, vertex, edge, offsets));
+  }
+  assert(st.vertex_count_sum % 3 == 0);
+  st.total_triangles = st.vertex_count_sum / 3;
+  return st;
+}
+
+void StreamingCensus::Shard::for_each_owned_edge(
+    const std::function<void(vid, vid, count_t)>& fn) const {
+  std::vector<vid> ids, coords;
+  vid ucoords[kMaxFactors];
+  for (vid u = range_.lo; u < range_.hi; ++u) {
+    engine_->decompose(u, ucoords);
+    engine_->neighbors_with_coords(u, ucoords, ids, coords);
+    const std::size_t split = static_cast<std::size_t>(
+        std::upper_bound(ids.begin(), ids.end(), u) - ids.begin());
+    const esz off = offsets_[static_cast<std::size_t>(u - range_.lo)];
+    for (std::size_t i = split; i < ids.size(); ++i) {
+      fn(u, ids[i], edge_[off + (i - split)]);
+    }
+  }
+}
+
+}  // namespace kronotri::validate

@@ -141,6 +141,91 @@ TEST(LabeledOracle, RejectsOutOfRangeLabels) {
                std::invalid_argument);
 }
 
+// -- 3-factor compositions -------------------------------------------------
+//
+// The census oracles are stated for C = A ⊗ B, but ⊗ is associative: any
+// `kron:` chain A ⊗ B₁ ⊗ B₂ is also A ⊗ (B₁ ⊗ B₂). These pins run the
+// oracles over 3-factor compositions (B = B₁ ⊗ B₂ built once, undirected ×
+// undirected stays undirected) against the brute-force census of the fully
+// materialized 3-factor product.
+
+TEST(DirectedOracleThreeFactor, VertexAndEdgeQueriesMatchBruteForce) {
+  const Graph a = kt_test::random_directed(4, 0.4, 11);
+  const Graph b1 = kt_test::random_undirected(3, 0.6, 12, 0.4);
+  const Graph b2 = kt_test::random_undirected(3, 0.6, 13, 0.5);
+  const Graph b = kron::kron_graph(b1, b2);
+  const DirectedTriangleOracle oracle(a, b);
+  const Graph c = kron::kron_graph(a, b);  // = a ⊗ b1 ⊗ b2 by associativity
+  const auto vertex = triangle::brute::directed_vertex_census(c);
+  for (int f = 0; f < triangle::kNumVertexTriTypes; ++f) {
+    const auto flavor = static_cast<triangle::VertexTriType>(f);
+    count_t sum = 0;
+    for (vid p = 0; p < oracle.num_vertices(); ++p) {
+      ASSERT_EQ(oracle.vertex_triangles(flavor, p),
+                vertex[static_cast<std::size_t>(f)][p])
+          << triangle::to_string(flavor) << " @ " << p;
+      sum += vertex[static_cast<std::size_t>(f)][p];
+    }
+    EXPECT_EQ(oracle.total(flavor), sum);
+  }
+  const auto edge = triangle::brute::directed_edge_census(c);
+  for (int f = 0; f < triangle::kNumEdgeTriTypes; ++f) {
+    const auto flavor = static_cast<triangle::EdgeTriType>(f);
+    const CountCsr& expected = edge[static_cast<std::size_t>(f)];
+    for (vid p = 0; p < c.num_vertices(); ++p) {
+      for (vid q = 0; q < c.num_vertices(); ++q) {
+        const auto val = oracle.edge_triangles(flavor, p, q);
+        if (expected.contains(p, q)) {
+          ASSERT_TRUE(val.has_value());
+          ASSERT_EQ(*val, expected.at(p, q))
+              << triangle::to_string(flavor) << " @ (" << p << "," << q << ")";
+        } else {
+          ASSERT_FALSE(val.has_value());
+        }
+      }
+    }
+  }
+}
+
+TEST(LabeledOracleThreeFactor, VertexAndEdgeQueriesMatchBruteForce) {
+  const std::uint32_t big_l = 2;
+  const Graph a = kt_test::random_undirected(4, 0.6, 21);
+  const auto lab = gen::random_labels(4, big_l, 22);
+  const Graph b1 = kt_test::random_undirected(3, 0.6, 23, 0.4);
+  const Graph b2 = kt_test::random_undirected(2, 0.9, 24, 0.5);
+  const Graph b = kron::kron_graph(b1, b2);
+  const LabeledTriangleOracle oracle(a, lab, b);
+  const Graph c = kron::kron_graph(a, b);
+  const auto lc = oracle.product_labels();
+  for (std::uint32_t q1 = 0; q1 < big_l; ++q1) {
+    for (std::uint32_t q2 = 0; q2 < big_l; ++q2) {
+      for (std::uint32_t q3 = q2; q3 < big_l; ++q3) {
+        const auto expected =
+            triangle::brute::labeled_vertex_participation(c, lc, q1, q2, q3);
+        for (vid p = 0; p < c.num_vertices(); ++p) {
+          ASSERT_EQ(oracle.vertex_triangles(q1, q2, q3, p), expected[p])
+              << "(" << q1 << "," << q2 << "," << q3 << ") @ " << p;
+        }
+      }
+      for (std::uint32_t q3 = 0; q3 < big_l; ++q3) {
+        const auto expected =
+            triangle::brute::labeled_edge_participation(c, lc, q1, q2, q3);
+        for (vid p = 0; p < c.num_vertices(); ++p) {
+          for (vid q = 0; q < c.num_vertices(); ++q) {
+            const auto val = oracle.edge_triangles(q1, q2, q3, p, q);
+            if (expected.contains(p, q)) {
+              ASSERT_TRUE(val.has_value());
+              ASSERT_EQ(*val, expected.at(p, q));
+            } else {
+              ASSERT_FALSE(val.has_value());
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(TrussSubgraph, ExtractsKTruss) {
   // Ex. 2 product: T⁽⁴⁾ has 80 edges and is itself a valid 4-truss.
   const Graph a = gen::hub_cycle();

@@ -251,6 +251,49 @@ TEST_F(CliTest, ValidatePassesOnExactClaimsAndFailsOnWrongOnes) {
   EXPECT_NE(out.find("MISMATCH"), std::string::npos);
 }
 
+TEST_F(CliTest, ValidateSpecStreamsShardedCensus) {
+  std::string out;
+  // Tiny budget → many shards; every count must still match the closed
+  // forms, and the report echoes the shard count and budget.
+  EXPECT_EQ(run_cmd({"validate", "--spec",
+                     "kron:(hk:n=60,m=2,p=0.5,seed=3)x(clique:n=3,loops=1)",
+                     "--mem-budget", "2K"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("PASS"), std::string::npos);
+  EXPECT_NE(out.find("shards"), std::string::npos);
+  EXPECT_NE(out.find("2,048"), std::string::npos);
+
+  // 3-factor chains go through the KronChain predictor.
+  EXPECT_EQ(run_cmd({"validate", "--spec",
+                     "kron:(er:n=12,p=0.3,seed=1)x(clique:n=3)x(path:n=3)",
+                     "--shards", "5"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("PASS"), std::string::npos);
+
+  // --json emits the machine-readable report.
+  const std::string json = tmp("report.json");
+  EXPECT_EQ(run_cmd({"validate", "--spec",
+                     "kron:(clique:n=4)x(clique:n=3)", "--json", json},
+                    &out),
+            0);
+  std::ifstream jf(json);
+  std::stringstream buf;
+  buf << jf.rdbuf();
+  EXPECT_NE(buf.str().find("\"pass\": true"), std::string::npos);
+  EXPECT_NE(buf.str().find("\"edge_mismatches\": 0"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateSpecRejectsBadBudget) {
+  std::string err;
+  EXPECT_EQ(run_cmd({"validate", "--spec", "kron:(clique:n=3)x(clique:n=3)",
+                     "--mem-budget", "12Q"},
+                    nullptr, &err),
+            1);
+  EXPECT_NE(err.find("byte suffix"), std::string::npos);
+}
+
 TEST_F(CliTest, EgonetChecksFormula) {
   const std::string a = tmp("ea.txt");
   io::write_edge_list(gen::hub_cycle(), a);

@@ -184,4 +184,31 @@ TEST_P(LabeledProperty, TypesPartitionVertexTriangles) {
 INSTANTIATE_TEST_SUITE_P(Seeds, LabeledProperty,
                          ::testing::Range<std::uint64_t>(0, 6));
 
+TEST(LabeledCensus, MemoryGuardClampIsBitIdentical) {
+  // A budget that fits exactly one worker's accumulators forces the clamp
+  // path (with its one-line warning); counts are exact integer sums, so the
+  // clamped census must equal the unclamped one.
+  const std::uint32_t big_l = 4;
+  const Graph g = kt_test::random_undirected(30, 0.3, 9);
+  const Labeling lab = gen::random_labels(30, big_l, 10);
+  const auto wide = triangle::labeled_census(g, lab);
+  const std::size_t npairs = static_cast<std::size_t>(big_l) * (big_l + 1) / 2;
+  const std::size_t one_worker =
+      (npairs * g.num_vertices() +
+       static_cast<std::size_t>(big_l) * g.num_undirected_edges()) *
+      sizeof(count_t);
+  const auto clamped = triangle::labeled_census(g, lab, one_worker);
+  ASSERT_EQ(clamped.at_vertices.size(), wide.at_vertices.size());
+  for (std::size_t i = 0; i < wide.at_vertices.size(); ++i) {
+    EXPECT_EQ(clamped.at_vertices[i], wide.at_vertices[i]);
+  }
+  ASSERT_EQ(clamped.at_edges.size(), wide.at_edges.size());
+  for (std::size_t i = 0; i < wide.at_edges.size(); ++i) {
+    EXPECT_TRUE(clamped.at_edges[i] == wide.at_edges[i]);
+  }
+  // A zero budget still runs (floor of one worker).
+  const auto floor = triangle::labeled_census(g, lab, 1);
+  EXPECT_EQ(floor.at_vertices[0], wide.at_vertices[0]);
+}
+
 }  // namespace
