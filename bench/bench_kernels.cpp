@@ -152,19 +152,17 @@ void census_scaling_artifact() {
        kron::kron_graph(gen::clique(20), gen::holme_kim(800, 5, 0.8, 89))},
   };
   const int thread_counts[] = {1, 2, 4};
-  std::ostringstream scales_json;
+  util::json::Value scales_json = util::json::Value::array();
   util::Table t({"product", "edges", "triangles", "impl", "threads",
                  "time (s)", "triangles/s"});
 
   double seed_last_tps = 0, engine_4t_tps = 0;
   bool identical = true;
 
-  bool first_scale = true;
   for (const auto& [name, g] : scales) {
     triangle::UndirectedStats ref;
 
-    std::ostringstream engine_tps_json;
-    bool first_t = true;
+    util::json::Value engine_tps_json = util::json::Value::object();
     for (const int threads : thread_counts) {
       double secs = 0;
       const auto st = timed_at_threads(
@@ -177,9 +175,7 @@ void census_scaling_artifact() {
       t.row({name, util::commas(g.num_undirected_edges()),
              util::commas(st.total), "engine", std::to_string(threads),
              std::to_string(secs), util::human(tps)});
-      engine_tps_json << (first_t ? "" : ", ") << "\"" << threads
-                      << "\": " << tps;
-      first_t = false;
+      engine_tps_json.set(std::to_string(threads), tps);
     }
 
     double seed_secs = 0;
@@ -193,29 +189,30 @@ void census_scaling_artifact() {
            util::commas(seed_st.total), "seed atomic", "4",
            std::to_string(seed_secs), util::human(seed_tps)});
 
-    scales_json << (first_scale ? "" : ",") << "\n    {\"product\": \"" << name
-                << "\", \"edges\": " << g.num_undirected_edges()
-                << ", \"triangles\": " << ref.total
-                << ", \"triangles_per_edge\": "
-                << static_cast<double>(ref.total) /
-                       static_cast<double>(g.num_undirected_edges())
-                << ", \"engine_tps\": {" << engine_tps_json.str()
-                << "}, \"seed_atomic_tps_4t\": " << seed_tps << "}";
-    first_scale = false;
+    util::json::Value scale = util::json::Value::object();
+    scale.set("product", name);
+    scale.set("edges", g.num_undirected_edges());
+    scale.set("triangles", ref.total);
+    scale.set("triangles_per_edge",
+              static_cast<double>(ref.total) /
+                  static_cast<double>(g.num_undirected_edges()));
+    scale.set("engine_tps", std::move(engine_tps_json));
+    scale.set("seed_atomic_tps_4t", seed_tps);
+    scales_json.push_back(std::move(scale));
   }
   t.print(std::cout);
 
   const double speedup = engine_4t_tps / seed_last_tps;
+  util::json::Value tj = util::json::Value::object();
+  tj.set("bench", "triangle_census");
+  tj.set("hardware_threads", std::thread::hardware_concurrency());
+  tj.set("scales", std::move(scales_json));
+  tj.set("speedup_vs_seed_atomic_4t", speedup);
+  tj.set("identical_counts_across_thread_counts", identical);
+  tj.set("metadata", util::run_metadata(api::kDefaultBatchSize));
   std::ofstream json("BENCH_triangle.json");
-  json << "{\n"
-       << "  \"bench\": \"triangle_census\",\n"
-       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
-       << ",\n"
-       << "  \"scales\": [" << scales_json.str() << "\n  ],\n"
-       << "  \"speedup_vs_seed_atomic_4t\": " << speedup << ",\n"
-       << "  \"identical_counts_across_thread_counts\": "
-       << (identical ? "true" : "false") << "\n"
-       << "}\n";
+  tj.dump(json);
+  json << "\n";
   std::cout << "\nwrote BENCH_triangle.json (engine vs seed atomic at 4 "
                "threads: "
             << util::human(speedup, 3) << "x, counts "
@@ -236,7 +233,7 @@ double process_cpu_seconds() {
 /// setting (items per CPU second over the serial items per wall second;
 /// ≥ 1.0 means no parallelization tax, the PR 2 convention).
 struct KernelScaling {
-  std::string json;
+  util::json::Value json;
   double work_equal_1t = 0;
   double cpu_efficiency = 0;
   bool identical = true;
@@ -261,9 +258,8 @@ KernelScaling kernel_scaling(util::Table& t, const char* name,
   t.row({name, "serial (seed)", "1", std::to_string(serial_secs),
          util::human(serial_ips), "-"});
 
-  std::ostringstream threads_json;
+  util::json::Value threads_json = util::json::Value::object();
   double wall_1t = serial_secs, last_cpu_ips = serial_ips;
-  bool first = true;
   for (const int threads : {1, 2, 4}) {
     double wall = 1e300, cpu = 1e300;
     for (int rep = 0; rep < kReps; ++rep) {
@@ -281,24 +277,25 @@ KernelScaling kernel_scaling(util::Table& t, const char* name,
     last_cpu_ips = items / cpu;
     t.row({name, "parallel", std::to_string(threads), std::to_string(wall),
            util::human(items / wall), util::human(items / cpu)});
-    threads_json << (first ? "" : ", ") << "\"" << threads
-                 << "\": {\"wall_s\": " << wall << ", \"cpu_s\": " << cpu
-                 << ", \"items_per_s\": " << items / wall << "}";
-    first = false;
+    util::json::Value at = util::json::Value::object();
+    at.set("wall_s", wall);
+    at.set("cpu_s", cpu);
+    at.set("items_per_s", items / wall);
+    threads_json.set(std::to_string(threads), std::move(at));
   }
   out.work_equal_1t = serial_secs / wall_1t;
   out.cpu_efficiency = last_cpu_ips / serial_ips;
 
-  std::ostringstream j;
-  j << "{\"kernel\": \"" << name << "\", \"units\": \"" << units
-    << "\", \"items\": " << static_cast<std::uint64_t>(items)
-    << ", \"serial_baseline_s\": " << serial_secs
-    << ", \"serial_items_per_s\": " << serial_ips << ", \"parallel\": {"
-    << threads_json.str() << "}, \"work_equal_1t_ratio\": "
-    << out.work_equal_1t
-    << ", \"cpu_second_efficiency_4t\": " << out.cpu_efficiency
-    << ", \"identical\": " << (out.identical ? "true" : "false") << "}";
-  out.json = j.str();
+  out.json = util::json::Value::object();
+  out.json.set("kernel", name);
+  out.json.set("units", units);
+  out.json.set("items", static_cast<std::uint64_t>(items));
+  out.json.set("serial_baseline_s", serial_secs);
+  out.json.set("serial_items_per_s", serial_ips);
+  out.json.set("parallel", std::move(threads_json));
+  out.json.set("work_equal_1t_ratio", out.work_equal_1t);
+  out.json.set("cpu_second_efficiency_4t", out.cpu_efficiency);
+  out.json.set("identical", out.identical);
   return out;
 }
 
@@ -369,19 +366,18 @@ void kernel_scaling_artifact() {
   t.print(std::cout);
 
   bool identical = true;
-  std::ostringstream kernels_json;
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    identical = identical && rows[i].identical;
-    kernels_json << (i ? "," : "") << "\n    " << rows[i].json;
-  }
+  for (const auto& row : rows) identical = identical && row.identical;
+  util::json::Value j = util::json::Value::object();
+  j.set("bench", "parallel_kernels");
+  j.set("hardware_threads", std::thread::hardware_concurrency());
+  util::json::Value kernels = util::json::Value::array();
+  for (const auto& row : rows) kernels.push_back(row.json);
+  j.set("kernels", std::move(kernels));
+  j.set("identical_to_serial", identical);
+  j.set("metadata", util::run_metadata(api::kDefaultBatchSize));
   std::ofstream json("BENCH_kernels.json");
-  json << "{\n"
-       << "  \"bench\": \"parallel_kernels\",\n"
-       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
-       << ",\n"
-       << "  \"kernels\": [" << kernels_json.str() << "\n  ],\n"
-       << "  \"identical_to_serial\": " << (identical ? "true" : "false")
-       << "\n}\n";
+  j.dump(json);
+  json << "\n";
   std::cout << "\nwrote BENCH_kernels.json (outputs "
             << (identical ? "identical" : "MISMATCH")
             << " to the serial kernels; wall speedup needs >= 2 hardware "

@@ -24,8 +24,10 @@
 #include <sys/resource.h>
 #endif
 
+#include "api/pipeline.hpp"
 #include "api/registry.hpp"
 #include "common.hpp"
+#include "util/runmeta.hpp"
 #include "kron/product.hpp"
 #include "kron/stream.hpp"
 #include "kron/view.hpp"
@@ -139,39 +141,33 @@ PresetResult run_preset(const std::string& name, const std::string& spec_text,
 std::vector<PresetResult> g_results;
 bool g_all_ok = true;
 
-void append_json(std::ostringstream& os, const PresetResult& r) {
-  os << "    {\n"
-     << "      \"name\": \"" << r.name << "\",\n"
-     << "      \"spec\": \"" << r.spec << "\",\n"
-     << "      \"product_vertices\": " << r.n_c << ",\n"
-     << "      \"product_nnz\": " << r.nnz_c << ",\n"
-     << "      \"product_edges\": " << r.edges << ",\n"
-     << "      \"mem_budget_bytes\": " << r.mem_budget << ",\n"
-     << "      \"num_shards\": " << r.num_shards << ",\n"
-     << "      \"peak_accumulator_bytes\": " << r.peak_accumulator_bytes
-     << ",\n"
-     << "      \"materialized_edge_list_bytes\": "
-     << r.materialized_edge_list_bytes << ",\n"
-     << "      \"materialization_exceeds_budget\": "
-     << (r.budget_exceeded_by_materialization() ? "true" : "false") << ",\n"
-     << "      \"accumulators_within_budget\": "
-     << (r.within_budget() ? "true" : "false") << ",\n"
-     << "      \"wedge_checks\": " << r.wedge_checks << ",\n"
-     << "      \"streaming_seconds\": " << r.streaming_s << ",\n"
-     << "      \"streaming_eps\": "
-     << (r.streaming_s > 0 ? static_cast<double>(r.edges) / r.streaming_s : 0)
-     << ",\n"
-     << "      \"materialized_seconds\": " << r.materialized_s << ",\n"
-     << "      \"materialized_eps\": "
-     << (r.materialized_s > 0
-             ? static_cast<double>(r.edges) / r.materialized_s
-             : 0)
-     << ",\n"
-     << "      \"bit_identical\": " << (r.bit_identical ? "true" : "false")
-     << ",\n"
-     << "      \"peak_rss_kib\": " << r.peak_rss_kib << ",\n"
-     << "      \"validation_pass\": " << (r.report_pass ? "true" : "false")
-     << "\n    }";
+util::json::Value preset_json(const PresetResult& r) {
+  util::json::Value j = util::json::Value::object();
+  j.set("name", r.name);
+  j.set("spec", r.spec);
+  j.set("product_vertices", r.n_c);
+  j.set("product_nnz", r.nnz_c);
+  j.set("product_edges", r.edges);
+  j.set("mem_budget_bytes", r.mem_budget);
+  j.set("num_shards", r.num_shards);
+  j.set("peak_accumulator_bytes", r.peak_accumulator_bytes);
+  j.set("materialized_edge_list_bytes", r.materialized_edge_list_bytes);
+  j.set("materialization_exceeds_budget",
+        r.budget_exceeded_by_materialization());
+  j.set("accumulators_within_budget", r.within_budget());
+  j.set("wedge_checks", r.wedge_checks);
+  j.set("streaming_seconds", r.streaming_s);
+  j.set("streaming_eps",
+        r.streaming_s > 0 ? static_cast<double>(r.edges) / r.streaming_s : 0.0);
+  j.set("materialized_seconds", r.materialized_s);
+  j.set("materialized_eps",
+        r.materialized_s > 0
+            ? static_cast<double>(r.edges) / r.materialized_s
+            : 0.0);
+  j.set("bit_identical", r.bit_identical);
+  j.set("peak_rss_kib", r.peak_rss_kib);
+  j.set("validation_pass", r.report_pass);
+  return j;
 }
 
 void print_artifact() {
@@ -206,15 +202,15 @@ void print_artifact() {
   }
   t.print(std::cout);
 
-  std::ostringstream json;
-  json << "{\n  \"specs\": [\n";
-  for (std::size_t i = 0; i < g_results.size(); ++i) {
-    append_json(json, g_results[i]);
-    json << (i + 1 < g_results.size() ? ",\n" : "\n");
-  }
-  json << "  ],\n  \"all_pass\": " << (g_all_ok ? "true" : "false") << "\n}\n";
+  util::json::Value j = util::json::Value::object();
+  util::json::Value specs = util::json::Value::array();
+  for (const auto& r : g_results) specs.push_back(preset_json(r));
+  j.set("specs", std::move(specs));
+  j.set("all_pass", g_all_ok);
+  j.set("metadata", util::run_metadata(api::kDefaultBatchSize));
   std::ofstream out("BENCH_validate.json");
-  out << json.str();
+  j.dump(out);
+  out << "\n";
   std::cout << "\nwrote BENCH_validate.json ("
             << (g_all_ok ? "all presets PASS" : "VALIDATION FAILURE")
             << "; over_budget censused a product whose edge list is "

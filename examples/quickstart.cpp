@@ -1,7 +1,8 @@
-// Quickstart: describe two factors as generator specs, form the (implicit)
-// Kronecker product, stream its edges through a sink, and read exact
-// triangle statistics off the oracle — the fifteen-line version of what the
-// paper proposes, written against the pipeline facade.
+// Quickstart: describe the whole paper workflow — generate a Kronecker
+// product, measure triangle statistics, validate against the closed forms —
+// as ONE declarative RunPlan, execute it with api::run() (every analysis
+// rides a single stream pass), and read the results off the RunReport.
+// Then drop one level down to the oracle for per-edge ground truth.
 //
 //   ./quickstart
 #include <iostream>
@@ -11,38 +12,45 @@
 int main() {
   using namespace kronotri;
 
-  // Factor A: the paper's Ex. 2 hub-cycle (5 vertices, 8 edges, 4
-  // triangles). Factor B: a triangle with self loops added — self loops
-  // boost triangle counts in the product (Rem. 3). Both come from the
-  // generator registry, so swapping families is a one-string change.
+  // The plan, in shorthand: factor A is the paper's Ex. 2 hub-cycle
+  // (5 vertices, 8 edges, 4 triangles), factor B a triangle with self
+  // loops (self loops boost triangle counts in the product, Rem. 3).
+  // census rides the stream pass with a per-edge oracle census, degree
+  // fans out alongside it through the same TeeSink, and validate checks
+  // every vertex and edge count against the closed forms.
+  api::RunPlan plan = api::RunPlan::parse(
+      "kron:(hubcycle)x(clique:n=3,loops=1) census:edges=1 degree:measured=1 "
+      "validate");
+  plan.options.threads = 2;
+
+  const api::RunReport report = api::run(plan);
+  report.print(std::cout);
+
+  // The report is a typed tree: pull one number back out.
+  const count_t triangles =
+      report.analyses[0].data.find("total_triangles")->as_uint();
+  std::cout << "\nC has exactly " << triangles
+            << " triangles (report pass: " << (report.pass ? "yes" : "no")
+            << ")\n";
+
+  // Everything above is also one CLI call:
+  //   kronotri run --plan "kron:(hubcycle)x(clique:n=3,loops=1) \
+  //                        census:edges=1 degree validate" --json report.json
+
+  // Below the plan API: the oracle gives exact per-vertex / per-edge
+  // ground truth straight from the factors.
   const auto& registry = api::GeneratorRegistry::builtin();
   const Graph a = registry.build("hubcycle");
   const Graph b = registry.build("clique:n=3,loops=1");
-
-  const kron::KronGraphView c(a, b);
   const kron::TriangleOracle oracle(a, b);
 
-  std::cout << "C = A (hub-cycle) ⊗ B (K3 + I)\n"
-            << "  vertices:   " << c.num_vertices() << "\n"
-            << "  edges:      " << c.num_undirected_edges() << "\n"
-            << "  triangles:  " << oracle.total_triangles() << "\n\n";
-
-  std::cout << "exact per-vertex ground truth (first block):\n";
+  std::cout << "\nexact per-vertex ground truth (first block):\n";
   for (vid p = 0; p < b.num_vertices(); ++p) {
     std::cout << "  vertex " << p << ": degree " << oracle.degree(p)
               << ", triangles " << oracle.vertex_triangles(p) << "\n";
   }
 
-  // Edge-level ground truth during generation: pump the batched edge stream
-  // through a triangle-census sink — every emitted edge is annotated with
-  // its exact Δ(e) as it is generated.
-  api::TriangleCensusSink census(oracle);
-  api::stream_into(a, b, census);
-  std::cout << "\nstreamed " << census.edges_consumed()
-            << " stored entries; Σ Δ(e) = " << census.triangle_sum()
-            << " (counts each triangle once per edge-direction slot)\n";
-
-  // The first few streamed edges, annotated, via the batched pull API.
+  // The first few streamed edges, annotated via the batched pull API.
   std::cout << "\nfirst streamed edges with inline ground truth:\n";
   kron::EdgeStream stream(a, b);
   kron::EdgeRecord first[5];
@@ -53,12 +61,5 @@ int main() {
               << *oracle.edge_triangles(first[i].u, first[i].v)
               << " triangles\n";
   }
-
-  // Everything above came from factor-sized computations; verify one value
-  // the slow way by materializing the egonet.
-  const auto ego = analysis::extract_egonet(c, 0);
-  std::cout << "\negonet check at vertex 0: " << analysis::center_triangles(ego)
-            << " triangles (oracle said " << oracle.vertex_triangles(0)
-            << ")\n";
-  return 0;
+  return report.pass ? 0 : 1;
 }

@@ -1,0 +1,92 @@
+// RunPlan / api::run() — the declarative job engine.
+//
+// A RunPlan is the whole paper workflow as one value: a graph spec, a list
+// of named analyses with parameters, and execution options (threads,
+// batch size, memory budget, output). api::run() executes it in as few
+// stream passes as possible — every sink-backed analysis (plus the edge-
+// list writer and, when an analysis needs the explicit graph, a collector)
+// rides ONE stream_parallel pass through a per-partition TeeSink, merged
+// per partition in partition order so counts stay bit-identical to
+// independent passes — and returns a RunReport: per-stage edge counts and
+// wall/CPU timings, every analysis's typed result, and a pass/fail
+// verdict, serializable to JSON.
+//
+// Plans round-trip through JSON (`kronotri run --plan plan.json`) and a
+// one-line shorthand ("SPEC analysis[:k=v,…] …"); a plan is also the unit
+// the ROADMAP's distributed partition scheduling will ship to remote
+// nodes.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/analysis.hpp"
+#include "api/registry.hpp"
+#include "api/spec.hpp"
+#include "util/json.hpp"
+
+namespace kronotri::api {
+
+/// One requested analysis: a registry key plus its parameter map.
+struct AnalysisRequest {
+  std::string name;
+  std::map<std::string, std::string> params;
+
+  /// Parses the shorthand token `name[:key=value,…]`.
+  static AnalysisRequest parse(std::string_view token);
+};
+
+struct RunPlan {
+  GraphSpec spec;
+  std::vector<AnalysisRequest> analyses;
+  RunOptions options;
+  std::string description;  ///< free-form, echoed into the report
+
+  /// Parses either form: a JSON document (first non-space byte '{') or the
+  /// shorthand `SPEC [analysis[:k=v,…]]…` (whitespace-separated). Throws
+  /// std::invalid_argument with an actionable message on unknown keys.
+  static RunPlan parse(std::string_view text);
+  static RunPlan from_json(const util::json::Value& v);
+
+  [[nodiscard]] util::json::Value to_json() const;
+};
+
+/// One timed stage of a run (generate, stream, materialize, write, or one
+/// analysis).
+struct StageTiming {
+  std::string name;
+  double wall_s = 0;
+  double cpu_s = 0;
+  esz edges = 0;  ///< stored entries processed by the stage (0 if n/a)
+};
+
+struct RunReport {
+  RunPlan plan;  ///< the executed plan, echoed
+  vid num_vertices = 0;
+  count_t num_undirected_edges = 0;
+  esz stored_entries = 0;  ///< entries streamed (or nnz of the built graph)
+  bool streamed = false;   ///< a stream_parallel pass ran
+  unsigned partitions = 0;
+  std::vector<StageTiming> stages;
+  std::vector<AnalysisReport> analyses;
+  bool pass = true;  ///< conjunction of every analysis verdict
+  double total_wall_s = 0;
+  double total_cpu_s = 0;
+  util::json::Value metadata;  ///< util::run_metadata()
+
+  [[nodiscard]] util::json::Value to_json() const;
+  /// Human-readable rendering: header, per-analysis text blocks, verdict.
+  void print(std::ostream& os) const;
+};
+
+/// Executes the plan. Generator and analysis lookups use the given
+/// registries (the builtins by default). Throws std::invalid_argument for
+/// malformed plans/params, and propagates analysis errors.
+RunReport run(const RunPlan& plan,
+              const GeneratorRegistry& generators = GeneratorRegistry::builtin(),
+              const AnalysisRegistry& analyses = AnalysisRegistry::builtin());
+
+}  // namespace kronotri::api

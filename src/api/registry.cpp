@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/io.hpp"
 #include "gen/classic.hpp"
 #include "gen/one_triangle_pa.hpp"
 #include "gen/prune.hpp"
@@ -129,6 +130,21 @@ GeneratorRegistry& GeneratorRegistry::builtin() {
            [](const GraphSpec& s) {
              return gen::one_triangle_pa(s.get_uint("n", 1000),
                                          s.get_uint("seed", 1));
+           });
+    // Real datasets as specs: run plans and CLI graph arguments reference
+    // edge-list files through the same registry as the synthetic families.
+    // (Paths containing ',' or ')' cannot be spelled in the spec grammar.)
+    r->add("file",
+           "edge-list file: path, symmetrize=0/1, drop_loops=0/1",
+           [](const GraphSpec& s) {
+             const std::string path = s.get("path", "");
+             if (path.empty()) {
+               throw std::invalid_argument("file: param path is required");
+             }
+             io::ReadOptions opts;
+             opts.symmetrize = s.get_bool("symmetrize", false);
+             opts.drop_self_loops = s.get_bool("drop_loops", false);
+             return io::read_edge_list(path, opts);
            });
     return r;
   }();

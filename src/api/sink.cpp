@@ -17,8 +17,7 @@ void append_u64(std::string& buf, std::uint64_t v) {
 
 }  // namespace
 
-void TextEdgeSink::consume(std::span<const kron::EdgeRecord> batch) {
-  consumed_ += batch.size();
+void TextEdgeSink::do_consume(std::span<const kron::EdgeRecord> batch) {
   for (const auto& e : batch) {
     append_u64(buffer_, e.u);
     buffer_.push_back(' ');
@@ -31,7 +30,7 @@ void TextEdgeSink::consume(std::span<const kron::EdgeRecord> batch) {
   }
 }
 
-void TextEdgeSink::finish() {
+void TextEdgeSink::do_finish() {
   if (!buffer_.empty()) {
     os_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
     buffer_.clear();
@@ -39,8 +38,7 @@ void TextEdgeSink::finish() {
   os_->flush();
 }
 
-void BinaryEdgeSink::consume(std::span<const kron::EdgeRecord> batch) {
-  consumed_ += batch.size();
+void BinaryEdgeSink::do_consume(std::span<const kron::EdgeRecord> batch) {
   static_assert(sizeof(kron::EdgeRecord) == 2 * sizeof(vid),
                 "EdgeRecord must be two packed u64s for the binary format");
   os_->write(reinterpret_cast<const char*>(batch.data()),
@@ -48,10 +46,9 @@ void BinaryEdgeSink::consume(std::span<const kron::EdgeRecord> batch) {
                                           sizeof(kron::EdgeRecord)));
 }
 
-void BinaryEdgeSink::finish() { os_->flush(); }
+void BinaryEdgeSink::do_finish() { os_->flush(); }
 
-void CooCollectorSink::consume(std::span<const kron::EdgeRecord> batch) {
-  consumed_ += batch.size();
+void CooCollectorSink::do_consume(std::span<const kron::EdgeRecord> batch) {
   edges_.reserve(edges_.size() + batch.size());
   for (const auto& e : batch) edges_.emplace_back(e.u, e.v);
 }
@@ -60,8 +57,7 @@ Graph CooCollectorSink::to_graph(vid n, bool symmetrize) const {
   return Graph::from_edges(n, edges_, symmetrize);
 }
 
-void DegreeCensusSink::consume(std::span<const kron::EdgeRecord> batch) {
-  consumed_ += batch.size();
+void DegreeCensusSink::do_consume(std::span<const kron::EdgeRecord> batch) {
   count_t* const d = degrees_.data();
   for (const auto& e : batch) ++d[e.u];
 }
@@ -73,8 +69,7 @@ void DegreeCensusSink::merge(const DegreeCensusSink& other) {
   }
 }
 
-void TriangleCensusSink::consume(std::span<const kron::EdgeRecord> batch) {
-  consumed_ += batch.size();
+void TriangleCensusSink::do_consume(std::span<const kron::EdgeRecord> batch) {
   for (const auto& e : batch) {
     const auto d = oracle_->edge_triangles(e.u, e.v);
     if (!d) continue;  // self-loop slots are not undirected edges
@@ -123,8 +118,7 @@ ValidatingCensusSink::ValidatingCensusSink(const kron::KronGraphView& view,
   }
 }
 
-void ValidatingCensusSink::consume(std::span<const kron::EdgeRecord> batch) {
-  consumed_ += batch.size();
+void ValidatingCensusSink::do_consume(std::span<const kron::EdgeRecord> batch) {
   for (const auto& e : batch) {
     if (e.u >= e.v) continue;  // one check per undirected edge; skips loops
     // The stream emits edges grouped by source, so N(u) is materialized

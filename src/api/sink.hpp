@@ -6,11 +6,21 @@
 // representation without ever materializing the product. Sinks are
 // deliberately dumb — consume() takes a batch, finish() flushes — so one
 // sink instance per partition composes with stream_parallel().
+//
+// The public consume()/finish() pair is non-virtual; implementations
+// override do_consume()/do_finish(). The base class owns the consumed_
+// bookkeeping and makes finish() idempotent: with TeeSink composition the
+// same child is easily finished twice (once by the tee, once by a caller
+// that also holds it), so the first finish() runs do_finish() and later
+// calls are no-ops. Debug builds assert that no batch arrives after
+// finish().
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -28,16 +38,63 @@ class EdgeSink {
 
   /// Consumes one batch of edges. Called repeatedly; batches are never
   /// interleaved on a single sink (each partition owns its sink).
-  virtual void consume(std::span<const kron::EdgeRecord> batch) = 0;
+  void consume(std::span<const kron::EdgeRecord> batch) {
+    assert(!finished_ && "EdgeSink::consume() after finish()");
+    consumed_ += batch.size();
+    do_consume(batch);
+  }
 
-  /// Called exactly once after the last batch.
-  virtual void finish() {}
+  /// Flushes. Idempotent: the first call runs do_finish(), every later
+  /// call returns immediately.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    do_finish();
+  }
+
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
 
   /// Total edges consumed so far.
   [[nodiscard]] esz edges_consumed() const noexcept { return consumed_; }
 
  protected:
+  virtual void do_consume(std::span<const kron::EdgeRecord> batch) = 0;
+  virtual void do_finish() {}
+
   esz consumed_ = 0;
+
+ private:
+  bool finished_ = false;
+};
+
+/// Fans every batch out to N child sinks, so ONE stream pass feeds N
+/// consumers — the composition primitive behind api::run()'s single-pass
+/// multi-analysis execution. Owns its children; finish() finishes each
+/// child (idempotently, so a child finished elsewhere is fine). The tee's
+/// own edges_consumed() counts the batches it saw once, not per child.
+class TeeSink : public EdgeSink {
+ public:
+  explicit TeeSink(std::vector<std::unique_ptr<EdgeSink>> children)
+      : children_(std::move(children)) {}
+
+  [[nodiscard]] std::size_t num_children() const noexcept {
+    return children_.size();
+  }
+  [[nodiscard]] EdgeSink& child(std::size_t i) { return *children_[i]; }
+  [[nodiscard]] const EdgeSink& child(std::size_t i) const {
+    return *children_[i];
+  }
+
+ protected:
+  void do_consume(std::span<const kron::EdgeRecord> batch) override {
+    for (const auto& c : children_) c->consume(batch);
+  }
+  void do_finish() override {
+    for (const auto& c : children_) c->finish();
+  }
+
+ private:
+  std::vector<std::unique_ptr<EdgeSink>> children_;
 };
 
 /// Writes "u v" text lines (the io::write_edge_list body format) to an
@@ -45,8 +102,10 @@ class EdgeSink {
 class TextEdgeSink : public EdgeSink {
  public:
   explicit TextEdgeSink(std::ostream& os) : os_(&os) {}
-  void consume(std::span<const kron::EdgeRecord> batch) override;
-  void finish() override;
+
+ protected:
+  void do_consume(std::span<const kron::EdgeRecord> batch) override;
+  void do_finish() override;
 
  private:
   std::ostream* os_;
@@ -58,8 +117,10 @@ class TextEdgeSink : public EdgeSink {
 class BinaryEdgeSink : public EdgeSink {
  public:
   explicit BinaryEdgeSink(std::ostream& os) : os_(&os) {}
-  void consume(std::span<const kron::EdgeRecord> batch) override;
-  void finish() override;
+
+ protected:
+  void do_consume(std::span<const kron::EdgeRecord> batch) override;
+  void do_finish() override;
 
  private:
   std::ostream* os_;
@@ -69,8 +130,6 @@ class BinaryEdgeSink : public EdgeSink {
 /// Graph — the materialization path expressed as a sink.
 class CooCollectorSink : public EdgeSink {
  public:
-  void consume(std::span<const kron::EdgeRecord> batch) override;
-
   [[nodiscard]] const std::vector<std::pair<vid, vid>>& edges() const noexcept {
     return edges_;
   }
@@ -78,6 +137,9 @@ class CooCollectorSink : public EdgeSink {
 
   /// Builds the graph on `n` vertices from the collected directed entries.
   [[nodiscard]] Graph to_graph(vid n, bool symmetrize = false) const;
+
+ protected:
+  void do_consume(std::span<const kron::EdgeRecord> batch) override;
 
  private:
   std::vector<std::pair<vid, vid>> edges_;
@@ -92,7 +154,6 @@ class CooCollectorSink : public EdgeSink {
 class alignas(64) DegreeCensusSink : public EdgeSink {
  public:
   explicit DegreeCensusSink(vid num_vertices) : degrees_(num_vertices, 0) {}
-  void consume(std::span<const kron::EdgeRecord> batch) override;
 
   [[nodiscard]] const std::vector<count_t>& degrees() const noexcept {
     return degrees_;
@@ -101,6 +162,9 @@ class alignas(64) DegreeCensusSink : public EdgeSink {
   /// Merges another partition's census into this one (for fan-in after
   /// stream_parallel).
   void merge(const DegreeCensusSink& other);
+
+ protected:
+  void do_consume(std::span<const kron::EdgeRecord> batch) override;
 
  private:
   std::vector<count_t> degrees_;
@@ -114,7 +178,6 @@ class TriangleCensusSink : public EdgeSink {
   /// The oracle must outlive the sink.
   explicit TriangleCensusSink(const kron::TriangleOracle& oracle)
       : oracle_(&oracle) {}
-  void consume(std::span<const kron::EdgeRecord> batch) override;
 
   /// Σ Δ(e) over consumed stored entries (each undirected edge contributes
   /// once per stored direction; divide by 2 for loop-free products).
@@ -124,6 +187,9 @@ class TriangleCensusSink : public EdgeSink {
   }
 
   void merge(const TriangleCensusSink& other);
+
+ protected:
+  void do_consume(std::span<const kron::EdgeRecord> batch) override;
 
  private:
   const kron::TriangleOracle* oracle_;
@@ -142,7 +208,6 @@ class ValidatingCensusSink : public EdgeSink {
  public:
   ValidatingCensusSink(const kron::KronGraphView& view,
                        const kron::TriangleOracle& oracle);
-  void consume(std::span<const kron::EdgeRecord> batch) override;
 
   [[nodiscard]] count_t edges_checked() const noexcept { return checked_; }
   [[nodiscard]] count_t mismatches() const noexcept { return mismatches_; }
@@ -154,6 +219,9 @@ class ValidatingCensusSink : public EdgeSink {
   [[nodiscard]] bool pass() const noexcept { return mismatches_ == 0; }
 
   void merge(const ValidatingCensusSink& other);
+
+ protected:
+  void do_consume(std::span<const kron::EdgeRecord> batch) override;
 
  private:
   const kron::KronGraphView* view_;

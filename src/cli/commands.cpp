@@ -1,6 +1,7 @@
 #include "cli/commands.hpp"
 
 #include <fstream>
+#include <map>
 #include <memory>
 #include <ostream>
 #include <sstream>
@@ -8,20 +9,9 @@
 #include <string>
 #include <vector>
 
-#include "analysis/egonet.hpp"
-#include "api/pipeline.hpp"
+#include "api/plan.hpp"
 #include "api/registry.hpp"
-#include "api/sink.hpp"
-#include "core/io.hpp"
-#include "kron/multi.hpp"
-#include "kron/oracle.hpp"
-#include "kron/view.hpp"
-#include "triangle/count.hpp"
-#include "truss/decompose.hpp"
-#include "truss/kron_truss.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
-#include "validate/report.hpp"
 
 namespace kronotri::cli {
 
@@ -38,38 +28,43 @@ bool is_registered_spec(const std::string& src) {
   }
 }
 
-/// Loads a graph argument: an existing file is read as an edge list (with
-/// the usual ingest options); anything that names a registered generator
-/// spec (e.g. "hk:n=5000,seed=7") is built through the registry, exactly as
-/// specified — the ingest options do not apply to generated graphs.
-Graph load(const std::string& path, bool symmetrize, bool drop_loops) {
-  if (!std::ifstream(path).good() && is_registered_spec(path)) {
-    return api::GeneratorRegistry::builtin().build(path);
+/// A graph argument as a GraphSpec: an existing file becomes a `file:` spec
+/// (with the usual ingest options); anything that names a registered
+/// generator spec (e.g. "hk:n=5000,seed=7") is used verbatim — the ingest
+/// options do not apply to generated graphs.
+api::GraphSpec graph_arg_spec(const std::string& src, bool symmetrize,
+                              bool drop_loops) {
+  if (!std::ifstream(src).good() && is_registered_spec(src)) {
+    return api::GraphSpec::parse(src);
   }
-  io::ReadOptions opts;
-  opts.symmetrize = symmetrize;
-  opts.drop_self_loops = drop_loops;
-  return io::read_edge_list(path, opts);
+  api::GraphSpec spec;
+  spec.family = "file";
+  spec.params["path"] = src;
+  if (symmetrize) spec.params["symmetrize"] = "1";
+  if (drop_loops) spec.params["drop_loops"] = "1";
+  return spec;
 }
 
-/// Loads the two factors shared by census/validate/egonet: --a is required;
-/// --b defaults to A itself; --loops-b adds the B = A + I construction.
-struct Factors {
-  Graph a;
-  Graph b;
-};
-
-Factors load_factors(const util::Cli& flags) {
-  Factors f;
-  f.a = load(flags.get("a", ""), flags.has("symmetrize"), true);
-  if (flags.has("b")) {
-    f.b = load(flags.get("b", ""), flags.has("symmetrize"), false);
-  } else {
-    f.b = f.a;
-  }
-  if (flags.has("loops-b")) f.b = f.b.with_all_self_loops();
-  return f;
+/// The 2-factor product spec shared by census/validate/egonet: --a is
+/// required; --b defaults to A itself; --loops-b adds the B = A + I
+/// construction (the universal loops modifier on the B spec).
+api::GraphSpec factors_spec(const util::Cli& flags) {
+  api::GraphSpec a =
+      graph_arg_spec(flags.get("a", ""), flags.has("symmetrize"), true);
+  api::GraphSpec b =
+      flags.has("b")
+          ? graph_arg_spec(flags.get("b", ""), flags.has("symmetrize"), false)
+          : a;
+  if (flags.has("loops-b")) b.params["loops"] = "1";
+  api::GraphSpec product;
+  product.family = "kron";
+  product.factors = {std::move(a), std::move(b)};
+  return product;
 }
+
+/// Runs the plan through the job engine — the ONE execution path every
+/// subcommand funnels into.
+api::RunReport run_plan(const api::RunPlan& plan) { return api::run(plan); }
 
 }  // namespace
 
@@ -81,8 +76,19 @@ void usage(std::ostream& out) {
          "Graph arguments (--a, --b, --graph) accept a file path OR a\n"
          "generator spec like \"hk:n=5000,m=3,p=0.6,seed=7\" or\n"
          "\"kron:(hk:n=300)x(clique:n=3,loops=1)\" (see generate --list).\n"
+         "Every command below executes through the api::run() job engine;\n"
+         "`run` exposes it directly.\n"
          "\n"
          "commands:\n"
+         "  run       --plan FILE|STRING [--json FILE] [--threads T]\n"
+         "            [--batch N] [--out FILE] [--format text|binary]\n"
+         "            [--list]\n"
+         "            execute a declarative run plan (JSON document or the\n"
+         "            shorthand \"SPEC analysis[:k=v,…] …\") in a single\n"
+         "            stream pass where possible; prints the RunReport and\n"
+         "            writes it as JSON with --json; --list prints every\n"
+         "            registered analysis; exit 1 unless every analysis\n"
+         "            passes\n"
          "  generate  --type FAMILY | --spec SPEC, --out FILE\n"
          "            [--n N] [--m M] [--p P] [--scale S] [--seed S]\n"
          "            [--loops] [--prune] [--stream] [--threads T]\n"
@@ -167,6 +173,10 @@ int cmd_generate(const util::Cli& flags, std::ostream& out, std::ostream& err) {
   }
   if (flags.has("loops")) spec.params["loops"] = "1";
 
+  api::RunPlan plan;
+  plan.options.output = path;
+  plan.options.format = flags.get("format", "text");
+
   // Streaming path: a 2-factor kron spec goes straight from the partitioned
   // edge stream into a file sink — C is never materialized. Refusing the
   // other combinations (rather than quietly materializing) matters: the
@@ -179,43 +189,32 @@ int cmd_generate(const util::Cli& flags, std::ostream& out, std::ostream& err) {
           << spec.to_string() << "\"); drop --stream to materialize\n";
       return 2;
     }
-    const auto factors = registry.build_factors(spec);
+    plan.spec = std::move(spec);
+    plan.options.stream = true;
     // --threads 0 = hardware concurrency (the stream_parallel contract).
-    const auto nthreads =
+    plan.options.threads =
         static_cast<unsigned>(flags.get_uint("threads", 1));
-    const bool binary = flags.get("format", "text") == "binary";
-    std::vector<std::unique_ptr<std::ofstream>> files;
-    auto sinks = api::stream_parallel(
-        factors[0], factors[1], nthreads,
-        [&](std::uint64_t part, std::uint64_t nparts)
-            -> std::unique_ptr<api::EdgeSink> {
-          const std::string name =
-              nparts == 1 ? path : path + ".part" + std::to_string(part);
-          files.push_back(std::make_unique<std::ofstream>(
-              name, binary ? std::ios::binary : std::ios::out));
-          if (!*files.back()) {
-            throw std::runtime_error("cannot open " + name);
-          }
-          if (binary) {
-            return std::make_unique<api::BinaryEdgeSink>(*files.back());
-          }
-          return std::make_unique<api::TextEdgeSink>(*files.back());
-        });
-    esz total = 0;
-    for (const auto& s : sinks) total += s->edges_consumed();
-    const kron::KronGraphView c(factors[0], factors[1]);
-    out << "streamed " << path << (sinks.size() > 1 ? ".part*" : "") << ": "
-        << c.num_vertices() << " vertices, " << total
-        << " stored entries across " << sinks.size() << " partition"
-        << (sinks.size() > 1 ? "s" : "") << "\n";
+    const api::RunReport report = run_plan(plan);
+    out << "streamed " << path << (report.partitions > 1 ? ".part*" : "")
+        << ": " << report.num_vertices << " vertices, "
+        << report.stored_entries << " stored entries across "
+        << report.partitions << " partition"
+        << (report.partitions > 1 ? "s" : "") << "\n";
     return 0;
   }
 
-  const Graph g = registry.build(spec);
-  io::write_edge_list(g, path);
-  out << "wrote " << path << ": " << g.num_vertices() << " vertices, "
-      << g.num_undirected_edges() << " edges, "
-      << triangle::count_total(g) << " triangles\n";
+  // Materialized path: the engine builds the graph, writes the edge list,
+  // and the census analysis supplies the exact triangle count.
+  plan.spec = std::move(spec);
+  plan.analyses.push_back({"census", {}});
+  const api::RunReport report = run_plan(plan);
+  count_t triangles = 0;
+  if (const auto* t = report.analyses.front().data.find("total_triangles")) {
+    triangles = t->as_uint();
+  }
+  out << "wrote " << path << ": " << report.num_vertices << " vertices, "
+      << report.num_undirected_edges << " edges, " << triangles
+      << " triangles\n";
   return 0;
 }
 
@@ -224,110 +223,59 @@ int cmd_census(const util::Cli& flags, std::ostream& out, std::ostream& err) {
     err << "census: --a is required\n";
     return 2;
   }
-  const Factors f = load_factors(flags);
-  util::WallTimer timer;
-  const kron::TriangleOracle oracle(f.a, f.b);
-  const double secs = timer.seconds();
-  const kron::KronGraphView c(f.a, f.b);
-
-  util::Table t({"Matrix", "Vertices", "Edges", "Triangles"});
-  t.row({"A", util::commas(f.a.num_vertices()),
-         util::commas(f.a.num_undirected_edges()),
-         util::commas(triangle::count_total(f.a))});
-  t.row({"B", util::commas(f.b.num_vertices()),
-         util::commas(f.b.num_undirected_edges()),
-         util::commas(triangle::count_total(f.b))});
-  t.row({"C = A (x) B", util::commas(c.num_vertices()),
-         util::commas(c.num_undirected_edges()),
-         util::commas(oracle.total_triangles())});
-  t.print(out);
-  out << "census time: " << secs << " s\n";
+  api::RunPlan plan;
+  plan.spec = factors_spec(flags);
+  api::AnalysisRequest census{"census", {}};
+  if (flags.has("truth")) {
+    // The analysis streams the (sampled) ground-truth rows straight to the
+    // file — constant memory even for product-sized dumps.
+    census.params["truth_file"] = flags.get("truth", "");
+    if (flags.has("sample")) {
+      census.params["sample"] = flags.get("sample", "0");
+    }
+  }
+  plan.analyses.push_back(std::move(census));
+  const api::RunReport report = run_plan(plan);
+  const api::AnalysisReport& ar = report.analyses.front();
+  out << ar.text;
+  out << "census time: " << ar.wall_s << " s\n";
 
   if (flags.has("truth")) {
-    const count_t sample = flags.get_uint("sample", 0);
-    const vid nc = c.num_vertices();
-    const vid step = sample == 0 ? 1 : std::max<vid>(1, nc / sample);
-    std::vector<count_t> counts;
-    std::vector<vid> ids;
-    for (vid p = 0; p < nc; p += step) {
-      ids.push_back(p);
-      counts.push_back(oracle.vertex_triangles(p));
-    }
-    // Sparse id/count pairs reuse the vertex-counts format via explicit ids.
-    std::ofstream file(flags.get("truth", ""));
-    if (!file) {
-      err << "census: cannot open --truth file\n";
-      return 2;
-    }
-    file << "# kronotri ground truth: product vertex -> triangles\n";
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-      file << ids[i] << ' ' << counts[i] << '\n';
-    }
-    out << "wrote " << ids.size() << " ground-truth rows to "
-        << flags.get("truth", "") << "\n";
+    const auto* rows = ar.data.find("ground_truth_rows");
+    out << "wrote " << (rows == nullptr ? 0 : rows->as_uint())
+        << " ground-truth rows to " << flags.get("truth", "") << "\n";
   }
   return 0;
 }
 
 namespace {
 
-/// Parses a byte count with an optional K/M/G (KiB/MiB/GiB) suffix.
-/// Rejects anything that is not digits-then-one-suffix-letter (stoull alone
-/// would wrap negatives and ignore trailing garbage).
-std::size_t parse_bytes(const std::string& text) {
-  if (text.empty() || text[0] < '0' || text[0] > '9') {
-    throw std::invalid_argument("bad byte count \"" + text + "\"");
-  }
-  std::size_t end = 0;
-  const unsigned long long value = std::stoull(text, &end);
-  std::size_t shift = 0;
-  if (end < text.size()) {
-    switch (text[end]) {
-      case 'k': case 'K': shift = 10; break;
-      case 'm': case 'M': shift = 20; break;
-      case 'g': case 'G': shift = 30; break;
-      default:
-        throw std::invalid_argument("bad byte suffix in \"" + text + "\"");
-    }
-    if (end + 1 != text.size()) {
-      throw std::invalid_argument("bad byte suffix in \"" + text + "\"");
-    }
-  }
-  return static_cast<std::size_t>(value) << shift;
-}
-
 /// The streaming half of `validate`: sharded census of the product a spec
 /// describes, checked against the closed-form predictions, never
 /// materializing C.
 int validate_spec(const util::Cli& flags, std::ostream& out,
                   std::ostream& err) {
-  const auto spec = api::GraphSpec::parse(flags.get("spec", ""));
-  validate::StreamingOptions opt;
+  api::RunPlan plan;
+  plan.spec = api::GraphSpec::parse(flags.get("spec", ""));
+  api::AnalysisRequest req{"validate", {}};
   if (flags.has("mem-budget")) {
-    opt.mem_budget_bytes = parse_bytes(flags.get("mem-budget", ""));
+    req.params["mem_budget"] = flags.get("mem-budget", "");
   }
-  opt.force_shards = flags.get_uint("shards", 0);
-  const auto factors = api::GeneratorRegistry::builtin().build_factors(spec);
-  validate::ValidationReport report;
-  if (factors.size() == 2) {
-    report = validate::validate_product(factors[0], factors[1], opt);
-  } else {
-    // 1 factor (the graph itself as a census self-check) or k ≥ 3.
-    const kron::KronChain chain(factors);
-    report = validate::validate_chain(chain, opt);
-  }
-  report.spec = spec.to_string();
-  report.print(out);
+  if (flags.has("shards")) req.params["shards"] = flags.get("shards", "0");
+  plan.analyses.push_back(std::move(req));
+  const api::RunReport report = run_plan(plan);
+  const api::AnalysisReport& ar = report.analyses.front();
+  out << ar.text;
   if (flags.has("json")) {
     std::ofstream json(flags.get("json", ""));
     if (!json) {
       err << "validate: cannot open --json file\n";
       return 2;
     }
-    report.write_json(json);
+    ar.data.dump(json);
     json << "\n";
   }
-  return report.pass() ? 0 : 1;
+  return ar.pass ? 0 : 1;
 }
 
 }  // namespace
@@ -338,16 +286,16 @@ int cmd_validate(const util::Cli& flags, std::ostream& out, std::ostream& err) {
     err << "validate: --spec, or --a and --claims, is required\n";
     return 2;
   }
-  const Factors f = load_factors(flags);
-  const kron::TriangleOracle oracle(f.a, f.b);
-
+  // Claims mode: read the claims first, then ask the census analysis for
+  // ground truth at exactly the claimed vertices — claim-sized work, never
+  // the full n_A·n_B vector. The diff itself is presentation only.
   std::ifstream in(flags.get("claims", ""));
   if (!in) {
     err << "validate: cannot open claims file\n";
     return 2;
   }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> claims;
   std::string line;
-  count_t checked = 0, wrong = 0;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
@@ -356,13 +304,44 @@ int cmd_validate(const util::Cli& flags, std::ostream& out, std::ostream& err) {
       err << "validate: bad claims line: " << line << "\n";
       return 2;
     }
+    claims.emplace_back(p, claimed);
+  }
+
+  std::string vertex_list;
+  for (const auto& [p, claimed] : claims) {
+    if (!vertex_list.empty()) vertex_list += ';';
+    vertex_list += std::to_string(p);
+  }
+  api::RunPlan plan;
+  plan.spec = factors_spec(flags);
+  plan.analyses.push_back({"census", {{"vertices", vertex_list}}});
+  const api::RunReport report = run_plan(plan);
+  std::map<std::uint64_t, count_t> expected;
+  if (const auto* truth =
+          report.analyses.front().data.find("ground_truth")) {
+    for (const auto& row : truth->items()) {
+      expected[row.items()[0].as_uint()] = row.items()[1].as_uint();
+    }
+  }
+
+  count_t checked = 0, wrong = 0;
+  for (const auto& [p, claimed] : claims) {
     ++checked;
-    const count_t expected = oracle.vertex_triangles(p);
-    if (claimed != expected) {
+    const auto it = expected.find(p);
+    if (it == expected.end()) {
+      // A claim at a vertex the product does not have can never validate.
       ++wrong;
       if (wrong <= 10) {
         out << "MISMATCH at vertex " << p << ": claimed " << claimed
-            << ", exact " << expected << "\n";
+            << ", vertex out of range\n";
+      }
+      continue;
+    }
+    if (claimed != it->second) {
+      ++wrong;
+      if (wrong <= 10) {
+        out << "MISMATCH at vertex " << p << ": claimed " << claimed
+            << ", exact " << it->second << "\n";
       }
     }
   }
@@ -376,61 +355,95 @@ int cmd_egonet(const util::Cli& flags, std::ostream& out, std::ostream& err) {
     err << "egonet: --a and --vertex are required\n";
     return 2;
   }
-  const Factors f = load_factors(flags);
-  const kron::KronGraphView c(f.a, f.b);
-  const vid p = flags.get_uint("vertex", 0);
-  if (p >= c.num_vertices()) {
-    err << "egonet: vertex out of range (product has " << c.num_vertices()
-        << " vertices)\n";
+  api::RunPlan plan;
+  plan.spec = factors_spec(flags);
+  plan.analyses.push_back(
+      {"egonet", {{"vertex", flags.get("vertex", "0")}}});
+  try {
+    const api::RunReport report = run_plan(plan);
+    out << report.analyses.front().text;
+    return report.pass ? 0 : 1;
+  } catch (const std::out_of_range& e) {
+    err << "egonet: " << e.what() << "\n";
     return 2;
   }
-  const kron::TriangleOracle oracle(f.a, f.b);
-  const auto ego = analysis::extract_egonet(c, p);
-  const count_t measured = analysis::center_triangles(ego);
-  const count_t formula = oracle.vertex_triangles(p);
-  out << "product vertex " << p << " = (A:" << c.index().a_of(p)
-      << ", B:" << c.index().b_of(p) << ")\n"
-      << "  degree:             " << c.nonloop_degree(p) << "\n"
-      << "  egonet size:        " << ego.vertices.size() << " vertices, "
-      << ego.graph.num_undirected_edges() << " edges\n"
-      << "  triangles (egonet): " << measured << "\n"
-      << "  triangles (formula):" << formula << "\n"
-      << "  " << (measured == formula ? "MATCH" : "MISMATCH") << "\n";
-  return measured == formula ? 0 : 1;
 }
 
 int cmd_truss(const util::Cli& flags, std::ostream& out, std::ostream& err) {
+  api::RunPlan plan;
   if (flags.has("graph")) {
-    const Graph g = load(flags.get("graph", ""), flags.has("symmetrize"), true);
-    util::WallTimer timer;
-    const auto t = truss::decompose(g);
-    out << "truss decomposition of " << g.num_undirected_edges()
-        << " edges in " << timer.seconds() << " s; max truss "
-        << t.max_truss << "\n";
-    util::Table table({"kappa", "|T^kappa|"});
-    for (count_t kappa = 3; kappa <= t.max_truss; ++kappa) {
-      table.row({std::to_string(kappa), util::commas(t.edges_in_truss(kappa))});
+    plan.spec =
+        graph_arg_spec(flags.get("graph", ""), flags.has("symmetrize"), true);
+    plan.analyses.push_back({"truss", {}});
+  } else if (flags.has("a") && flags.has("b")) {
+    api::GraphSpec a =
+        graph_arg_spec(flags.get("a", ""), flags.has("symmetrize"), true);
+    api::GraphSpec b =
+        graph_arg_spec(flags.get("b", ""), flags.has("symmetrize"), true);
+    plan.spec.family = "kron";
+    plan.spec.factors = {std::move(a), std::move(b)};
+    plan.analyses.push_back({"truss", {{"oracle", "1"}}});
+  } else {
+    err << "truss: need --graph, or --a and --b\n";
+    return 2;
+  }
+  const api::RunReport report = run_plan(plan);
+  out << report.analyses.front().text;
+  return report.pass ? 0 : 1;
+}
+
+int cmd_run(const util::Cli& flags, std::ostream& out, std::ostream& err) {
+  if (flags.has("list")) {
+    util::Table t({"analysis", "parameters"});
+    for (const auto& [name, help] :
+         api::AnalysisRegistry::builtin().families()) {
+      t.row({name, help});
     }
-    table.print(out);
+    t.print(out);
     return 0;
   }
-  if (flags.has("a") && flags.has("b")) {
-    const Graph a = load(flags.get("a", ""), flags.has("symmetrize"), true);
-    const Graph b = load(flags.get("b", ""), flags.has("symmetrize"), true);
-    const truss::KronTrussOracle oracle(a, b);
-    out << "Thm 3 oracle for C = A (x) B ("
-        << kron::KronGraphView(a, b).num_undirected_edges()
-        << " edges); max truss " << oracle.max_truss() << "\n";
-    util::Table table({"kappa", "|T^kappa(C)|"});
-    for (count_t kappa = 3; kappa <= oracle.max_truss(); ++kappa) {
-      table.row(
-          {std::to_string(kappa), util::commas(oracle.edges_in_truss(kappa))});
-    }
-    table.print(out);
-    return 0;
+  const std::string arg = flags.get("plan", "");
+  if (arg.empty()) {
+    err << "run: --plan FILE|STRING is required (see `run --list` for "
+           "analyses)\n";
+    return 2;
   }
-  err << "truss: need --graph, or --a and --b\n";
-  return 2;
+  // A readable file is parsed as its contents; anything else is parsed as
+  // an inline plan (JSON document or shorthand).
+  std::string text = arg;
+  if (std::ifstream file(arg); file.good()) {
+    std::stringstream buf;
+    buf << file.rdbuf();
+    text = buf.str();
+  }
+  api::RunPlan plan = api::RunPlan::parse(text);
+
+  // Flags override the plan's execution options.
+  if (flags.has("threads")) {
+    plan.options.threads =
+        static_cast<unsigned>(flags.get_uint("threads", plan.options.threads));
+  }
+  if (flags.has("batch")) {
+    plan.options.batch_size =
+        flags.get_uint("batch", plan.options.batch_size);
+  }
+  if (flags.has("out")) plan.options.output = flags.get("out", "");
+  if (flags.has("format")) {
+    plan.options.format = flags.get("format", plan.options.format);
+  }
+
+  const api::RunReport report = run_plan(plan);
+  report.print(out);
+  if (flags.has("json")) {
+    std::ofstream json(flags.get("json", ""));
+    if (!json) {
+      err << "run: cannot open --json file\n";
+      return 2;
+    }
+    report.to_json().dump(json);
+    json << "\n";
+  }
+  return report.pass ? 0 : 1;
 }
 
 int run(int argc, char** argv, std::ostream& out, std::ostream& err) {
@@ -441,6 +454,7 @@ int run(int argc, char** argv, std::ostream& out, std::ostream& err) {
   const std::string command = argv[1];
   const util::Cli flags(argc - 1, argv + 1);
   try {
+    if (command == "run") return cmd_run(flags, out, err);
     if (command == "generate") return cmd_generate(flags, out, err);
     if (command == "census") return cmd_census(flags, out, err);
     if (command == "validate") return cmd_validate(flags, out, err);

@@ -4,6 +4,8 @@
 // streams, so unit tests drive them without spawning processes; the thin
 // binary in tools/ dispatches to these.
 //
+//   kronotri run      --plan plan.json --json report.json
+//   kronotri run      --plan "kron:(hk:n=300)x(clique:n=3,loops=1) census degree validate"
 //   kronotri generate --type hk --n 10000 --out A.txt
 //   kronotri census   --a A.txt --b B.txt [--truth t.txt] [--sample 9]
 //   kronotri validate --a A.txt --b B.txt --claims counts.txt
@@ -21,7 +23,9 @@ namespace kronotri::cli {
 /// Dispatch on argv[1]; returns a process exit code.
 int run(int argc, char** argv, std::ostream& out, std::ostream& err);
 
-// Individual subcommands (flags documented in usage()).
+// Individual subcommands (flags documented in usage()). Every one of them
+// executes through api::run(); `run` is the direct RunPlan entry point.
+int cmd_run(const util::Cli& flags, std::ostream& out, std::ostream& err);
 int cmd_generate(const util::Cli& flags, std::ostream& out, std::ostream& err);
 int cmd_census(const util::Cli& flags, std::ostream& out, std::ostream& err);
 int cmd_validate(const util::Cli& flags, std::ostream& out, std::ostream& err);

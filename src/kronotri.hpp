@@ -10,7 +10,9 @@
 #include "analysis/components.hpp"  // IWYU pragma: export
 #include "analysis/degree.hpp"    // IWYU pragma: export
 #include "analysis/egonet.hpp"    // IWYU pragma: export
+#include "api/analysis.hpp"       // IWYU pragma: export
 #include "api/pipeline.hpp"       // IWYU pragma: export
+#include "api/plan.hpp"           // IWYU pragma: export
 #include "api/registry.hpp"       // IWYU pragma: export
 #include "api/sink.hpp"           // IWYU pragma: export
 #include "api/spec.hpp"           // IWYU pragma: export
@@ -45,7 +47,9 @@
 #include "truss/decompose.hpp"    // IWYU pragma: export
 #include "truss/kron_truss.hpp"   // IWYU pragma: export
 #include "util/cli.hpp"           // IWYU pragma: export
+#include "util/json.hpp"          // IWYU pragma: export
 #include "util/prng.hpp"          // IWYU pragma: export
+#include "util/runmeta.hpp"       // IWYU pragma: export
 #include "util/stats.hpp"         // IWYU pragma: export
 #include "util/table.hpp"         // IWYU pragma: export
 #include "util/timer.hpp"         // IWYU pragma: export

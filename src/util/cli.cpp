@@ -1,6 +1,8 @@
 #include "util/cli.hpp"
 
+#include <cstddef>
 #include <cstdlib>
+#include <string>
 #include <stdexcept>
 
 namespace kronotri::util {
@@ -28,6 +30,28 @@ Cli::Cli(int argc, char** argv) {
       flags_[name] = "1";  // boolean flag
     }
   }
+}
+
+std::size_t parse_byte_count(const std::string& text) {
+  if (text.empty() || text[0] < '0' || text[0] > '9') {
+    throw std::invalid_argument("bad byte count \"" + text + "\"");
+  }
+  std::size_t end = 0;
+  const unsigned long long value = std::stoull(text, &end);
+  std::size_t shift = 0;
+  if (end < text.size()) {
+    switch (text[end]) {
+      case 'k': case 'K': shift = 10; break;
+      case 'm': case 'M': shift = 20; break;
+      case 'g': case 'G': shift = 30; break;
+      default:
+        throw std::invalid_argument("bad byte suffix in \"" + text + "\"");
+    }
+    if (end + 1 != text.size()) {
+      throw std::invalid_argument("bad byte suffix in \"" + text + "\"");
+    }
+  }
+  return static_cast<std::size_t>(value) << shift;
 }
 
 bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }

@@ -19,6 +19,12 @@ namespace kronotri::util {
 /// accept exactly the same vocabulary.
 bool parse_bool_token(const std::string& value, const std::string& context);
 
+/// Parses a byte count with an optional K/M/G (KiB/MiB/GiB) suffix.
+/// Rejects anything that is not digits-then-one-suffix-letter (stoull alone
+/// would wrap negatives and ignore trailing garbage). Shared by the CLI's
+/// --mem-budget flag and the analysis-registry mem_budget params.
+std::size_t parse_byte_count(const std::string& text);
+
 class Cli {
  public:
   Cli(int argc, char** argv);

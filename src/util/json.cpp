@@ -1,0 +1,475 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace kronotri::util::json {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* wanted, Value::Kind got) {
+  throw std::invalid_argument(std::string("json: expected ") + wanted +
+                              ", value kind is " +
+                              std::to_string(static_cast<int>(got)));
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error("bool", kind_);
+  return bool_;
+}
+
+std::uint64_t Value::as_uint() const {
+  if (kind_ == Kind::kUInt) return uint_;
+  if (kind_ == Kind::kInt && int_ >= 0) {
+    return static_cast<std::uint64_t>(int_);
+  }
+  kind_error("unsigned integer", kind_);
+}
+
+std::int64_t Value::as_int() const {
+  if (kind_ == Kind::kInt) return int_;
+  if (kind_ == Kind::kUInt &&
+      uint_ <= static_cast<std::uint64_t>(INT64_MAX)) {
+    return static_cast<std::int64_t>(uint_);
+  }
+  kind_error("integer", kind_);
+}
+
+double Value::as_double() const {
+  switch (kind_) {
+    case Kind::kDouble: return double_;
+    case Kind::kUInt: return static_cast<double>(uint_);
+    case Kind::kInt: return static_cast<double>(int_);
+    default: kind_error("number", kind_);
+  }
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) kind_error("string", kind_);
+  return string_;
+}
+
+Value& Value::push_back(Value v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  array_.push_back(std::move(v));
+  return *this;
+}
+
+const std::vector<Value>& Value::items() const {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  return array_;
+}
+
+std::size_t Value::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  kind_error("array or object", kind_);
+}
+
+Value& Value::set(std::string key, Value v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+Value& Value::append(std::string key, Value v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  object_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<Value::Member>& Value::members() const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return object_;
+}
+
+std::string Value::get_string(std::string_view key,
+                              std::string fallback) const {
+  const Value* v = find(key);
+  return v == nullptr ? std::move(fallback) : v->as_string();
+}
+
+std::uint64_t Value::get_uint(std::string_view key,
+                              std::uint64_t fallback) const {
+  const Value* v = find(key);
+  return v == nullptr ? fallback : v->as_uint();
+}
+
+bool Value::get_bool(std::string_view key, bool fallback) const {
+  const Value* v = find(key);
+  return v == nullptr ? fallback : v->as_bool();
+}
+
+// ---- writer ---------------------------------------------------------------
+
+void escape(std::ostream& os, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+namespace {
+
+void write_double(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    os << "null";  // JSON has no NaN/Inf
+    return;
+  }
+  // Shortest round-trippable decimal form.
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  if (ec == std::errc()) {
+    os.write(buf, end - buf);
+  } else {
+    os << d;
+  }
+}
+
+void newline_indent(std::ostream& os, int indent, int depth) {
+  if (indent <= 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+}  // namespace
+
+void Value::dump_impl(std::ostream& os, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: os << "null"; break;
+    case Kind::kBool: os << (bool_ ? "true" : "false"); break;
+    case Kind::kUInt: os << uint_; break;
+    case Kind::kInt: os << int_; break;
+    case Kind::kDouble: write_double(os, double_); break;
+    case Kind::kString:
+      os << '"';
+      escape(os, string_);
+      os << '"';
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) os << ',';
+        newline_indent(os, indent, depth + 1);
+        array_[i].dump_impl(os, indent, depth + 1);
+      }
+      newline_indent(os, indent, depth);
+      os << ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) os << ',';
+        newline_indent(os, indent, depth + 1);
+        os << '"';
+        escape(os, object_[i].first);
+        os << "\": ";
+        object_[i].second.dump_impl(os, indent, depth + 1);
+      }
+      newline_indent(os, indent, depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void Value::dump(std::ostream& os, int indent) const {
+  dump_impl(os, indent, 0);
+}
+
+std::string Value::dump_string(int indent) const {
+  std::ostringstream os;
+  dump(os, indent);
+  return os.str();
+}
+
+// ---- parser ---------------------------------------------------------------
+
+namespace {
+
+/// Nesting ceiling for the recursive-descent parser: plan/report documents
+/// are a handful of levels deep; a hostile or corrupt document must raise
+/// invalid_argument, not overflow the stack.
+constexpr int kMaxParseDepth = 256;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("json: " + why + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    if (++depth_ > kMaxParseDepth) fail("nesting deeper than 256 levels");
+    Value v = parse_value_inner();
+    --depth_;
+    return v;
+  }
+
+  Value parse_value_inner() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Value();
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.set(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // BMP code point → UTF-8 (surrogate pairs are not combined; the
+          // plan/report vocabulary is ASCII).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("bad number");
+    if (!is_double) {
+      if (token[0] == '-') {
+        std::int64_t v = 0;
+        const auto [p, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), v);
+        if (ec == std::errc() && p == token.data() + token.size()) {
+          return Value(v);
+        }
+      } else {
+        std::uint64_t v = 0;
+        const auto [p, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), v);
+        if (ec == std::errc() && p == token.data() + token.size()) {
+          return Value(v);
+        }
+      }
+      // Out of 64-bit range: fall through to double.
+    }
+    double d = 0;
+    const auto [p, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (ec != std::errc() || p != token.data() + token.size()) {
+      fail("bad number \"" + std::string(token) + "\"");
+    }
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Value Value::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace kronotri::util::json

@@ -1,0 +1,28 @@
+#include "util/runmeta.hpp"
+
+#include <thread>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace kronotri::util {
+
+json::Value run_metadata(std::size_t batch_size) {
+  json::Value meta = json::Value::object();
+  meta.set("hardware_concurrency", std::thread::hardware_concurrency());
+#ifdef _OPENMP
+  meta.set("omp_max_threads", omp_get_max_threads());
+#else
+  meta.set("omp_max_threads", 1);
+#endif
+  meta.set("batch_size", batch_size);
+#ifdef KRONOTRI_GIT_DESCRIBE
+  meta.set("git_describe", KRONOTRI_GIT_DESCRIBE);
+#else
+  meta.set("git_describe", "unknown");
+#endif
+  return meta;
+}
+
+}  // namespace kronotri::util

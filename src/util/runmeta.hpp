@@ -1,0 +1,24 @@
+// Hardware/run metadata stamped into every machine-readable artifact.
+//
+// The BENCH_*.json snapshots and RunReports travel between machines (CI
+// artifacts, the single-hardware-thread dev container, real multi-core
+// boxes), and a throughput number is meaningless without the execution
+// context it was measured in. run_metadata() packages the context once:
+// hardware concurrency, the OpenMP team ceiling, the streaming batch size,
+// and the source revision (git describe, captured at configure time).
+#pragma once
+
+#include <cstddef>
+
+#include "util/json.hpp"
+
+namespace kronotri::util {
+
+/// Metadata object: {hardware_concurrency, omp_max_threads, batch_size,
+/// git_describe}. `git_describe` is the configure-time `git describe
+/// --always --dirty` ("unknown" outside a git checkout); it goes stale if
+/// the build tree outlives the commit it was configured at, which is the
+/// accepted precision for a provenance hint.
+json::Value run_metadata(std::size_t batch_size);
+
+}  // namespace kronotri::util

@@ -1,7 +1,9 @@
-// Minimal wall-clock timing used by benchmark harnesses and examples.
+// Minimal wall-clock and process-CPU timing used by benchmark harnesses,
+// examples and the run-plan engine's stage timings.
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace kronotri::util {
 
@@ -22,6 +24,29 @@ class WallTimer {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// Process-CPU stopwatch: the summed CPU seconds of every thread in the
+/// process. The wall/CPU pair is what makes parallel-stage timings portable
+/// — wall time on an oversubscribed box measures the scheduler, CPU seconds
+/// measure the work. Starts on construction.
+class CpuTimer {
+ public:
+  CpuTimer() noexcept : start_(now()) {}
+
+  void reset() noexcept { start_ = now(); }
+
+  [[nodiscard]] double seconds() const noexcept { return now() - start_; }
+
+ private:
+  static double now() noexcept {
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+  double start_;
 };
 
 }  // namespace kronotri::util

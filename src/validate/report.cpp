@@ -62,17 +62,6 @@ ValidationReport build_report(
   return r;
 }
 
-void write_histogram_json(std::ostream& os, const char* key,
-                          const std::map<count_t, count_t>& hist) {
-  os << "  \"" << key << "\": {";
-  bool first = true;
-  for (const auto& [value, freq] : hist) {
-    os << (first ? "" : ", ") << "\"" << value << "\": " << freq;
-    first = false;
-  }
-  os << "}";
-}
-
 }  // namespace
 
 void ValidationReport::print(std::ostream& os) const {
@@ -103,31 +92,33 @@ void ValidationReport::print(std::ostream& os) const {
   os << (pass() ? "PASS" : "FAIL") << "\n";
 }
 
+util::json::Value ValidationReport::to_json() const {
+  util::json::Value out = util::json::Value::object();
+  out.set("spec", spec);
+  out.set("num_vertices", num_vertices);
+  out.set("num_edges", num_edges);
+  out.set("num_factors", num_factors);
+  out.set("mem_budget_bytes", mem_budget_bytes);
+  out.set("num_shards", stats.num_shards);
+  out.set("peak_accumulator_bytes", stats.peak_accumulator_bytes);
+  out.set("wedge_checks", stats.wedge_checks);
+  out.set("measured_total", measured_total);
+  out.set("predicted_total", predicted_total);
+  out.set("vertices_checked", vertices_checked);
+  out.set("vertex_mismatches", vertex_mismatches);
+  out.set("vertex_max_abs_err", vertex_max_abs_err);
+  out.set("edges_checked", edges_checked);
+  out.set("edge_mismatches", edge_mismatches);
+  out.set("edge_max_abs_err", edge_max_abs_err);
+  out.set("histogram_checked", histogram_checked);
+  out.set("vertex_histogram", util::json::histogram(vertex_histogram));
+  out.set("edge_histogram", util::json::histogram(edge_histogram));
+  out.set("pass", pass());
+  return out;
+}
+
 void ValidationReport::write_json(std::ostream& os) const {
-  os << "{\n"
-     << "  \"spec\": \"" << spec << "\",\n"
-     << "  \"num_vertices\": " << num_vertices << ",\n"
-     << "  \"num_edges\": " << num_edges << ",\n"
-     << "  \"num_factors\": " << num_factors << ",\n"
-     << "  \"mem_budget_bytes\": " << mem_budget_bytes << ",\n"
-     << "  \"num_shards\": " << stats.num_shards << ",\n"
-     << "  \"peak_accumulator_bytes\": " << stats.peak_accumulator_bytes
-     << ",\n"
-     << "  \"wedge_checks\": " << stats.wedge_checks << ",\n"
-     << "  \"measured_total\": " << measured_total << ",\n"
-     << "  \"predicted_total\": " << predicted_total << ",\n"
-     << "  \"vertices_checked\": " << vertices_checked << ",\n"
-     << "  \"vertex_mismatches\": " << vertex_mismatches << ",\n"
-     << "  \"vertex_max_abs_err\": " << vertex_max_abs_err << ",\n"
-     << "  \"edges_checked\": " << edges_checked << ",\n"
-     << "  \"edge_mismatches\": " << edge_mismatches << ",\n"
-     << "  \"edge_max_abs_err\": " << edge_max_abs_err << ",\n"
-     << "  \"histogram_checked\": " << (histogram_checked ? "true" : "false")
-     << ",\n";
-  write_histogram_json(os, "vertex_histogram", vertex_histogram);
-  os << ",\n";
-  write_histogram_json(os, "edge_histogram", edge_histogram);
-  os << ",\n  \"pass\": " << (pass() ? "true" : "false") << "\n}";
+  to_json().dump(os);
 }
 
 ValidationReport validate_product(const Graph& a, const Graph& b,

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/graph.hpp"
+#include "util/json.hpp"
 #include "validate/streaming_census.hpp"
 
 namespace kronotri::kron {
@@ -66,7 +67,9 @@ struct ValidationReport {
   void print(std::ostream& os) const;
 
   /// Single JSON object with every scalar field plus the histograms — the
-  /// building block of BENCH_validate.json and `validate --json`.
+  /// building block of BENCH_validate.json, `validate --json` and the
+  /// RunReport `validate` stage.
+  [[nodiscard]] util::json::Value to_json() const;
   void write_json(std::ostream& os) const;
 };
 

@@ -4,14 +4,22 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 #include <memory>
 #include <sstream>
 #include <stdexcept>
 
+#include "api/analysis.hpp"
 #include "api/pipeline.hpp"
+#include "api/plan.hpp"
 #include "api/registry.hpp"
 #include "api/sink.hpp"
 #include "api/spec.hpp"
+#include "analysis/components.hpp"
+#include "analysis/degree.hpp"
 #include "gen/classic.hpp"
 #include "gen/random.hpp"
 #include "kron/multi.hpp"
@@ -19,6 +27,7 @@
 #include "kron/product.hpp"
 #include "kron/view.hpp"
 #include "triangle/count.hpp"
+#include "truss/decompose.hpp"
 #include "truss/kron_truss.hpp"
 
 namespace {
@@ -257,6 +266,317 @@ TEST(Sinks, TriangleCensusMatchesOracleTotals) {
   // Σ_e Δ(e) over stored (directed) entries = 2·Σ_{undirected e} Δ(e)
   // = 2·3·τ(C): each triangle has 3 edges, each edge stored twice.
   EXPECT_EQ(sink.triangle_sum(), 6 * oracle.total_triangles());
+}
+
+
+// ---- finish() idempotence & TeeSink ---------------------------------------
+
+TEST(Sinks, FinishIsIdempotentAcrossTheHierarchy) {
+  const Graph a = gen::clique(4);
+  std::ostringstream os;
+  auto text = std::make_unique<api::TextEdgeSink>(os);
+  api::TextEdgeSink* text_ptr = text.get();
+  std::vector<std::unique_ptr<api::EdgeSink>> children;
+  children.push_back(std::move(text));
+  api::TeeSink tee(std::move(children));
+  api::stream_into(a, a, tee);  // pump() calls tee.finish()
+  EXPECT_TRUE(tee.finished());
+  EXPECT_TRUE(text_ptr->finished());
+  const std::string once = os.str();
+  // Nested / repeated finish() calls must not re-flush or double-write.
+  text_ptr->finish();
+  tee.finish();
+  tee.finish();
+  EXPECT_EQ(os.str(), once);
+  EXPECT_EQ(tee.edges_consumed(), a.nnz() * a.nnz());
+  EXPECT_EQ(text_ptr->edges_consumed(), a.nnz() * a.nnz());
+}
+
+/// Runs one stream_parallel pass per sink kind (three passes) and one pass
+/// with a TeeSink carrying all three, at the given partition count, and
+/// expects bit-identical counts.
+void expect_tee_bit_identical(const Graph& a, const Graph& b,
+                              unsigned partitions) {
+  const kron::KronGraphView view(a, b);
+  const kron::TriangleOracle oracle(a, b);
+  const vid n = view.num_vertices();
+
+  const auto merge_degree = [&](auto& sinks, auto&& get) {
+    api::DegreeCensusSink merged(n);
+    for (auto& s : sinks) merged.merge(get(*s));
+    return merged;
+  };
+
+  // Three independent passes.
+  auto deg_sinks = api::stream_parallel(
+      a, b, partitions, [&](std::uint64_t, std::uint64_t) {
+        return std::make_unique<api::DegreeCensusSink>(n);
+      });
+  auto tri_sinks = api::stream_parallel(
+      a, b, partitions, [&](std::uint64_t, std::uint64_t) {
+        return std::make_unique<api::TriangleCensusSink>(oracle);
+      });
+  auto val_sinks = api::stream_parallel(
+      a, b, partitions, [&](std::uint64_t, std::uint64_t) {
+        return std::make_unique<api::ValidatingCensusSink>(view, oracle);
+      });
+  api::DegreeCensusSink deg_ref = merge_degree(deg_sinks, [](api::EdgeSink& s)
+      -> const api::DegreeCensusSink& {
+    return static_cast<const api::DegreeCensusSink&>(s);
+  });
+  api::TriangleCensusSink tri_ref(oracle);
+  for (auto& s : tri_sinks) {
+    tri_ref.merge(static_cast<const api::TriangleCensusSink&>(*s));
+  }
+  api::ValidatingCensusSink val_ref(view, oracle);
+  for (auto& s : val_sinks) {
+    val_ref.merge(static_cast<const api::ValidatingCensusSink&>(*s));
+  }
+
+  // One pass, TeeSink fan-out of all three.
+  auto tee_sinks = api::stream_parallel(
+      a, b, partitions,
+      [&](std::uint64_t, std::uint64_t) -> std::unique_ptr<api::EdgeSink> {
+        std::vector<std::unique_ptr<api::EdgeSink>> children;
+        children.push_back(std::make_unique<api::DegreeCensusSink>(n));
+        children.push_back(std::make_unique<api::TriangleCensusSink>(oracle));
+        children.push_back(
+            std::make_unique<api::ValidatingCensusSink>(view, oracle));
+        return std::make_unique<api::TeeSink>(std::move(children));
+      });
+  api::DegreeCensusSink deg_tee(n);
+  api::TriangleCensusSink tri_tee(oracle);
+  api::ValidatingCensusSink val_tee(view, oracle);
+  for (auto& s : tee_sinks) {
+    auto& tee = static_cast<api::TeeSink&>(*s);
+    deg_tee.merge(static_cast<const api::DegreeCensusSink&>(tee.child(0)));
+    tri_tee.merge(static_cast<const api::TriangleCensusSink&>(tee.child(1)));
+    val_tee.merge(
+        static_cast<const api::ValidatingCensusSink&>(tee.child(2)));
+  }
+
+  EXPECT_EQ(deg_tee.degrees(), deg_ref.degrees());
+  EXPECT_EQ(deg_tee.edges_consumed(), deg_ref.edges_consumed());
+  EXPECT_EQ(tri_tee.triangle_sum(), tri_ref.triangle_sum());
+  EXPECT_EQ(tri_tee.histogram(), tri_ref.histogram());
+  EXPECT_EQ(val_tee.edges_checked(), val_ref.edges_checked());
+  EXPECT_EQ(val_tee.histogram(), val_ref.histogram());
+  EXPECT_EQ(val_tee.mismatches(), 0u);
+  EXPECT_EQ(val_ref.mismatches(), 0u);
+}
+
+TEST(TeeSink, FanOutBitIdenticalToSeparatePassesAcrossThreadCounts) {
+  const Graph a = gen::holme_kim(40, 2, 0.6, 11);
+  const Graph b = gen::clique_with_loops(3);
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+  for (const int omp_threads : {1, 2, 8}) {
+    omp_set_num_threads(omp_threads);
+#else
+  {
+#endif
+    for (const unsigned partitions : {1u, 4u}) {
+      expect_tee_bit_identical(a, b, partitions);
+    }
+  }
+#ifdef _OPENMP
+  omp_set_num_threads(saved);
+#endif
+}
+
+// ---- AnalysisRegistry ------------------------------------------------------
+
+TEST(AnalysisRegistry, BuildsEveryBuiltinAnalysis) {
+  auto& reg = api::AnalysisRegistry::builtin();
+  for (const char* name : {"census", "degree", "truss", "components",
+                           "clustering", "labeled-census", "validate"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    EXPECT_NO_THROW((void)reg.build(name, {})) << name;
+  }
+  EXPECT_TRUE(reg.contains("egonet"));
+  EXPECT_NO_THROW((void)reg.build("egonet", {{"vertex", "3"}}));
+  EXPECT_EQ(reg.families().size(), 8u);
+}
+
+TEST(AnalysisRegistry, RejectsUnknownAnalysisNamingTheRegistered) {
+  auto& reg = api::AnalysisRegistry::builtin();
+  try {
+    (void)reg.build("frobnicate", {});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("frobnicate"), std::string::npos);
+    EXPECT_NE(what.find("census"), std::string::npos);   // lists registered
+    EXPECT_NE(what.find("validate"), std::string::npos);
+  }
+}
+
+TEST(AnalysisRegistry, RejectsUnknownParamsWithActionableError) {
+  auto& reg = api::AnalysisRegistry::builtin();
+  try {
+    (void)reg.build("validate", {{"budget", "4M"}});  // typo for mem_budget
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("budget"), std::string::npos);      // the bad key
+    EXPECT_NE(what.find("mem_budget"), std::string::npos);  // the accepted one
+    EXPECT_NE(what.find("shards"), std::string::npos);
+  }
+  // Required params are enforced too.
+  EXPECT_THROW((void)reg.build("egonet", {}), std::invalid_argument);
+  // And bad values are rejected at build time, before any generation.
+  EXPECT_THROW((void)reg.build("census", {{"sample", "many"}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)reg.build("validate", {{"mem_budget", "12Q"}}),
+               std::invalid_argument);
+}
+
+// ---- RunPlan / api::run ----------------------------------------------------
+
+TEST(RunPlan, ShorthandParsesSpecAndAnalyses) {
+  const auto plan = api::RunPlan::parse(
+      "kron:(hubcycle)x(clique:n=3,loops=1) census degree:histogram=0 "
+      "validate:mem_budget=2K,shards=3");
+  EXPECT_EQ(plan.spec.to_string(), "kron:(hubcycle)x(clique:loops=1,n=3)");
+  ASSERT_EQ(plan.analyses.size(), 3u);
+  EXPECT_EQ(plan.analyses[0].name, "census");
+  EXPECT_EQ(plan.analyses[1].params.at("histogram"), "0");
+  EXPECT_EQ(plan.analyses[2].params.at("mem_budget"), "2K");
+}
+
+TEST(RunPlan, JsonRoundTripsThroughToJson) {
+  const char* doc = R"json({
+    "description": "round trip",
+    "spec": "kron:(hubcycle)x(clique:n=3,loops=1)",
+    "analyses": [
+      {"name": "census", "params": {"truth": 1, "sample": "5"}},
+      "degree"
+    ],
+    "options": {"threads": 2, "mem_budget": "4M", "stream": true}
+  })json";
+  const auto plan = api::RunPlan::parse(doc);
+  EXPECT_EQ(plan.options.threads, 2u);
+  EXPECT_EQ(plan.options.mem_budget_bytes, 4u << 20);
+  EXPECT_TRUE(plan.options.stream);
+  EXPECT_EQ(plan.analyses[0].params.at("truth"), "1");
+  EXPECT_EQ(plan.analyses[0].params.at("sample"), "5");
+  const auto again = api::RunPlan::from_json(plan.to_json());
+  EXPECT_EQ(again.spec.to_string(), plan.spec.to_string());
+  EXPECT_EQ(again.options.threads, plan.options.threads);
+  EXPECT_EQ(again.options.mem_budget_bytes, plan.options.mem_budget_bytes);
+  ASSERT_EQ(again.analyses.size(), plan.analyses.size());
+  EXPECT_EQ(again.analyses[0].params, plan.analyses[0].params);
+}
+
+TEST(RunPlan, RejectsUnknownKeys) {
+  EXPECT_THROW((void)api::RunPlan::parse(R"json({"sepc": "hubcycle"})json"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)api::RunPlan::parse(
+          R"json({"spec": "hubcycle", "options": {"treads": 4}})json"),
+      std::invalid_argument);
+  try {
+    (void)api::RunPlan::parse(
+        R"json({"spec": "hubcycle", "options": {"treads": 4}})json");
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("treads"), std::string::npos);
+    EXPECT_NE(what.find("threads"), std::string::npos);
+  }
+}
+
+TEST(RunPlan, SinglePassRunMatchesIndependentComputation) {
+  // One plan, one stream pass: degree + edge census + validate analyses,
+  // plus a truss analysis that needs the materialized product (collector
+  // rides the same pass).
+  api::RunPlan plan = api::RunPlan::parse(
+      "kron:(hk:n=30,m=2,p=0.6,seed=11)x(clique:n=3,loops=1) "
+      "census:edges=1 degree truss validate components clustering");
+  plan.options.threads = 3;
+  const auto report = api::run(plan);
+  EXPECT_TRUE(report.pass);
+  EXPECT_TRUE(report.streamed);
+  EXPECT_EQ(report.partitions, 3u);
+  ASSERT_EQ(report.analyses.size(), 6u);
+
+  const Graph a = api::GeneratorRegistry::builtin().build(
+      "hk:n=30,m=2,p=0.6,seed=11");
+  const Graph b = api::GeneratorRegistry::builtin().build(
+      "clique:n=3,loops=1");
+  const kron::KronGraphView c(a, b);
+  const kron::TriangleOracle oracle(a, b);
+  EXPECT_EQ(report.num_vertices, c.num_vertices());
+  EXPECT_EQ(report.num_undirected_edges, c.num_undirected_edges());
+  EXPECT_EQ(report.stored_entries, c.nnz());
+
+  // census: oracle totals.
+  const auto& census = report.analyses[0];
+  EXPECT_EQ(census.data.find("total_triangles")->as_uint(),
+            oracle.total_triangles());
+  // The streamed edge census rode the pass.
+  EXPECT_NE(census.data.find("streamed_edge_triangle_sum"), nullptr);
+  // degree: max over the product.
+  const auto& degree = report.analyses[1];
+  const auto summary = analysis::summarize_kron_degrees(a, b);
+  EXPECT_EQ(degree.data.find("max_degree")->as_uint(), summary.max_degree);
+  // truss ran on the collector-materialized product — compare against the
+  // registry-materialized graph.
+  const Graph mat = api::GeneratorRegistry::builtin().build(
+      "kron:(hk:n=30,m=2,p=0.6,seed=11)x(clique:n=3,loops=1)");
+  const auto truss_ref = truss::decompose(mat);
+  EXPECT_EQ(report.analyses[2].data.find("max_truss")->as_uint(),
+            truss_ref.max_truss);
+  // validate: the streaming census verdict.
+  EXPECT_TRUE(report.analyses[3].pass);
+  EXPECT_EQ(report.analyses[3].data.find("measured_total")->as_uint(),
+            oracle.total_triangles());
+}
+
+TEST(RunPlan, StreamedReportIsDeterministicAcrossPartitionCounts) {
+  auto run_at = [](unsigned threads) {
+    api::RunPlan plan = api::RunPlan::parse(
+        "kron:(hk:n=25,m=2,p=0.5,seed=7)x(clique:n=3,loops=1) "
+        "census:edges=1 degree:measured=1");
+    plan.options.threads = threads;
+    return api::run(plan);
+  };
+  const auto r1 = run_at(1);
+  const auto r4 = run_at(4);
+  ASSERT_EQ(r1.analyses.size(), r4.analyses.size());
+  EXPECT_EQ(r1.stored_entries, r4.stored_entries);
+  EXPECT_EQ(
+      r1.analyses[0].data.find("streamed_edge_triangle_sum")->as_uint(),
+      r4.analyses[0].data.find("streamed_edge_triangle_sum")->as_uint());
+  EXPECT_EQ(r1.analyses[1].data.find("max_degree")->as_uint(),
+            r4.analyses[1].data.find("max_degree")->as_uint());
+}
+
+TEST(RunPlan, NonProductSpecRunsGraphBackedAnalyses) {
+  const auto report = api::run(api::RunPlan::parse(
+      "hk:n=40,m=2,p=0.5,seed=3 census degree truss components clustering"));
+  EXPECT_TRUE(report.pass);
+  EXPECT_FALSE(report.streamed);
+  const Graph g = api::GeneratorRegistry::builtin().build(
+      "hk:n=40,m=2,p=0.5,seed=3");
+  EXPECT_EQ(report.num_vertices, g.num_vertices());
+  EXPECT_EQ(report.analyses[0].data.find("total_triangles")->as_uint(),
+            triangle::count_total(g));
+  EXPECT_EQ(report.analyses[3].data.find("components")->as_uint(),
+            analysis::connected_components(g).count);
+}
+
+TEST(RunPlan, ReportJsonCarriesStagesAnalysesAndMetadata) {
+  const auto report = api::run(
+      api::RunPlan::parse("kron:(hubcycle)x(clique:n=3,loops=1) validate"));
+  const auto j = report.to_json();
+  EXPECT_TRUE(j.find("pass")->as_bool());
+  EXPECT_GE(j.find("stages")->size(), 1u);
+  EXPECT_EQ(j.find("analyses")->items()[0].find("name")->as_string(),
+            "validate");
+  EXPECT_GE(j.find("metadata")->get_uint("hardware_concurrency", 0), 1u);
+  // The dump parses back.
+  const auto round = util::json::Value::parse(j.dump_string());
+  EXPECT_TRUE(round.find("pass")->as_bool());
 }
 
 TEST(Sinks, MergedParallelTriangleCensusEqualsSingleThreaded) {

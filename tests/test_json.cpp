@@ -1,0 +1,133 @@
+// Tests for util::json — the one JSON reader/writer behind plan files,
+// RunReports, ValidationReports and the BENCH_*.json artifacts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/runmeta.hpp"
+
+namespace {
+
+using kronotri::util::json::Value;
+
+TEST(Json, ScalarsDumpCanonically) {
+  EXPECT_EQ(Value().dump_string(), "null");
+  EXPECT_EQ(Value(true).dump_string(), "true");
+  EXPECT_EQ(Value(false).dump_string(), "false");
+  EXPECT_EQ(Value(42u).dump_string(), "42");
+  EXPECT_EQ(Value(-7).dump_string(), "-7");
+  EXPECT_EQ(Value("hi").dump_string(), "\"hi\"");
+  EXPECT_EQ(Value(1.5).dump_string(), "1.5");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Value("a\"b\\c\n\t").dump_string(),
+            "\"a\\\"b\\\\c\\n\\t\"");
+  // Control characters become \u00XX.
+  EXPECT_EQ(Value(std::string(1, '\x01')).dump_string(), "\"\\u0001\"");
+}
+
+TEST(Json, U64CountsRoundTripExactly) {
+  // Triangle counts exceed double precision; the writer must keep them
+  // integral end to end.
+  const std::uint64_t big = std::numeric_limits<std::uint64_t>::max();
+  Value v = Value::object();
+  v.set("count", big);
+  const Value back = Value::parse(v.dump_string());
+  EXPECT_EQ(back.find("count")->as_uint(), big);
+}
+
+TEST(Json, ParsesNestedDocument) {
+  const Value v = Value::parse(R"json({
+    "spec": "kron:(hubcycle)x(clique:n=3)",
+    "analyses": [{"name": "census", "params": {"truth": 1}}, "degree"],
+    "options": {"threads": 4, "stream": false},
+    "pi": 3.25,
+    "neg": -12,
+    "nothing": null
+  })json");
+  EXPECT_EQ(v.get_string("spec", ""), "kron:(hubcycle)x(clique:n=3)");
+  EXPECT_EQ(v.find("analyses")->size(), 2u);
+  EXPECT_EQ(v.find("analyses")->items()[1].as_string(), "degree");
+  EXPECT_EQ(v.find("options")->get_uint("threads", 0), 4u);
+  EXPECT_FALSE(v.find("options")->get_bool("stream", true));
+  EXPECT_DOUBLE_EQ(v.find("pi")->as_double(), 3.25);
+  EXPECT_EQ(v.find("neg")->as_int(), -12);
+  EXPECT_TRUE(v.find("nothing")->is_null());
+}
+
+TEST(Json, ParseDumpParseIsIdentityOnTree) {
+  const char* doc =
+      R"json({"a": [1, 2, {"b": "x"}], "c": {"d": true, "e": [], "f": {}}})json";
+  const Value v = Value::parse(doc);
+  const Value w = Value::parse(v.dump_string());
+  EXPECT_EQ(v.dump_string(), w.dump_string());
+  // And the compact form parses too.
+  EXPECT_EQ(Value::parse(v.dump_string(0)).dump_string(), v.dump_string());
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  Value v = Value::object();
+  v.set("s", "line1\nline2\t\"quoted\" \\slash");
+  const Value back = Value::parse(v.dump_string());
+  EXPECT_EQ(back.find("s")->as_string(), "line1\nline2\t\"quoted\" \\slash");
+  // \u escapes decode.
+  EXPECT_EQ(Value::parse("\"\\u0041\\u00e9\"").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\" 1}", "{\"a\": 1} trailing", "tru",
+        "\"unterminated", "{\"a\": 01x}", "nan"}) {
+    EXPECT_THROW((void)Value::parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(Json, DeepNestingIsAnErrorNotAStackOverflow) {
+  // 300 levels exceeds the 256-level ceiling; the parser must raise
+  // invalid_argument instead of recursing into a segfault.
+  const std::string deep =
+      std::string(300, '[') + "1" + std::string(300, ']');
+  EXPECT_THROW((void)Value::parse(deep), std::invalid_argument);
+  // 100 levels is fine.
+  const std::string ok = std::string(100, '[') + "1" + std::string(100, ']');
+  EXPECT_NO_THROW((void)Value::parse(ok));
+}
+
+TEST(Json, ObjectSetReplacesAndPreservesOrder) {
+  Value v = Value::object();
+  v.set("z", 1);
+  v.set("a", 2);
+  v.set("z", 3);
+  ASSERT_EQ(v.members().size(), 2u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[0].second.as_uint(), 3u);
+  EXPECT_EQ(v.members()[1].first, "a");
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  EXPECT_THROW((void)Value(1.5).as_uint(), std::invalid_argument);
+  EXPECT_THROW((void)Value("x").as_bool(), std::invalid_argument);
+  EXPECT_THROW((void)Value(-1).as_uint(), std::invalid_argument);
+  EXPECT_THROW((void)Value(true).items(), std::invalid_argument);
+  // In-range crossovers are allowed.
+  EXPECT_EQ(Value(7).as_uint(), 7u);
+  EXPECT_EQ(Value(7u).as_int(), 7);
+}
+
+TEST(Json, RunMetadataIsSelfDescribing) {
+  const Value meta = kronotri::util::run_metadata(8192);
+  EXPECT_GE(meta.get_uint("hardware_concurrency", 0), 1u);
+  EXPECT_GE(meta.get_uint("omp_max_threads", 0), 1u);
+  EXPECT_EQ(meta.get_uint("batch_size", 0), 8192u);
+  EXPECT_FALSE(meta.get_string("git_describe", "").empty());
+  // It serializes as part of a larger artifact.
+  std::ostringstream os;
+  meta.dump(os);
+  EXPECT_NE(os.str().find("hardware_concurrency"), std::string::npos);
+}
+
+}  // namespace
