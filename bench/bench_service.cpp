@@ -1,0 +1,259 @@
+// Service-mode latency benchmark (BENCH_service.json): the src/service/
+// daemon under concurrent client load, cold vs cached.
+//
+// Artifact contract (consumed by CI):
+//   * for 1, 8 and 64 concurrent clients, plans/sec plus p50/p99 round-trip
+//     latency is recorded twice — "cold" (every plan unique, so every
+//     request executes) and "cached" (one plan repeated, so all but the
+//     warmup replay from the deterministic result cache);
+//   * the run FAILS (non-zero exit) if any request errors or any worker
+//     dies — the 64-client row doubles as the load-survival check the
+//     acceptance criteria name;
+//   * the cached rows also assert the byte-identical replay guarantee on
+//     every hit.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "api/pipeline.hpp"
+#include "api/plan.hpp"
+#include "common.hpp"
+#include "service/cache.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "util/json.hpp"
+#include "util/runmeta.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace kronotri;
+using Clock = std::chrono::steady_clock;
+
+std::string bench_socket() {
+  return "/tmp/kronotri_bench_" + std::to_string(::getpid()) + ".sock";
+}
+
+std::string plan_text(int seed) {
+  return "kron:(hk:n=200,m=3,p=0.6,seed=" + std::to_string(seed) +
+         ")x(clique:n=3,loops=1) census degree";
+}
+
+struct LoadResult {
+  std::string mode;
+  int clients = 0;
+  std::size_t requests = 0;
+  std::size_t errors = 0;
+  std::size_t replay_mismatches = 0;
+  double wall_s = 0;
+  double p50_s = 0;
+  double p99_s = 0;
+  double plans_per_sec = 0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/// `clients` threads, each its own connection, each `per_client` submits.
+/// Cold mode gives every request a unique seed (always executes); cached
+/// mode repeats ONE pre-warmed plan and checks each replay byte-for-byte.
+LoadResult run_load(const std::string& socket, const std::string& mode,
+                    int clients, int per_client, int seed_base,
+                    const std::string& cached_report_bytes) {
+  const bool cached = !cached_report_bytes.empty();
+  LoadResult r;
+  r.mode = mode;
+  r.clients = clients;
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::size_t> errors(clients, 0);
+  std::vector<std::size_t> mismatches(clients, 0);
+
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        service::Client c;
+        c.connect(socket);
+        for (int i = 0; i < per_client; ++i) {
+          const int seed = seed_base + t * per_client + i;
+          const std::string plan =
+              cached ? plan_text(seed_base) : plan_text(seed);
+          const Clock::time_point s = Clock::now();
+          const util::json::Value response = c.submit_text(plan);
+          latencies[t].push_back(
+              std::chrono::duration<double>(Clock::now() - s).count());
+          if (!response.get_bool("ok", false)) {
+            ++errors[t];
+          } else if (cached) {
+            if (response.get_string("cache", "") != "hit" ||
+                response.find("report")->dump_string(0) !=
+                    cached_report_bytes) {
+              ++mismatches[t];
+            }
+          }
+        }
+      } catch (const std::exception&) {
+        ++errors[t];
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  r.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (const std::size_t e : errors) r.errors += e;
+  for (const std::size_t m : mismatches) r.replay_mismatches += m;
+  r.requests = all.size();
+  r.p50_s = percentile(all, 0.50);
+  r.p99_s = percentile(all, 0.99);
+  r.plans_per_sec =
+      r.wall_s > 0 ? static_cast<double>(r.requests) / r.wall_s : 0;
+  return r;
+}
+
+util::json::Value load_json(const LoadResult& r) {
+  util::json::Value j = util::json::Value::object();
+  j.set("mode", r.mode);
+  j.set("clients", r.clients);
+  j.set("requests", static_cast<std::uint64_t>(r.requests));
+  j.set("errors", static_cast<std::uint64_t>(r.errors));
+  j.set("replay_mismatches", static_cast<std::uint64_t>(r.replay_mismatches));
+  j.set("wall_s", r.wall_s);
+  j.set("p50_s", r.p50_s);
+  j.set("p99_s", r.p99_s);
+  j.set("plans_per_sec", r.plans_per_sec);
+  return j;
+}
+
+bool g_all_ok = true;
+
+void print_artifact() {
+  kt_bench::banner("Service mode (BENCH_service.json)",
+                   "daemon latency under concurrent clients, cold vs cached");
+
+  service::ServerOptions opt;
+  opt.socket_path = bench_socket();
+  opt.workers = std::max(2u, std::thread::hardware_concurrency() / 2);
+  opt.queue_depth = 256;
+  service::Server server(opt);
+  server.start();
+
+  // Warm the cached plan once and capture its report bytes — the replay
+  // reference every cached-mode request is checked against.
+  constexpr int kCachedSeed = 90000;
+  std::string cached_report;
+  {
+    service::Client c;
+    c.connect(opt.socket_path);
+    const util::json::Value warm = c.submit_text(plan_text(kCachedSeed));
+    g_all_ok = g_all_ok && warm.get_bool("ok", false);
+    cached_report = warm.find("report")->dump_string(0);
+  }
+
+  std::vector<LoadResult> results;
+  int seed_base = 1000;
+  for (const int clients : {1, 8, 64}) {
+    const int per_client = clients >= 64 ? 2 : 8;
+    results.push_back(run_load(opt.socket_path, "cold", clients, per_client,
+                               seed_base, ""));
+    seed_base += clients * per_client + 16;
+    results.push_back(run_load(opt.socket_path, "cached", clients,
+                               per_client, kCachedSeed, cached_report));
+  }
+
+  const util::json::Value stats = server.stats_json();
+  const std::uint64_t failed = stats.get_uint("jobs_failed", 0);
+
+  util::Table t({"mode", "clients", "requests", "plans/s", "p50 ms",
+                 "p99 ms", "verdict"});
+  for (const LoadResult& r : results) {
+    const bool ok = r.errors == 0 && r.replay_mismatches == 0;
+    g_all_ok = g_all_ok && ok;
+    t.row({r.mode, std::to_string(r.clients), std::to_string(r.requests),
+           std::to_string(r.plans_per_sec), std::to_string(r.p50_s * 1e3),
+           std::to_string(r.p99_s * 1e3), ok ? "PASS" : "FAIL"});
+  }
+  t.print(std::cout);
+  g_all_ok = g_all_ok && failed == 0;
+
+  util::json::Value j = util::json::Value::object();
+  util::json::Value loads = util::json::Value::array();
+  for (const LoadResult& r : results) loads.push_back(load_json(r));
+  j.set("loads", std::move(loads));
+  j.set("workers", opt.workers);
+  j.set("jobs_failed", failed);
+  j.set("server_stats", stats);
+  j.set("all_pass", g_all_ok);
+  j.set("metadata", util::run_metadata(api::kDefaultBatchSize));
+  std::ofstream out("BENCH_service.json");
+  j.dump(out);
+  out << "\n";
+  std::cout << "\nwrote BENCH_service.json ("
+            << (g_all_ok ? "all loads PASS" : "LOAD FAILURE")
+            << "; 64-client survival: jobs_failed=" << failed << ")\n";
+
+  server.stop();
+}
+
+// -- microbenchmarks ---------------------------------------------------------
+
+void bm_cache_key(benchmark::State& state) {
+  const api::RunPlan plan = api::RunPlan::parse(plan_text(1));
+  for (auto _ : state) {
+    const std::string key = service::cache_key(plan);
+    benchmark::DoNotOptimize(util::json::hash64(key));
+  }
+}
+BENCHMARK(bm_cache_key);
+
+void bm_canonical_dump(benchmark::State& state) {
+  const util::json::Value report =
+      api::RunPlan::parse(plan_text(1)).to_json();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(report.dump_canonical_string());
+  }
+}
+BENCHMARK(bm_canonical_dump);
+
+void bm_cached_roundtrip(benchmark::State& state) {
+  // One server + one connection, reused across iterations: measures the
+  // full protocol round trip of a cache hit (parse, key, probe, splice).
+  service::ServerOptions opt;
+  opt.socket_path = bench_socket() + ".rt";
+  service::Server server(opt);
+  server.start();
+  service::Client c;
+  c.connect(opt.socket_path);
+  const std::string plan = plan_text(5);
+  benchmark::DoNotOptimize(c.submit_text(plan));  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.submit_text(plan));
+  }
+  c.close();
+  server.stop();
+}
+BENCHMARK(bm_cached_roundtrip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = kt_bench::run(argc, argv, print_artifact);
+  if (rc != 0) return rc;
+  return g_all_ok ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <mutex>
 #include <stdexcept>
 
 #include "analysis/components.hpp"
@@ -156,6 +157,7 @@ void PlanContext::set_graph(Graph g) { graph_ = std::move(g); }
 
 void AnalysisRegistry::add(std::string name, std::string help,
                            Factory factory) {
+  const std::unique_lock lock(mutex_);
   if (factories_.emplace(name, factory).second) {
     help_.emplace_back(name, std::move(help));
   } else {
@@ -167,11 +169,13 @@ void AnalysisRegistry::add(std::string name, std::string help,
 }
 
 bool AnalysisRegistry::contains(const std::string& name) const {
+  const std::shared_lock lock(mutex_);
   return factories_.count(name) > 0;
 }
 
 std::unique_ptr<Analysis> AnalysisRegistry::build(
     const std::string& name, const ParamMap& params) const {
+  const std::shared_lock lock(mutex_);
   const auto it = factories_.find(name);
   if (it == factories_.end()) {
     std::string msg =
@@ -191,6 +195,7 @@ std::unique_ptr<Analysis> AnalysisRegistry::build(
 
 std::vector<std::pair<std::string, std::string>> AnalysisRegistry::families()
     const {
+  const std::shared_lock lock(mutex_);
   return help_;
 }
 

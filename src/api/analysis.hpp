@@ -27,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -209,7 +210,11 @@ class Analysis {
   std::string name_;
 };
 
-/// String-keyed analysis factories — the mirror of GeneratorRegistry.
+/// String-keyed analysis factories — the mirror of GeneratorRegistry, with
+/// the same thread-safety contract: builtin()'s lazy construction is a
+/// magic static, lookups/builds take a shared lock, add() an exclusive one,
+/// so service worker threads may race on first lookup and applications may
+/// register analyses while a server is executing plans.
 class AnalysisRegistry {
  public:
   using ParamMap = std::map<std::string, std::string>;
@@ -235,6 +240,7 @@ class AnalysisRegistry {
   static AnalysisRegistry& builtin();
 
  private:
+  mutable std::shared_mutex mutex_;
   std::vector<std::pair<std::string, std::string>> help_;  // insertion order
   std::map<std::string, Factory> factories_;
 };

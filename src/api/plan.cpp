@@ -223,6 +223,8 @@ Value RunReport::to_json() const {
   v.set("pass", pass);
   v.set("total_wall_s", total_wall_s);
   v.set("total_cpu_s", total_cpu_s);
+  v.set("peak_rss_bytes", peak_rss_bytes);
+  v.set("queue_wait_s", queue_wait_s);
   v.set("metadata", metadata);
   return v;
 }
@@ -479,6 +481,7 @@ RunReport run(const RunPlan& plan, const GeneratorRegistry& generators,
   report.metadata = util::run_metadata(plan.options.batch_size);
   report.total_wall_s = total_wall.seconds();
   report.total_cpu_s = total_cpu.seconds();
+  report.peak_rss_bytes = util::peak_rss_bytes();
   return report;
 }
 

@@ -75,6 +75,15 @@ struct RunReport {
   bool pass = true;  ///< conjunction of every analysis verdict
   double total_wall_s = 0;
   double total_cpu_s = 0;
+  /// Process peak RSS (getrusage ru_maxrss) sampled when the run finishes —
+  /// a high-water mark over the whole process, so in a multi-job server it
+  /// bounds, rather than attributes, this job's footprint. 0 when the
+  /// platform has no getrusage.
+  std::size_t peak_rss_bytes = 0;
+  /// Time the job sat in a queue before execute started. api::run() cannot
+  /// know it, so it stays 0 for direct runs; the service layer fills it in
+  /// so its latency metrics decompose into wait vs. execute.
+  double queue_wait_s = 0;
   util::json::Value metadata;  ///< util::run_metadata()
 
   [[nodiscard]] util::json::Value to_json() const;

@@ -1,5 +1,6 @@
 #include "api/registry.hpp"
 
+#include <mutex>
 #include <stdexcept>
 
 #include "core/io.hpp"
@@ -14,6 +15,7 @@ namespace kronotri::api {
 
 void GeneratorRegistry::add(std::string family, std::string help,
                             Factory factory) {
+  const std::unique_lock lock(mutex_);
   if (factories_.emplace(family, factory).second) {
     help_.emplace_back(family, std::move(help));
   } else {
@@ -25,12 +27,15 @@ void GeneratorRegistry::add(std::string family, std::string help,
 }
 
 bool GeneratorRegistry::contains(const std::string& family) const {
+  const std::shared_lock lock(mutex_);
   return family == "kron" || factories_.count(family) > 0;
 }
 
-Graph GeneratorRegistry::build(const GraphSpec& spec) const {
+Graph GeneratorRegistry::build_unlocked(const GraphSpec& spec) const {
   Graph g = [&] {
-    if (spec.is_kron()) return kron::KronChain(build_factors(spec)).materialize();
+    if (spec.is_kron()) {
+      return kron::KronChain(build_factors_unlocked(spec)).materialize();
+    }
     const auto it = factories_.find(spec.family);
     if (it == factories_.end()) {
       throw std::invalid_argument("GeneratorRegistry: unknown family \"" +
@@ -45,24 +50,36 @@ Graph GeneratorRegistry::build(const GraphSpec& spec) const {
   return g;
 }
 
+Graph GeneratorRegistry::build(const GraphSpec& spec) const {
+  const std::shared_lock lock(mutex_);
+  return build_unlocked(spec);
+}
+
 Graph GeneratorRegistry::build(std::string_view spec_text) const {
   return build(GraphSpec::parse(spec_text));
 }
 
-std::vector<Graph> GeneratorRegistry::build_factors(
+std::vector<Graph> GeneratorRegistry::build_factors_unlocked(
     const GraphSpec& spec) const {
   std::vector<Graph> out;
   if (!spec.is_kron()) {
-    out.push_back(build(spec));
+    out.push_back(build_unlocked(spec));
     return out;
   }
   out.reserve(spec.factors.size());
-  for (const GraphSpec& f : spec.factors) out.push_back(build(f));
+  for (const GraphSpec& f : spec.factors) out.push_back(build_unlocked(f));
   return out;
+}
+
+std::vector<Graph> GeneratorRegistry::build_factors(
+    const GraphSpec& spec) const {
+  const std::shared_lock lock(mutex_);
+  return build_factors_unlocked(spec);
 }
 
 std::vector<std::pair<std::string, std::string>> GeneratorRegistry::families()
     const {
+  const std::shared_lock lock(mutex_);
   auto out = help_;
   out.emplace_back("kron",
                    "kron:(spec)x(spec)[x(spec)…] — Kronecker product of the "

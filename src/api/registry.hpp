@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -19,6 +20,11 @@
 
 namespace kronotri::api {
 
+/// Thread-safety: builtin()'s lazy construction is a C++11 magic static
+/// (safe to race on first lookup from service worker threads), and every
+/// member takes a reader/writer lock — concurrent contains()/build() run
+/// shared, add() exclusive — so applications may keep registering scenarios
+/// while a server is already executing plans.
 class GeneratorRegistry {
  public:
   using Factory = std::function<Graph(const GraphSpec&)>;
@@ -53,6 +59,14 @@ class GeneratorRegistry {
   static GeneratorRegistry& builtin();
 
  private:
+  /// build()/build_factors() recurse into each other for kron specs; the
+  /// unlocked cores keep that recursion under the ONE shared lock taken at
+  /// the public entry (recursively re-locking a shared_mutex is UB).
+  [[nodiscard]] Graph build_unlocked(const GraphSpec& spec) const;
+  [[nodiscard]] std::vector<Graph> build_factors_unlocked(
+      const GraphSpec& spec) const;
+
+  mutable std::shared_mutex mutex_;
   std::vector<std::pair<std::string, std::string>> help_;  // insertion order
   std::unordered_map<std::string, Factory> factories_;
 };

@@ -1,5 +1,7 @@
 #include "cli/commands.hpp"
 
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -7,10 +9,13 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/plan.hpp"
 #include "api/registry.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
 #include "util/table.hpp"
 
 namespace kronotri::cli {
@@ -89,6 +94,23 @@ void usage(std::ostream& out) {
          "            writes it as JSON with --json; --list prints every\n"
          "            registered analysis; exit 1 unless every analysis\n"
          "            passes\n"
+         "  serve     --socket PATH [--workers N] [--queue-depth D]\n"
+         "            [--cache-bytes B[K|M|G]] [--mem-budget B[K|M|G]]\n"
+         "            [--idle-timeout SECONDS]\n"
+         "            run as a long-lived analysis daemon on a unix socket\n"
+         "            (newline-delimited JSON protocol): bounded job queue\n"
+         "            over a worker pool, admission control (full queue and\n"
+         "            over-budget plans are rejected with a reason, never\n"
+         "            queued), and a deterministic LRU result cache that\n"
+         "            replays repeated plans byte-for-byte; SIGINT/SIGTERM\n"
+         "            (or --idle-timeout) drains gracefully — in-flight\n"
+         "            jobs finish and their responses are delivered\n"
+         "  submit    --socket PATH --plan FILE|STRING [--json FILE]\n"
+         "            --socket PATH --stats\n"
+         "            submit a run plan to a serving daemon and print the\n"
+         "            response (the RunReport plus cache/latency metadata),\n"
+         "            or fetch server stats; exit 0 only when the plan ran\n"
+         "            (or replayed) and every analysis passed\n"
          "  generate  --type FAMILY | --spec SPEC, --out FILE\n"
          "            [--n N] [--m M] [--p P] [--scale S] [--seed S]\n"
          "            [--loops] [--prune] [--stream] [--threads T]\n"
@@ -446,6 +468,111 @@ int cmd_run(const util::Cli& flags, std::ostream& out, std::ostream& err) {
   return report.pass ? 0 : 1;
 }
 
+namespace {
+
+// Written by the SIGINT/SIGTERM handler, polled by cmd_serve's wait loop.
+// sig_atomic_t + no locks: the handler does nothing else.
+volatile std::sig_atomic_t g_serve_stop = 0;
+void serve_signal_handler(int) { g_serve_stop = 1; }
+
+}  // namespace
+
+int cmd_serve(const util::Cli& flags, std::ostream& out, std::ostream& err) {
+  const std::string socket_path = flags.get("socket", "");
+  if (socket_path.empty()) {
+    err << "serve: --socket PATH is required\n";
+    return 2;
+  }
+  service::ServerOptions opt;
+  opt.socket_path = socket_path;
+  opt.workers = static_cast<unsigned>(flags.get_uint("workers", opt.workers));
+  opt.queue_depth = static_cast<std::size_t>(
+      flags.get_uint("queue-depth", opt.queue_depth));
+  if (flags.has("cache-bytes")) {
+    opt.cache_bytes = util::parse_byte_count(flags.get("cache-bytes", "64M"));
+  }
+  if (flags.has("mem-budget")) {
+    opt.mem_budget_bytes =
+        util::parse_byte_count(flags.get("mem-budget", "1G"));
+  }
+  const double idle_timeout_s = flags.get_double("idle-timeout", 0);
+
+  service::Server server(opt);
+  server.start();
+  out << "kronotri: serving on " << socket_path << " (workers=" << opt.workers
+      << " queue-depth=" << opt.queue_depth
+      << " cache-bytes=" << opt.cache_bytes
+      << " mem-budget=" << opt.mem_budget_bytes << ")" << std::endl;
+
+  g_serve_stop = 0;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  std::string reason = "signal";
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (idle_timeout_s > 0 && server.seconds_idle() >= idle_timeout_s) {
+      reason = "idle-timeout";
+      break;
+    }
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  out << "kronotri: " << reason << ", draining" << std::endl;
+  server.stop();  // graceful: in-flight jobs complete, responses delivered
+  out << "kronotri: drained; final stats:\n";
+  server.stats_json().dump(out);
+  out << "\n";
+  return 0;
+}
+
+int cmd_submit(const util::Cli& flags, std::ostream& out, std::ostream& err) {
+  const std::string socket_path = flags.get("socket", "");
+  if (socket_path.empty()) {
+    err << "submit: --socket PATH is required\n";
+    return 2;
+  }
+  service::Client client;
+  client.connect(socket_path);
+
+  if (flags.has("stats")) {
+    const util::json::Value response = client.stats();
+    response.dump(out);
+    out << "\n";
+    return response.get_bool("ok", false) ? 0 : 1;
+  }
+
+  const std::string arg = flags.get("plan", "");
+  if (arg.empty()) {
+    err << "submit: --plan FILE|STRING is required (or --stats)\n";
+    return 2;
+  }
+  // Same convention as `run`: a readable file is submitted as its contents,
+  // anything else as an inline plan (JSON document or shorthand). Parsing
+  // happens server-side.
+  std::string text = arg;
+  if (std::ifstream file(arg); file.good()) {
+    std::stringstream buf;
+    buf << file.rdbuf();
+    text = buf.str();
+  }
+  const util::json::Value response = client.submit_text(text);
+  response.dump(out);
+  out << "\n";
+  if (flags.has("json")) {
+    std::ofstream json(flags.get("json", ""));
+    if (!json) {
+      err << "submit: cannot open --json file\n";
+      return 2;
+    }
+    response.dump(json);
+    json << "\n";
+  }
+  if (!response.get_bool("ok", false)) return 1;
+  const util::json::Value* report = response.find("report");
+  return (report != nullptr && report->get_bool("pass", false)) ? 0 : 1;
+}
+
 int run(int argc, char** argv, std::ostream& out, std::ostream& err) {
   if (argc < 2) {
     usage(err);
@@ -455,6 +582,8 @@ int run(int argc, char** argv, std::ostream& out, std::ostream& err) {
   const util::Cli flags(argc - 1, argv + 1);
   try {
     if (command == "run") return cmd_run(flags, out, err);
+    if (command == "serve") return cmd_serve(flags, out, err);
+    if (command == "submit") return cmd_submit(flags, out, err);
     if (command == "generate") return cmd_generate(flags, out, err);
     if (command == "census") return cmd_census(flags, out, err);
     if (command == "validate") return cmd_validate(flags, out, err);

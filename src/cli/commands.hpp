@@ -6,6 +6,8 @@
 //
 //   kronotri run      --plan plan.json --json report.json
 //   kronotri run      --plan "kron:(hk:n=300)x(clique:n=3,loops=1) census degree validate"
+//   kronotri serve    --socket /run/kronotri.sock --workers 4 --queue-depth 32
+//   kronotri submit   --socket /run/kronotri.sock --plan plan.json
 //   kronotri generate --type hk --n 10000 --out A.txt
 //   kronotri census   --a A.txt --b B.txt [--truth t.txt] [--sample 9]
 //   kronotri validate --a A.txt --b B.txt --claims counts.txt
@@ -26,6 +28,11 @@ int run(int argc, char** argv, std::ostream& out, std::ostream& err);
 // Individual subcommands (flags documented in usage()). Every one of them
 // executes through api::run(); `run` is the direct RunPlan entry point.
 int cmd_run(const util::Cli& flags, std::ostream& out, std::ostream& err);
+/// Long-running analysis daemon over a unix socket; returns on SIGINT/
+/// SIGTERM (graceful drain) or after --idle-timeout seconds of no traffic.
+int cmd_serve(const util::Cli& flags, std::ostream& out, std::ostream& err);
+/// Client: submit a plan (or request stats) to a serving daemon.
+int cmd_submit(const util::Cli& flags, std::ostream& out, std::ostream& err);
 int cmd_generate(const util::Cli& flags, std::ostream& out, std::ostream& err);
 int cmd_census(const util::Cli& flags, std::ostream& out, std::ostream& err);
 int cmd_validate(const util::Cli& flags, std::ostream& out, std::ostream& err);

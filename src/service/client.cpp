@@ -1,0 +1,103 @@
+#include "service/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/protocol.hpp"
+
+namespace kronotri::service {
+
+Client::~Client() { close(); }
+
+void Client::connect(const std::string& socket_path) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("service::Client: bad socket path \"" +
+                             socket_path + "\"");
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("service::Client: socket: ") +
+                             std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    close();
+    throw std::runtime_error("service::Client: connect " + socket_path +
+                             ": " + why);
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+void Client::send(const util::json::Value& request) {
+  if (fd_ < 0) throw std::runtime_error("service::Client: not connected");
+  if (!write_all(fd_, frame(request))) {
+    throw std::runtime_error("service::Client: connection lost while sending");
+  }
+}
+
+util::json::Value Client::read_response() {
+  if (fd_ < 0) throw std::runtime_error("service::Client: not connected");
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      const std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return util::json::Value::parse(line);
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("service::Client: read: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      throw std::runtime_error(
+          "service::Client: server closed the connection before responding");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+util::json::Value Client::request(const util::json::Value& req) {
+  send(req);
+  return read_response();
+}
+
+util::json::Value Client::submit(const api::RunPlan& plan) {
+  util::json::Value req = util::json::Value::object();
+  req.set("type", "submit");
+  req.set("plan", plan.to_json());
+  return request(req);
+}
+
+util::json::Value Client::submit_text(std::string_view plan_text) {
+  util::json::Value req = util::json::Value::object();
+  req.set("type", "submit");
+  req.set("plan", plan_text);
+  return request(req);
+}
+
+util::json::Value Client::stats() {
+  util::json::Value req = util::json::Value::object();
+  req.set("type", "stats");
+  return request(req);
+}
+
+}  // namespace kronotri::service

@@ -1,0 +1,55 @@
+// Blocking client for the kronotri analysis service.
+//
+// One unix-socket connection, one request/response at a time — the shape
+// the `kronotri submit` subcommand, the tests and the latency bench all
+// want (the bench gets concurrency by running many Clients on many
+// threads). send()/read_response() are exposed separately so tests can
+// exercise the rude paths: disconnect between send and read, half-written
+// frames, a server draining mid-conversation.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "api/plan.hpp"
+#include "util/json.hpp"
+
+namespace kronotri::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a serving socket; throws std::runtime_error on failure.
+  void connect(const std::string& socket_path);
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Fire-and-forget half of a round trip (tests use it to hang up early).
+  /// Throws std::runtime_error when the connection is gone.
+  void send(const util::json::Value& request);
+  /// Reads one response frame; throws std::runtime_error on EOF/parse
+  /// failure (a draining server closing the socket surfaces here).
+  [[nodiscard]] util::json::Value read_response();
+
+  /// send + read_response.
+  [[nodiscard]] util::json::Value request(const util::json::Value& req);
+
+  /// {"type":"submit","plan":<plan.to_json()>} round trip.
+  [[nodiscard]] util::json::Value submit(const api::RunPlan& plan);
+  /// Submit with the plan passed as text (JSON document or the run-plan
+  /// shorthand) — parsed server-side, so malformed text exercises the
+  /// server's bad_request path, not the client's.
+  [[nodiscard]] util::json::Value submit_text(std::string_view plan_text);
+  [[nodiscard]] util::json::Value stats();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< LineReader state folded in (single-frame reads)
+};
+
+}  // namespace kronotri::service

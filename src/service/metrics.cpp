@@ -1,0 +1,87 @@
+#include "service/metrics.hpp"
+
+#include <algorithm>
+
+namespace kronotri::service {
+
+void LatencyRecorder::record(double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(seconds);
+  } else {
+    ring_[next_] = seconds;
+  }
+  next_ = (next_ + 1) % kCapacity;
+  ++count_;
+  if (seconds > max_) max_ = seconds;
+}
+
+LatencyRecorder::Summary LatencyRecorder::summarize() const {
+  std::vector<double> samples;
+  Summary s;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    samples = ring_;
+    s.count = count_;
+    s.max_s = max_;
+  }
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  // Nearest-rank quantiles over the retained window.
+  const auto rank = [&](double q) {
+    const std::size_t i =
+        static_cast<std::size_t>(q * static_cast<double>(samples.size() - 1));
+    return samples[i];
+  };
+  s.p50_s = rank(0.50);
+  s.p99_s = rank(0.99);
+  return s;
+}
+
+util::json::Value LatencyRecorder::to_json() const {
+  const Summary s = summarize();
+  util::json::Value v = util::json::Value::object();
+  v.set("count", s.count);
+  v.set("p50_s", s.p50_s);
+  v.set("p99_s", s.p99_s);
+  v.set("max_s", s.max_s);
+  return v;
+}
+
+util::json::Value Metrics::to_json(std::size_t queue_depth) const {
+  using util::json::Value;
+  Value v = Value::object();
+  v.set("uptime_s", uptime.seconds());
+  v.set("connections_opened", connections_opened.load());
+  v.set("client_disconnects", client_disconnects.load());
+  v.set("jobs_accepted", jobs_accepted.load());
+  v.set("jobs_completed", jobs_completed.load());
+  v.set("jobs_failed", jobs_failed.load());
+  v.set("jobs_active", jobs_active.load());
+  v.set("queue_depth", static_cast<std::uint64_t>(queue_depth));
+  Value rejected = Value::object();
+  rejected.set("queue_full", rejected_queue_full.load());
+  rejected.set("over_budget", rejected_over_budget.load());
+  rejected.set("bad_request", rejected_bad_request.load());
+  rejected.set("draining", rejected_draining.load());
+  v.set("rejected", std::move(rejected));
+  const std::uint64_t hits = cache_hits.load();
+  const std::uint64_t misses = cache_misses.load();
+  Value cache = Value::object();
+  cache.set("hits", hits);
+  cache.set("misses", misses);
+  cache.set("hit_rate",
+            hits + misses == 0
+                ? 0.0
+                : static_cast<double>(hits) /
+                      static_cast<double>(hits + misses));
+  v.set("cache", std::move(cache));
+  Value latency = Value::object();
+  latency.set("wait", wait_latency.to_json());
+  latency.set("execute", execute_latency.to_json());
+  latency.set("total", total_latency.to_json());
+  v.set("latency", std::move(latency));
+  return v;
+}
+
+}  // namespace kronotri::service

@@ -1,0 +1,83 @@
+// Lock-cheap service metrics: counters, gauges and latency quantiles.
+//
+// Every admission decision, job completion and cache probe bumps a relaxed
+// atomic; the only lock on the hot path is a tiny per-sample mutex in
+// LatencyRecorder (two stores under the lock). Quantiles are computed at
+// `stats` time from a bounded reservoir, never on the submit path, so
+// observability costs the server nanoseconds per job — the requirement for
+// a daemon whose whole point is throughput.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace kronotri::service {
+
+/// Bounded latency reservoir: keeps the most recent kCapacity samples in a
+/// ring (a long-running daemon must not grow without bound) plus lifetime
+/// count/max. summarize() sorts a snapshot — O(kCapacity log kCapacity) but
+/// only when someone asks for stats.
+class LatencyRecorder {
+ public:
+  static constexpr std::size_t kCapacity = 4096;
+
+  void record(double seconds);
+
+  struct Summary {
+    std::uint64_t count = 0;  ///< lifetime samples (not just retained ones)
+    double p50_s = 0;
+    double p99_s = 0;
+    double max_s = 0;  ///< lifetime max
+  };
+  [[nodiscard]] Summary summarize() const;
+
+  /// {count, p50_s, p99_s, max_s}.
+  [[nodiscard]] util::json::Value to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> ring_;  ///< grows to kCapacity, then wraps
+  std::size_t next_ = 0;
+  std::uint64_t count_ = 0;
+  double max_ = 0;
+};
+
+/// One shared metrics struct for the whole server. Counters are relaxed
+/// atomics: they are statistics, not synchronization, and per-counter
+/// exactness under concurrent bumps is all that matters.
+struct Metrics {
+  util::WallTimer uptime;  ///< started when the server constructs
+
+  std::atomic<std::uint64_t> connections_opened{0};
+  std::atomic<std::uint64_t> client_disconnects{0};  ///< mid-stream EOF/EPIPE
+
+  std::atomic<std::uint64_t> jobs_accepted{0};
+  std::atomic<std::uint64_t> jobs_completed{0};
+  std::atomic<std::uint64_t> jobs_failed{0};  ///< plan threw during execute
+  std::atomic<std::uint64_t> rejected_queue_full{0};
+  std::atomic<std::uint64_t> rejected_over_budget{0};
+  std::atomic<std::uint64_t> rejected_bad_request{0};
+  std::atomic<std::uint64_t> rejected_draining{0};
+
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+
+  /// Jobs currently inside api::run() on a worker.
+  std::atomic<std::uint64_t> jobs_active{0};
+
+  LatencyRecorder wait_latency;     ///< enqueue → worker pop
+  LatencyRecorder execute_latency;  ///< worker pop → report ready
+  LatencyRecorder total_latency;    ///< admission → response built
+
+  /// Everything above as the `stats` response payload; `queue_depth` is the
+  /// caller's instantaneous gauge (the queue owns it, not the metrics).
+  [[nodiscard]] util::json::Value to_json(std::size_t queue_depth) const;
+};
+
+}  // namespace kronotri::service

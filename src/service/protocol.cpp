@@ -1,0 +1,101 @@
+#include "service/protocol.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace kronotri::service {
+
+bool LineReader::next_line(std::string& line) {
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return false;
+      line = std::move(buffer_);
+      buffer_.clear();
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("service: read failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool write_all(int fd, std::string_view data) noexcept {
+  while (!data.empty()) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::write(fd, data.data(), data.size());
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::string frame(const util::json::Value& payload) {
+  std::string out = payload.dump_string(0);
+  out.push_back('\n');
+  return out;
+}
+
+std::string error_frame(std::string_view code, std::string_view message) {
+  using util::json::Value;
+  Value err = Value::object();
+  err.set("code", code);
+  err.set("message", message);
+  Value v = Value::object();
+  v.set("ok", false);
+  v.set("error", std::move(err));
+  return frame(v);
+}
+
+std::string report_frame(std::string_view cache_disposition,
+                         std::uint64_t plan_hash, double queue_wait_s,
+                         double execute_s, std::string_view report_json) {
+  using util::json::Value;
+  // Everything except the report goes through the Value writer; the report
+  // is spliced verbatim so cached bytes replay exactly.
+  Value head = Value::object();
+  head.set("ok", true);
+  head.set("cache", cache_disposition);
+  // Hex string, not a JSON number: 64-bit hashes with the high bit set
+  // survive every client-side JSON parser this way.
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(plan_hash));
+  head.set("plan_hash", hex);
+  head.set("queue_wait_s", queue_wait_s);
+  head.set("execute_s", execute_s);
+  std::string out = head.dump_string(0);
+  // "{…}" → "{…,\"report\":<splice>}\n"
+  out.pop_back();
+  out += ",\"report\":";
+  out += report_json;
+  out += "}\n";
+  return out;
+}
+
+}  // namespace kronotri::service

@@ -1,0 +1,76 @@
+// Bounded FIFO job queue — the server's backpressure primitive.
+//
+// Admission control needs "the queue is full" to be an immediate, cheap,
+// structured answer, never a block: a client holding a connection open
+// must not wedge the accept path because 64 other clients got there first.
+// So push is try-only (false = full or closed) and only the worker-side
+// pop blocks. close() flips the queue into drain mode: pushes fail, pops
+// keep succeeding until the backlog is empty, then return nullopt — which
+// is exactly the graceful-shutdown contract (finish in-flight work,
+// reject new work with a reason).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace kronotri::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t depth) : depth_(depth) {}
+
+  /// False when the queue holds `depth` items or is closed.
+  [[nodiscard]] bool try_push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= depth_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed AND drained;
+  /// nullopt is the worker's "no more work ever" signal.
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stops admissions; queued items remain poppable (drain semantics).
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t depth_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace kronotri::service

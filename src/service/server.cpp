@@ -1,0 +1,358 @@
+#include "service/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/admission.hpp"
+#include "service/protocol.hpp"
+#include "util/timer.hpp"
+
+namespace kronotri::service {
+
+namespace {
+
+[[noreturn]] void socket_error(const std::string& what) {
+  throw std::runtime_error("service: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opt, const api::GeneratorRegistry& generators,
+               const api::AnalysisRegistry& analyses)
+    : opt_(std::move(opt)),
+      generators_(generators),
+      analyses_(analyses),
+      cache_(opt_.cache_bytes),
+      queue_(std::make_unique<BoundedQueue<std::shared_ptr<Job>>>(
+          opt_.queue_depth)) {
+  if (opt_.workers == 0) opt_.workers = 1;
+}
+
+Server::~Server() { stop(); }
+
+void Server::touch_activity() {
+  last_activity_s_.store(metrics_.uptime.seconds(), std::memory_order_relaxed);
+}
+
+double Server::seconds_idle() const {
+  if (metrics_.jobs_active.load() > 0 || queue_->size() > 0) return 0;
+  return metrics_.uptime.seconds() -
+         last_activity_s_.load(std::memory_order_relaxed);
+}
+
+void Server::start() {
+  if (running_.exchange(true)) {
+    throw std::logic_error("service: Server::start() called twice");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opt_.socket_path.empty() ||
+      opt_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("service: socket path empty or longer than " +
+                                std::to_string(sizeof(addr.sun_path) - 1) +
+                                " bytes: \"" + opt_.socket_path + "\"");
+  }
+  std::strncpy(addr.sun_path, opt_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) socket_error("socket");
+  // A stale socket file from a crashed predecessor would make bind fail;
+  // a LIVE predecessor still serving is indistinguishable here, so the
+  // deploy story is "one server per path".
+  ::unlink(opt_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    socket_error("bind " + opt_.socket_path);
+  }
+  if (::listen(listen_fd_, 128) < 0) socket_error("listen");
+
+  touch_activity();
+  workers_.reserve(opt_.workers);
+  for (unsigned i = 0; i < opt_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  draining_ = true;
+
+  // 1. Stop accepting: shutdown wakes a blocked accept(); close after join.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // 2. Drain: no new pushes succeed, workers pop the backlog dry and
+  // fulfil every promise, so no connection thread can be stuck on a
+  // future.
+  queue_->close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+
+  // 3. Connections: every promise is fulfilled, but a connection thread
+  // may still be between waking on its future and writing the frame — a
+  // `busy` connection must not be shut down yet or its delivered-but-
+  // unwritten response would be lost. Idle ones (blocked in read()) are
+  // woken by shutdown; busy ones finish their write, notice draining_, and
+  // exit on their own. fds are closed only after the owning thread joins.
+  while (true) {
+    bool pending = false;
+    {
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      for (const auto& conn : connections_) {
+        if (conn->done.load()) continue;
+        pending = true;
+        if (!conn->busy.load()) ::shutdown(conn->fd, SHUT_RDWR);
+      }
+    }
+    if (!pending) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Joining outside the lock: connection threads never touch the vector,
+  // but keeping lock scope minimal is cheap insurance.
+  for (const auto& conn : connections_) {
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.clear();
+  }
+
+  ::unlink(opt_.socket_path.c_str());
+}
+
+void Server::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down — server stopping
+    }
+    metrics_.connections_opened.fetch_add(1);
+    touch_activity();
+
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    // Reap finished connections so a long-lived server does not accumulate
+    // one zombie entry per past client.
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load()) {
+        if ((*it)->thread.joinable()) (*it)->thread.join();
+        ::close((*it)->fd);
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    conn->thread = std::thread([this, raw] {
+      connection_loop(raw);
+      raw->done.store(true);
+    });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void Server::connection_loop(Connection* conn) {
+  const int fd = conn->fd;
+  LineReader reader(fd);
+  std::string line;
+  try {
+    while (reader.next_line(line)) {
+      if (line.empty()) continue;
+      conn->busy.store(true);
+      const std::string response = handle_request(line);
+      const bool delivered = write_all(fd, response);
+      conn->busy.store(false);
+      if (!delivered) {
+        // Peer vanished between submit and response: the job (if any)
+        // already completed and is cached — only this connection dies.
+        metrics_.client_disconnects.fetch_add(1);
+        break;
+      }
+      touch_activity();
+      // In a drain, responses owed have now been written; exit instead of
+      // blocking in read() so stop() can finish.
+      if (draining_.load()) break;
+    }
+  } catch (const std::exception&) {
+    // Read error (reset mid-stream): same as a disconnect.
+    conn->busy.store(false);
+    metrics_.client_disconnects.fetch_add(1);
+  }
+  ::shutdown(fd, SHUT_RDWR);  // close happens after join (fd reuse safety)
+}
+
+std::string Server::handle_request(const std::string& line) {
+  using util::json::Value;
+  Value request;
+  try {
+    request = Value::parse(line);
+    if (!request.is_object()) {
+      throw std::invalid_argument("request must be a JSON object");
+    }
+  } catch (const std::exception& e) {
+    metrics_.rejected_bad_request.fetch_add(1);
+    return error_frame("bad_request", e.what());
+  }
+
+  const std::string type = request.get_string("type", "");
+  if (type == "submit") return handle_submit(request);
+  if (type == "stats") {
+    Value v = Value::object();
+    v.set("ok", true);
+    v.set("stats", stats_json());
+    return frame(v);
+  }
+  if (type == "ping") {
+    Value v = Value::object();
+    v.set("ok", true);
+    v.set("pong", true);
+    return frame(v);
+  }
+  metrics_.rejected_bad_request.fetch_add(1);
+  return error_frame("bad_request", "unknown request type \"" + type +
+                                        "\" (expected submit|stats|ping)");
+}
+
+std::string Server::handle_submit(const util::json::Value& request) {
+  const util::WallTimer total;
+  api::RunPlan plan;
+  try {
+    const util::json::Value* p = request.find("plan");
+    if (p == nullptr) {
+      throw std::invalid_argument("submit request is missing \"plan\"");
+    }
+    plan = p->is_string() ? api::RunPlan::parse(p->as_string())
+                          : api::RunPlan::from_json(*p);
+  } catch (const std::exception& e) {
+    metrics_.rejected_bad_request.fetch_add(1);
+    return error_frame("bad_request", e.what());
+  }
+  if (!cacheable(plan)) {
+    // options.output would write files on the SERVER's filesystem and make
+    // the result uncacheable; neither is something a remote client should
+    // trigger.
+    metrics_.rejected_bad_request.fetch_add(1);
+    return error_frame("bad_request",
+                       "plans with options.output are not accepted over the "
+                       "service (server-side file writes); fetch the report "
+                       "and materialize client-side");
+  }
+
+  const std::string key = cache_key(plan);
+  const std::uint64_t hash = util::json::hash64(key);
+
+  // Cache first: a hit costs no admission and no queue slot, and must be
+  // served even when the server is saturated — that is the whole point.
+  if (auto cached = cache_.get(key)) {
+    metrics_.cache_hits.fetch_add(1);
+    const double wall = total.seconds();
+    metrics_.total_latency.record(wall);
+    touch_activity();
+    return report_frame("hit", hash, 0.0, wall, *cached);
+  }
+  metrics_.cache_misses.fetch_add(1);
+
+  if (draining_.load()) {
+    metrics_.rejected_draining.fetch_add(1);
+    return error_frame("draining", "server is shutting down");
+  }
+  if (const std::string reason =
+          over_budget_reason(plan, opt_.mem_budget_bytes);
+      !reason.empty()) {
+    metrics_.rejected_over_budget.fetch_add(1);
+    return error_frame("over_budget", reason);
+  }
+
+  auto job = std::make_shared<Job>();
+  job->plan = std::move(plan);
+  job->key = key;
+  job->enqueued_at_s = metrics_.uptime.seconds();
+  std::future<std::string> result = job->result.get_future();
+  if (!queue_->try_push(job)) {
+    if (draining_.load()) {
+      metrics_.rejected_draining.fetch_add(1);
+      return error_frame("draining", "server is shutting down");
+    }
+    metrics_.rejected_queue_full.fetch_add(1);
+    return error_frame(
+        "queue_full",
+        "job queue is full (" + std::to_string(opt_.queue_depth) +
+            " waiting jobs); retry with backoff");
+  }
+  metrics_.jobs_accepted.fetch_add(1);
+  touch_activity();
+
+  try {
+    std::string response = result.get();  // worker-built complete frame
+    metrics_.total_latency.record(total.seconds());
+    return response;
+  } catch (const std::exception& e) {
+    metrics_.total_latency.record(total.seconds());
+    return error_frame("execution_failed", e.what());
+  }
+}
+
+void Server::worker_loop() {
+  while (auto popped = queue_->pop()) {
+    const std::shared_ptr<Job>& job = *popped;
+    const double wait_s = metrics_.uptime.seconds() - job->enqueued_at_s;
+    metrics_.wait_latency.record(wait_s);
+    metrics_.jobs_active.fetch_add(1);
+    const util::WallTimer exec;
+    try {
+      api::RunReport report = api::run(job->plan, generators_, analyses_);
+      report.queue_wait_s = wait_s;
+      const double execute_s = exec.seconds();
+      metrics_.execute_latency.record(execute_s);
+      // indent 0 keeps the document newline-free — the framing invariant.
+      std::string report_json = report.to_json().dump_string(0);
+      cache_.put(job->key, report_json);
+      metrics_.jobs_completed.fetch_add(1);
+      job->result.set_value(report_frame("miss",
+                                         util::json::hash64(job->key), wait_s,
+                                         execute_s, report_json));
+    } catch (...) {
+      // Exception isolation: the plan failed, the worker survives. The
+      // connection thread turns this into an execution_failed frame.
+      metrics_.execute_latency.record(exec.seconds());
+      metrics_.jobs_failed.fetch_add(1);
+      job->result.set_exception(std::current_exception());
+    }
+    metrics_.jobs_active.fetch_sub(1);
+    touch_activity();
+  }
+}
+
+util::json::Value Server::stats_json() const {
+  util::json::Value v = metrics_.to_json(queue_->size());
+  v.set("cache_store", cache_.stats_json());
+  util::json::Value cfg = util::json::Value::object();
+  cfg.set("socket", opt_.socket_path);
+  cfg.set("workers", opt_.workers);
+  cfg.set("queue_depth", static_cast<std::uint64_t>(opt_.queue_depth));
+  cfg.set("cache_bytes", static_cast<std::uint64_t>(opt_.cache_bytes));
+  cfg.set("mem_budget_bytes",
+          static_cast<std::uint64_t>(opt_.mem_budget_bytes));
+  v.set("config", std::move(cfg));
+  return v;
+}
+
+}  // namespace kronotri::service

@@ -1,5 +1,6 @@
 #include "util/json.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cmath>
@@ -231,6 +232,63 @@ std::string Value::dump_string(int indent) const {
   std::ostringstream os;
   dump(os, indent);
   return os.str();
+}
+
+void Value::dump_canonical_impl(std::ostream& os) const {
+  switch (kind_) {
+    case Kind::kArray: {
+      os << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) os << ',';
+        array_[i].dump_canonical_impl(os);
+      }
+      os << ']';
+      break;
+    }
+    case Kind::kObject: {
+      // Sort an index vector, not the members themselves: canonicalization
+      // must not mutate the tree (dump order elsewhere stays insertion
+      // order). Duplicate keys cannot arise — set() replaces — but append()
+      // bulk builders could create them; later-wins would be ambiguous, so
+      // ties keep first occurrence order and both are emitted (the bytes
+      // are still deterministic).
+      std::vector<std::size_t> order(object_.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return object_[a].first < object_[b].first;
+                       });
+      os << '{';
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        if (i > 0) os << ',';
+        os << '"';
+        escape(os, object_[order[i]].first);
+        os << "\":";
+        object_[order[i]].second.dump_canonical_impl(os);
+      }
+      os << '}';
+      break;
+    }
+    default: dump_impl(os, 0, 0); break;  // scalars already canonical
+  }
+}
+
+void Value::dump_canonical(std::ostream& os) const { dump_canonical_impl(os); }
+
+std::string Value::dump_canonical_string() const {
+  std::ostringstream os;
+  dump_canonical(os);
+  return os.str();
+}
+
+std::uint64_t hash64(std::string_view bytes) noexcept {
+  // FNV-1a, 64-bit: offset basis 14695981039346656037, prime 1099511628211.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 // ---- parser ---------------------------------------------------------------

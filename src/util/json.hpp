@@ -112,8 +112,19 @@ class Value {
   void dump(std::ostream& os, int indent = 2) const;
   [[nodiscard]] std::string dump_string(int indent = 2) const;
 
+  /// Canonical single-line form: object members sorted by key (bytewise,
+  /// recursively — insertion order is ignored), no whitespace anywhere, and
+  /// the same exact number formatting as dump() (u64/i64 printed integral,
+  /// doubles as the shortest round-trippable decimal). Two trees holding
+  /// the same data always canonicalize to the same bytes, which is what
+  /// makes hash64(dump_canonical_string()) a sound cache key for
+  /// deterministic work (the service's result cache).
+  void dump_canonical(std::ostream& os) const;
+  [[nodiscard]] std::string dump_canonical_string() const;
+
  private:
   void dump_impl(std::ostream& os, int indent, int depth) const;
+  void dump_canonical_impl(std::ostream& os) const;
 
   Kind kind_ = Kind::kNull;
   bool bool_ = false;
@@ -128,6 +139,13 @@ class Value {
 /// Writes `text` with JSON string escaping (quotes, backslashes, control
 /// characters), without the surrounding quotes.
 void escape(std::ostream& os, std::string_view text);
+
+/// 64-bit FNV-1a digest of `bytes`. Stable across platforms and runs (no
+/// per-process seeding), so digests can be pinned in tests and exchanged
+/// between a service and its clients as job/cache identifiers. Not
+/// cryptographic — collision resistance is "good enough for a cache whose
+/// lookups also compare the full key".
+[[nodiscard]] std::uint64_t hash64(std::string_view bytes) noexcept;
 
 /// Object {"<key>": count, …} from an integer→integer map — the shape every
 /// count/degree histogram in the repo serializes to.

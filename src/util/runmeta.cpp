@@ -6,6 +6,10 @@
 #include <omp.h>
 #endif
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace kronotri::util {
 
 json::Value run_metadata(std::size_t batch_size) {
@@ -23,6 +27,20 @@ json::Value run_metadata(std::size_t batch_size) {
   meta.set("git_describe", "unknown");
 #endif
   return meta;
+}
+
+std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
 }
 
 }  // namespace kronotri::util

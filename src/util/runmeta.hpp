@@ -21,4 +21,11 @@ namespace kronotri::util {
 /// accepted precision for a provenance hint.
 json::Value run_metadata(std::size_t batch_size);
 
+/// Process peak resident set size in BYTES (getrusage ru_maxrss, which
+/// Linux reports in KiB). A monotone high-water mark for the whole process
+/// — it never decreases, so in a long-running server it bounds the largest
+/// job seen so far rather than the current one. Returns 0 where getrusage
+/// is unavailable.
+std::size_t peak_rss_bytes();
+
 }  // namespace kronotri::util

@@ -118,6 +118,54 @@ TEST(Json, TypeMismatchesThrow) {
   EXPECT_EQ(Value(7u).as_int(), 7);
 }
 
+TEST(Json, CanonicalDumpSortsKeysRecursivelyWithoutWhitespace) {
+  const Value v = Value::parse(
+      "{\"z\":1,\"a\":{\"q\":true,\"b\":[3,2.5,-1]},\"m\":\"x\\n\"}");
+  EXPECT_EQ(v.dump_canonical_string(),
+            "{\"a\":{\"b\":[3,2.5,-1],\"q\":true},\"m\":\"x\\n\",\"z\":1}");
+  // Insertion order is ignored: the same data built in any order
+  // canonicalizes to the same bytes — the property that makes the service
+  // cache key sound.
+  Value reordered = Value::object();
+  Value inner = Value::object();
+  inner.set("b", Value::parse("[3,2.5,-1]"));
+  inner.set("q", true);
+  reordered.set("m", "x\n");
+  reordered.set("a", std::move(inner));
+  reordered.set("z", 1u);
+  EXPECT_EQ(reordered.dump_canonical_string(), v.dump_canonical_string());
+  // dump() itself is untouched: insertion order preserved.
+  EXPECT_NE(v.dump_string(0), v.dump_canonical_string());
+  // Scalars and arrays pass through with dump()'s exact number formatting.
+  EXPECT_EQ(Value::parse("[1,2,3]").dump_canonical_string(), "[1,2,3]");
+  EXPECT_EQ(Value(2.5).dump_canonical_string(), "2.5");
+  EXPECT_EQ(Value::object().dump_canonical_string(), "{}");
+}
+
+TEST(Json, Hash64PinsFnv1aDigests) {
+  using kronotri::util::json::hash64;
+  // Reference FNV-1a values (offset basis for "", standard vector for
+  // "abc") — pinned so a platform or refactor can never silently change
+  // cache identities.
+  EXPECT_EQ(hash64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(hash64("abc"), 0xe71fa2190541574bull);
+  EXPECT_EQ(hash64("kronotri"), 0x2bae604f65b92833ull);
+  const Value v = Value::parse(
+      "{\"z\":1,\"a\":{\"q\":true,\"b\":[3,2.5,-1]},\"m\":\"x\\n\"}");
+  EXPECT_EQ(hash64(v.dump_canonical_string()), 0x557fc264766063edull);
+  EXPECT_NE(hash64("a"), hash64("b"));
+}
+
+TEST(Json, ParseRejectsTrailingGarbagePins) {
+  // The single-document contract the newline-framed service protocol
+  // depends on: nothing non-whitespace may follow the document.
+  EXPECT_THROW((void)Value::parse("{\"a\":1} x"), std::invalid_argument);
+  EXPECT_THROW((void)Value::parse("[1,2] [3]"), std::invalid_argument);
+  EXPECT_THROW((void)Value::parse("1 2"), std::invalid_argument);
+  EXPECT_THROW((void)Value::parse("true false"), std::invalid_argument);
+  EXPECT_NO_THROW((void)Value::parse("  {\"a\":1}  \n"));
+}
+
 TEST(Json, RunMetadataIsSelfDescribing) {
   const Value meta = kronotri::util::run_metadata(8192);
   EXPECT_GE(meta.get_uint("hardware_concurrency", 0), 1u);

@@ -1,0 +1,488 @@
+// Service failure paths and guarantees, driven through service::Client
+// against an in-process Server: admission rejections (full queue,
+// over-budget), malformed input, client disconnect mid-job, graceful
+// drain, byte-identical cache replay, and concurrent-client survival.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "api/analysis.hpp"
+#include "api/plan.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace kronotri;
+using util::json::Value;
+
+/// Short, unique AF_UNIX path (sun_path is ~108 bytes; TempDir can be long).
+std::string test_socket(const std::string& tag) {
+  return "/tmp/kronotri_t" + std::to_string(::getpid()) + "_" + tag + ".sock";
+}
+
+/// Test-only analysis: sleeps `ms`, then passes. `tag` only differentiates
+/// cache keys. Registered into the builtin registry — which the registry
+/// thread-safety contract explicitly allows while a server is running.
+class SleepAnalysis final : public api::Analysis {
+ public:
+  explicit SleepAnalysis(std::uint64_t ms) : ms_(ms) {}
+  api::AnalysisReport execute(api::PlanContext&,
+                              std::span<api::EdgeSink* const>) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms_));
+    api::AnalysisReport r = report();
+    r.text = "slept " + std::to_string(ms_) + "ms\n";
+    r.data = Value::object();
+    r.data.set("slept_ms", ms_);
+    return r;
+  }
+
+ private:
+  std::uint64_t ms_;
+};
+
+const bool g_sleep_registered = [] {
+  api::AnalysisRegistry::builtin().add(
+      "test-sleep", "ms=N [tag=S] — test-only: sleep then pass",
+      [](const api::Params& p) {
+        p.require_known({"ms", "tag"});
+        return std::make_unique<SleepAnalysis>(p.get_uint("ms", 100));
+      });
+  return true;
+}();
+
+service::ServerOptions small_options(const std::string& tag) {
+  service::ServerOptions opt;
+  opt.socket_path = test_socket(tag);
+  opt.workers = 2;
+  opt.queue_depth = 8;
+  return opt;
+}
+
+Value stats_of(const Value& response) {
+  const Value* s = response.find("stats");
+  EXPECT_NE(s, nullptr);
+  return s == nullptr ? Value::object() : *s;
+}
+
+/// Polls `pred` on a fresh stats snapshot until true or ~5s elapse.
+template <typename Pred>
+bool wait_for_stats(const std::string& socket, Pred pred) {
+  service::Client c;
+  c.connect(socket);
+  for (int i = 0; i < 500; ++i) {
+    if (pred(stats_of(c.stats()))) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+/// Writes raw bytes on a fresh connection and returns the first response
+/// line — for malformed-frame tests below the Client abstraction.
+std::string raw_request(const std::string& socket, const std::string& bytes) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  EXPECT_TRUE(service::write_all(fd, bytes));
+  std::string line;
+  char ch = 0;
+  while (::read(fd, &ch, 1) == 1 && ch != '\n') line.push_back(ch);
+  ::close(fd);
+  return line;
+}
+
+std::string error_code(const Value& response) {
+  const Value* err = response.find("error");
+  if (err == nullptr) return "";
+  return err->get_string("code", "");
+}
+
+TEST(Service, PingStatsAndConfigShape) {
+  service::Server server(small_options("ping"));
+  server.start();
+  service::Client c;
+  c.connect(server.options().socket_path);
+
+  Value ping = Value::object();
+  ping.set("type", "ping");
+  const Value pong = c.request(ping);
+  EXPECT_TRUE(pong.get_bool("ok", false));
+  EXPECT_TRUE(pong.get_bool("pong", false));
+
+  const Value response = c.stats();
+  ASSERT_TRUE(response.get_bool("ok", false));
+  const Value& s = stats_of(response);
+  EXPECT_NE(s.find("uptime_s"), nullptr);
+  EXPECT_NE(s.find("latency"), nullptr);
+  EXPECT_NE(s.find("cache"), nullptr);
+  EXPECT_NE(s.find("cache_store"), nullptr);
+  ASSERT_NE(s.find("config"), nullptr);
+  EXPECT_EQ(s.find("config")->get_uint("workers", 0), 2u);
+  EXPECT_EQ(s.find("config")->get_uint("queue_depth", 0), 8u);
+}
+
+TEST(Service, SubmitExecutesPlanAndFillsReportFields) {
+  service::Server server(small_options("submit"));
+  server.start();
+  service::Client c;
+  c.connect(server.options().socket_path);
+
+  const Value response = c.submit(
+      api::RunPlan::parse("kron:(hk:n=80,seed=3)x(clique:n=3,loops=1) "
+                          "census degree"));
+  ASSERT_TRUE(response.get_bool("ok", false));
+  EXPECT_EQ(response.get_string("cache", ""), "miss");
+  EXPECT_EQ(response.get_string("plan_hash", "").size(), 16u);  // hex u64
+  const Value* report = response.find("report");
+  ASSERT_NE(report, nullptr);
+  EXPECT_TRUE(report->get_bool("pass", false));
+  // Satellite: api::run now reports the getrusage high-water mark, and the
+  // service fills in the queueing delay.
+  EXPECT_GT(report->get_uint("peak_rss_bytes", 0), 0u);
+  ASSERT_NE(report->find("queue_wait_s"), nullptr);
+  EXPECT_GE(report->find("queue_wait_s")->as_double(), 0.0);
+}
+
+TEST(Service, CacheHitReplaysByteIdentical) {
+  service::Server server(small_options("cache"));
+  server.start();
+  service::Client c;
+  c.connect(server.options().socket_path);
+
+  const std::string plan =
+      "kron:(hk:n=90,seed=7)x(clique:n=3,loops=1) census validate";
+  const Value first = c.submit_text(plan);
+  const Value second = c.submit_text(plan);
+  ASSERT_TRUE(first.get_bool("ok", false));
+  ASSERT_TRUE(second.get_bool("ok", false));
+  EXPECT_EQ(first.get_string("cache", ""), "miss");
+  EXPECT_EQ(second.get_string("cache", ""), "hit");
+  EXPECT_EQ(first.get_string("plan_hash", "a"),
+            second.get_string("plan_hash", "b"));
+  // The byte-level guarantee: the replayed report serializes to exactly the
+  // bytes of the first execution's report.
+  EXPECT_EQ(first.find("report")->dump_string(0),
+            second.find("report")->dump_string(0));
+
+  // Execution-shape options are not part of the result identity: the same
+  // plan at a different thread count must hit the same entry (results are
+  // bit-identical across threads by the repo's determinism contract).
+  api::RunPlan threaded = api::RunPlan::parse(plan);
+  threaded.options.threads = 4;
+  const Value third = c.submit(threaded);
+  ASSERT_TRUE(third.get_bool("ok", false));
+  EXPECT_EQ(third.get_string("cache", ""), "hit");
+}
+
+TEST(Service, FullQueueRejectsWithReason) {
+  service::ServerOptions opt = small_options("queuefull");
+  opt.workers = 1;
+  opt.queue_depth = 1;
+  service::Server server(opt);
+  server.start();
+
+  // Occupy the single worker, then the single queue slot, with distinct
+  // cache tags; stats polling makes the saturation deterministic.
+  service::Client a;
+  a.connect(opt.socket_path);
+  Value req_a = Value::object();
+  req_a.set("type", "submit");
+  req_a.set("plan",
+            api::RunPlan::parse("clique:n=3 test-sleep:ms=400,tag=qa")
+                .to_json());
+  a.send(req_a);
+  ASSERT_TRUE(wait_for_stats(opt.socket_path, [](const Value& s) {
+    return s.get_uint("jobs_active", 0) == 1;
+  }));
+
+  service::Client b;
+  b.connect(opt.socket_path);
+  Value req_b = Value::object();
+  req_b.set("type", "submit");
+  req_b.set("plan",
+            api::RunPlan::parse("clique:n=3 test-sleep:ms=50,tag=qb")
+                .to_json());
+  b.send(req_b);
+  ASSERT_TRUE(wait_for_stats(opt.socket_path, [](const Value& s) {
+    return s.get_uint("queue_depth", 0) == 1;
+  }));
+
+  // Worker busy + queue full: the third submit must be REJECTED, not hang.
+  service::Client c;
+  c.connect(opt.socket_path);
+  const Value rejected =
+      c.submit_text("clique:n=3 test-sleep:ms=10,tag=qc");
+  EXPECT_FALSE(rejected.get_bool("ok", true));
+  EXPECT_EQ(error_code(rejected), "queue_full");
+
+  // The occupants complete normally.
+  EXPECT_TRUE(a.read_response().get_bool("ok", false));
+  EXPECT_TRUE(b.read_response().get_bool("ok", false));
+  service::Client s;
+  s.connect(opt.socket_path);
+  EXPECT_GE(stats_of(s.stats()).find("rejected")->get_uint("queue_full", 0),
+            1u);
+}
+
+TEST(Service, OverBudgetPlanRejectedWithoutRunning) {
+  service::ServerOptions opt = small_options("budget");
+  opt.mem_budget_bytes = 1u << 20;  // 1 MiB per job
+  service::Server server(opt);
+  server.start();
+  service::Client c;
+  c.connect(opt.socket_path);
+
+  // ~2^22 vertices, ~1.3e8 stored entries, materializing analysis: the
+  // analytic estimate is gigabytes. Rejection must come from the cost
+  // model, not from attempting generation (the response is immediate).
+  const Value rejected = c.submit_text("rmat:scale=22,ef=16 truss");
+  EXPECT_FALSE(rejected.get_bool("ok", true));
+  EXPECT_EQ(error_code(rejected), "over_budget");
+  EXPECT_NE(rejected.find("error")->get_string("message", "").find("budget"),
+            std::string::npos);
+
+  // A small plan on the same server is still admitted.
+  const Value ok = c.submit_text("hk:n=60,seed=1 census");
+  EXPECT_TRUE(ok.get_bool("ok", false));
+  EXPECT_EQ(stats_of(c.stats()).find("rejected")->get_uint("over_budget", 0),
+            1u);
+}
+
+TEST(Service, MalformedInputGetsBadRequestAndServerSurvives) {
+  service::Server server(small_options("malformed"));
+  server.start();
+  const std::string socket = server.options().socket_path;
+  service::Client c;
+  c.connect(socket);
+
+  // Malformed plan text (parsed server-side).
+  const Value bad_plan = c.submit_text("{\"spec\": ");
+  EXPECT_FALSE(bad_plan.get_bool("ok", true));
+  EXPECT_EQ(error_code(bad_plan), "bad_request");
+
+  // Unknown request type.
+  Value unknown = Value::object();
+  unknown.set("type", "frobnicate");
+  EXPECT_EQ(error_code(c.request(unknown)), "bad_request");
+
+  // Missing plan member.
+  Value no_plan = Value::object();
+  no_plan.set("type", "submit");
+  EXPECT_EQ(error_code(no_plan = c.request(no_plan)), "bad_request");
+
+  // Raw garbage that is not even JSON, below the Client abstraction.
+  const Value garbage = Value::parse(raw_request(socket, "not json at all\n"));
+  EXPECT_FALSE(garbage.get_bool("ok", true));
+  EXPECT_EQ(error_code(garbage), "bad_request");
+
+  // Plans demanding server-side file writes are refused.
+  api::RunPlan writes = api::RunPlan::parse("hk:n=50,seed=1 census");
+  writes.options.output = "/tmp/should_not_be_written.txt";
+  EXPECT_EQ(error_code(c.submit(writes)), "bad_request");
+
+  // After all that abuse the server still executes plans.
+  const Value ok = c.submit_text("hk:n=50,seed=1 census");
+  EXPECT_TRUE(ok.get_bool("ok", false));
+  EXPECT_GE(stats_of(c.stats()).find("rejected")->get_uint("bad_request", 0),
+            4u);
+}
+
+TEST(Service, ExecutionFailureIsIsolatedToTheJob) {
+  service::Server server(small_options("execfail"));
+  server.start();
+  service::Client c;
+  c.connect(server.options().socket_path);
+
+  // Parses and passes admission (stat() fails -> zero-cost estimate), then
+  // throws inside api::run when the file cannot be opened.
+  const Value failed =
+      c.submit_text("file:path=/nonexistent/kronotri_missing.txt census");
+  EXPECT_FALSE(failed.get_bool("ok", true));
+  EXPECT_EQ(error_code(failed), "execution_failed");
+
+  // The worker survived: the next job on the same server runs fine.
+  const Value ok = c.submit_text("hk:n=50,seed=2 census");
+  EXPECT_TRUE(ok.get_bool("ok", false));
+  const Value& s = stats_of(c.stats());
+  EXPECT_EQ(s.get_uint("jobs_failed", 0), 1u);
+  EXPECT_GE(s.get_uint("jobs_completed", 0), 1u);
+}
+
+TEST(Service, ClientDisconnectMidJobOnlyDropsThatConnection) {
+  service::ServerOptions opt = small_options("disconnect");
+  opt.workers = 1;
+  service::Server server(opt);
+  server.start();
+
+  {
+    service::Client rude;
+    rude.connect(opt.socket_path);
+    Value req = Value::object();
+    req.set("type", "submit");
+    req.set("plan",
+            api::RunPlan::parse("clique:n=3 test-sleep:ms=200,tag=rude")
+                .to_json());
+    rude.send(req);
+    rude.close();  // hang up while the job is queued/executing
+  }
+
+  // The job still completes (and is cached); the disconnect is counted.
+  ASSERT_TRUE(wait_for_stats(opt.socket_path, [](const Value& s) {
+    return s.get_uint("jobs_completed", 0) == 1 &&
+           s.get_uint("client_disconnects", 0) >= 1;
+  }));
+  // And the server keeps serving.
+  service::Client polite;
+  polite.connect(opt.socket_path);
+  EXPECT_TRUE(polite.submit_text("hk:n=40,seed=5 census").get_bool("ok",
+                                                                   false));
+}
+
+TEST(Service, GracefulDrainDeliversInFlightResponses) {
+  service::ServerOptions opt = small_options("drain");
+  opt.workers = 1;
+  service::Server server(opt);
+  server.start();
+
+  Value response;
+  std::thread in_flight([&] {
+    service::Client c;
+    c.connect(opt.socket_path);
+    response =
+        c.submit_text("clique:n=3 test-sleep:ms=300,tag=drain");
+  });
+  ASSERT_TRUE(wait_for_stats(opt.socket_path, [](const Value& s) {
+    return s.get_uint("jobs_active", 0) == 1;
+  }));
+
+  server.stop();  // drain: the sleeping job finishes, its response lands
+  in_flight.join();
+  EXPECT_TRUE(response.get_bool("ok", false));
+  EXPECT_TRUE(response.find("report")->get_bool("pass", false));
+  EXPECT_EQ(server.metrics().jobs_completed.load(), 1u);
+  EXPECT_EQ(server.metrics().jobs_failed.load(), 0u);
+
+  // After the drain the socket is gone: new connections are refused.
+  service::Client late;
+  EXPECT_THROW(late.connect(opt.socket_path), std::runtime_error);
+}
+
+TEST(Service, DrainingServerRejectsNewSubmits) {
+  service::ServerOptions opt = small_options("drainreject");
+  opt.workers = 1;
+  service::Server server(opt);
+  server.start();
+
+  service::Client held;
+  held.connect(opt.socket_path);
+  Value req = Value::object();
+  req.set("type", "submit");
+  req.set("plan",
+          api::RunPlan::parse("clique:n=3 test-sleep:ms=400,tag=hold")
+              .to_json());
+  held.send(req);
+  ASSERT_TRUE(wait_for_stats(opt.socket_path, [](const Value& s) {
+    return s.get_uint("jobs_active", 0) == 1;
+  }));
+
+  service::Client late;
+  late.connect(opt.socket_path);
+  std::thread stopper([&] { server.stop(); });
+  // stop() first shuts down the listener, then drains; this submit races
+  // that window, so EITHER a structured "draining" rejection OR a
+  // connection teardown is acceptable — a hang is not.
+  try {
+    const Value r = late.submit_text("hk:n=30,seed=9 census");
+    if (!r.get_bool("ok", false)) {
+      EXPECT_EQ(error_code(r), "draining");
+    }
+  } catch (const std::runtime_error&) {
+    // server closed the connection mid-round-trip: also a clean refusal
+  }
+  stopper.join();
+  EXPECT_TRUE(held.read_response().get_bool("ok", false));  // still delivered
+}
+
+TEST(Service, CacheEvictionStaysWithinByteBudget) {
+  service::ServerOptions opt = small_options("evict");
+  opt.cache_bytes = 2048;  // roughly one report entry
+  service::Server server(opt);
+  server.start();
+  service::Client c;
+  c.connect(opt.socket_path);
+
+  ASSERT_TRUE(c.submit_text("hk:n=50,seed=11 census").get_bool("ok", false));
+  ASSERT_TRUE(c.submit_text("hk:n=50,seed=12 census").get_bool("ok", false));
+  const Value& s = stats_of(c.stats());
+  const Value* store = s.find("cache_store");
+  ASSERT_NE(store, nullptr);
+  EXPECT_LE(store->get_uint("bytes", 1u << 30), 2048u);
+  EXPECT_GE(store->get_uint("evictions", 0), 1u);
+  // The evicted first plan misses again.
+  const Value again = c.submit_text("hk:n=50,seed=11 census");
+  EXPECT_EQ(again.get_string("cache", ""), "miss");
+}
+
+TEST(Service, SurvivesManyConcurrentClients) {
+  service::ServerOptions opt = small_options("many");
+  opt.workers = 4;
+  opt.queue_depth = 64;
+  service::Server server(opt);
+  server.start();
+
+  constexpr int kClients = 16;
+  std::vector<std::thread> threads;
+  std::vector<int> ok_count(kClients, 0);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      service::Client c;
+      c.connect(opt.socket_path);
+      // Half the clients share a plan (exercising concurrent cache hits),
+      // half get unique seeds (concurrent executions).
+      const int seed = (i % 2 == 0) ? 1000 : 2000 + i;
+      const Value r = c.submit_text("hk:n=70,seed=" + std::to_string(seed) +
+                                    " census degree");
+      if (r.get_bool("ok", false) &&
+          r.find("report")->get_bool("pass", false)) {
+        ok_count[i] = 1;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  int total = 0;
+  for (const int ok : ok_count) total += ok;
+  EXPECT_EQ(total, kClients);
+  EXPECT_EQ(server.metrics().jobs_failed.load(), 0u);
+
+  // The shared plan is cached by now: one more submit must hit (during the
+  // race itself all 8 sharers may legitimately miss simultaneously).
+  service::Client c;
+  c.connect(opt.socket_path);
+  EXPECT_EQ(c.submit_text("hk:n=70,seed=1000 census degree")
+                .get_string("cache", ""),
+            "hit");
+  const Value& s = stats_of(c.stats());
+  const Value* exec = s.find("latency")->find("execute");
+  ASSERT_NE(exec, nullptr);
+  EXPECT_GT(exec->get_uint("count", 0), 0u);
+  EXPECT_GE(exec->find("p99_s")->as_double(),
+            exec->find("p50_s")->as_double());
+}
+
+}  // namespace
