@@ -1,0 +1,167 @@
+// Multi-process runner benchmark (BENCH_runner.json): forked shard
+// workers vs the in-process serial run, plus the cost of recovering from
+// an injected worker crash.
+//
+// Artifact contract (consumed by CI):
+//   * every mode's report must PASS;
+//   * the multi-process and crash-recovery reports must be bit-identical
+//     to the in-process serial report under runner::comparable() — the
+//     binary exits non-zero on any merge divergence, failing the job;
+//   * "recovery_overhead" records workers4_kill wall / workers4 wall: the
+//     price of one SIGKILLed worker attempt (re-dispatch + backoff).
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/plan.hpp"
+#include "api/pipeline.hpp"
+#include "common.hpp"
+#include "runner/runner.hpp"
+#include "util/runmeta.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace kronotri;
+
+// bench_validate's over-budget preset (materialized edge list ~7x the
+// 1 MiB accumulator budget) plus a census base unit: the validate shards
+// are the parallelizable work the forked workers split.
+constexpr const char* kPlanText =
+    "kron:(hk:n=1500,m=4,p=0.6,seed=7)x(clique:n=5,loops=1) "
+    "census validate:mem_budget=1M";
+
+api::RunPlan bench_plan() {
+  api::RunPlan plan = api::RunPlan::parse(kPlanText);
+  plan.options.threads = 1;  // process-level parallelism is what we measure
+  return plan;
+}
+
+struct ModeResult {
+  std::string name;
+  unsigned workers = 1;
+  std::string fault;
+  double wall_s = 0;
+  bool pass = false;
+  bool merge_identical = true;  // vs the serial reference
+  count_t edges = 0;
+  std::size_t events = 0;
+  std::size_t recoveries = 0;  // non-"ok" attempt outcomes
+  std::string comparable_dump;
+};
+
+ModeResult run_mode(const std::string& name, unsigned workers,
+                    const std::string& fault) {
+  ModeResult r;
+  r.name = name;
+  r.workers = workers;
+  r.fault = fault;
+  runner::Options opt;
+  opt.workers = workers;
+  opt.fault_spec = fault;
+  opt.straggler_min_s = 60;  // measure recovery, not speculation
+  const util::WallTimer timer;
+  const api::RunReport report = runner::execute(bench_plan(), opt);
+  r.wall_s = timer.seconds();
+  r.pass = report.pass && report.error.empty();
+  r.edges = report.num_undirected_edges;
+  r.events = report.worker_events.size();
+  for (const api::WorkerEvent& e : report.worker_events) {
+    if (e.outcome != "ok") ++r.recoveries;
+  }
+  r.comparable_dump = runner::comparable(report.to_json()).dump_string(0);
+  return r;
+}
+
+std::vector<ModeResult> g_results;
+bool g_all_ok = true;
+
+void print_artifact() {
+  kt_bench::banner("Multi-process runner (BENCH_runner.json)",
+                   "forked shard workers vs in-process; crash recovery cost");
+
+  g_results.push_back(run_mode("in_process", 1, ""));
+  g_results.push_back(run_mode("workers4", 4, ""));
+  g_results.push_back(run_mode("workers4_kill", 4, "kill:shard=1:attempt=0"));
+
+  const ModeResult& serial = g_results[0];
+  for (ModeResult& r : g_results) {
+    r.merge_identical = r.comparable_dump == serial.comparable_dump;
+    g_all_ok = g_all_ok && r.pass && r.merge_identical;
+  }
+  // The kill mode must actually have recovered from something.
+  g_all_ok = g_all_ok && g_results[2].recoveries >= 1;
+
+  util::Table t({"mode", "workers", "fault", "wall s", "edges/s",
+                 "attempts", "recoveries", "verdict"});
+  for (const ModeResult& r : g_results) {
+    t.row({r.name, std::to_string(r.workers),
+           r.fault.empty() ? "-" : r.fault, std::to_string(r.wall_s),
+           util::commas(static_cast<count_t>(
+               r.wall_s > 0 ? static_cast<double>(r.edges) / r.wall_s : 0)),
+           std::to_string(r.events), std::to_string(r.recoveries),
+           r.pass && r.merge_identical ? "PASS" : "FAIL"});
+  }
+  t.print(std::cout);
+
+  util::json::Value j = util::json::Value::object();
+  j.set("plan", kPlanText);
+  util::json::Value modes = util::json::Value::array();
+  for (const ModeResult& r : g_results) {
+    util::json::Value m = util::json::Value::object();
+    m.set("name", r.name);
+    m.set("workers", r.workers);
+    m.set("fault", r.fault);
+    m.set("wall_seconds", r.wall_s);
+    m.set("edges_per_second",
+          r.wall_s > 0 ? static_cast<double>(r.edges) / r.wall_s : 0.0);
+    m.set("pass", r.pass);
+    m.set("merge_identical_to_serial", r.merge_identical);
+    m.set("worker_attempts", r.events);
+    m.set("recovered_attempts", r.recoveries);
+    modes.push_back(std::move(m));
+  }
+  j.set("modes", std::move(modes));
+  j.set("speedup_workers4",
+        g_results[1].wall_s > 0 ? g_results[0].wall_s / g_results[1].wall_s
+                                : 0.0);
+  j.set("recovery_overhead",
+        g_results[1].wall_s > 0 ? g_results[2].wall_s / g_results[1].wall_s
+                                : 0.0);
+  j.set("all_pass", g_all_ok);
+  j.set("metadata", util::run_metadata(api::kDefaultBatchSize));
+  std::ofstream out("BENCH_runner.json");
+  j.dump(out);
+  out << "\n";
+  std::cout << "\nwrote BENCH_runner.json ("
+            << (g_all_ok ? "all modes PASS, merges bit-identical"
+                         : "FAILURE: divergent merge or failed mode")
+            << "; recovery overhead "
+            << (g_results[1].wall_s > 0
+                    ? g_results[2].wall_s / g_results[1].wall_s
+                    : 0.0)
+            << "x)\n";
+}
+
+void bm_runner_workers(benchmark::State& state) {
+  runner::Options opt;
+  opt.workers = static_cast<unsigned>(state.range(0));
+  opt.straggler_min_s = 60;
+  for (auto _ : state) {
+    const api::RunReport report = runner::execute(bench_plan(), opt);
+    benchmark::DoNotOptimize(report.pass);
+  }
+}
+BENCHMARK(bm_runner_workers)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = kt_bench::run(argc, argv, print_artifact);
+  if (rc != 0) return rc;
+  return g_all_ok ? 0 : 1;  // CI gates on merge identity
+}

@@ -692,13 +692,22 @@ class LabeledCensusAnalysis final : public Analysis {
 
 /// `validate` — the sharded streaming census checked against the closed
 /// forms (never materializing C). Params: mem_budget=BYTES[K|M|G]
-/// (defaults to the run option), shards=N (force a shard count).
+/// (defaults to the run option), shards=N (force a shard count),
+/// unit=I + units=U (process only unit I's slice of the shard plan — the
+/// partial-fragment mode the multi-process runner forks over).
 class ValidateAnalysis final : public Analysis {
  public:
   explicit ValidateAnalysis(const Params& p)
-      : shards_(p.get_uint("shards", 0)) {
-    p.require_known({"mem_budget", "shards"});
+      : shards_(p.get_uint("shards", 0)),
+        unit_(p.get_uint("unit", 0)),
+        units_(p.get_uint("units", 0)) {
+    p.require_known({"mem_budget", "shards", "unit", "units"});
     if (p.has("mem_budget")) budget_ = p.get_bytes("mem_budget", 0);
+    if (units_ > 0 && unit_ >= units_) {
+      throw std::invalid_argument(
+          "validate: unit must be < units (got unit=" +
+          std::to_string(unit_) + ", units=" + std::to_string(units_) + ")");
+    }
   }
 
   AnalysisReport execute(PlanContext& ctx,
@@ -708,6 +717,8 @@ class ValidateAnalysis final : public Analysis {
     opt.mem_budget_bytes =
         budget_.value_or(ctx.options().mem_budget_bytes);
     opt.force_shards = shards_;
+    opt.unit = unit_;
+    opt.units = units_;
     validate::ValidationReport vr;
     if (ctx.two_factor()) {
       vr = validate::validate_product(ctx.factors()[0], ctx.factors()[1],
@@ -731,6 +742,8 @@ class ValidateAnalysis final : public Analysis {
  private:
   std::optional<std::size_t> budget_;
   std::uint64_t shards_;
+  std::uint64_t unit_;
+  std::uint64_t units_;
 };
 
 }  // namespace
@@ -772,7 +785,8 @@ AnalysisRegistry& AnalysisRegistry::builtin() {
            });
     r->add("validate",
            "sharded streaming census vs closed forms: "
-           "mem_budget=BYTES[K|M|G], shards=N",
+           "mem_budget=BYTES[K|M|G], shards=N, unit=I units=U "
+           "(shard-subset fragment)",
            [](const Params& p) {
              return std::make_unique<ValidateAnalysis>(p);
            });

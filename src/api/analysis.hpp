@@ -60,6 +60,18 @@ struct RunOptions {
   /// Force the generate→sink stream pass even with no sink-backed
   /// analyses (the `generate --stream` contract: never materialize C).
   bool stream = false;
+  /// Multi-process execution (runner::execute): number of forked worker
+  /// processes the plan is decomposed over; <= 1 runs in-process.
+  unsigned workers = 1;
+  /// Per-attempt wall-clock timeout for one worker (seconds; 0 = none).
+  /// A worker past its deadline is SIGKILLed and its unit re-dispatched.
+  double shard_timeout_s = 0;
+  /// Re-dispatch budget per work unit beyond the first attempt; exhausting
+  /// it fails the whole run with a structured error report.
+  unsigned max_retries = 2;
+  /// Fault-injection spec (util::fault grammar) forwarded to workers;
+  /// empty defers to the KRONOTRI_FAULT environment variable.
+  std::string fault;
 };
 
 /// Throws std::invalid_argument naming the offending key and listing the

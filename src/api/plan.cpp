@@ -1,6 +1,7 @@
 #include "api/plan.hpp"
 
 #include <cctype>
+#include <cstdint>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -115,7 +116,8 @@ RunPlan RunPlan::from_json(const Value& v) {
   if (const Value* options = v.find("options")) {
     require_keys(*options, "options",
                  {"threads", "batch_size", "mem_budget", "seed", "output",
-                  "format", "stream"});
+                  "format", "stream", "workers", "shard_timeout",
+                  "max_retries", "fault"});
     RunOptions& o = plan.options;
     o.threads = static_cast<unsigned>(options->get_uint("threads", o.threads));
     o.batch_size = options->get_uint("batch_size", o.batch_size);
@@ -125,6 +127,14 @@ RunPlan RunPlan::from_json(const Value& v) {
     o.output = options->get_string("output", o.output);
     o.format = options->get_string("format", o.format);
     o.stream = options->get_bool("stream", o.stream);
+    o.workers =
+        static_cast<unsigned>(options->get_uint("workers", o.workers));
+    if (const Value* t = options->find("shard_timeout")) {
+      o.shard_timeout_s = t->as_double();
+    }
+    o.max_retries =
+        static_cast<unsigned>(options->get_uint("max_retries", o.max_retries));
+    o.fault = options->get_string("fault", o.fault);
     if (o.format != "text" && o.format != "binary") {
       bad_plan("options.format must be \"text\" or \"binary\"");
     }
@@ -188,8 +198,38 @@ Value RunPlan::to_json() const {
   opts.set("output", options.output);
   opts.set("format", options.format);
   opts.set("stream", options.stream);
+  opts.set("workers", options.workers);
+  opts.set("shard_timeout", options.shard_timeout_s);
+  opts.set("max_retries", options.max_retries);
+  opts.set("fault", options.fault);
   v.set("options", std::move(opts));
   return v;
+}
+
+Value WorkerEvent::to_json() const {
+  Value v = Value::object();
+  v.set("unit", unit);
+  v.set("kind", kind);
+  v.set("attempt", attempt);
+  v.set("pid", static_cast<std::int64_t>(pid));
+  v.set("outcome", outcome);
+  v.set("detail", static_cast<std::int64_t>(detail));
+  v.set("wall_s", wall_s);
+  return v;
+}
+
+WorkerEvent WorkerEvent::from_json(const Value& v) {
+  WorkerEvent e;
+  e.unit = static_cast<unsigned>(v.get_uint("unit", 0));
+  e.kind = v.get_string("kind", "");
+  e.attempt = static_cast<unsigned>(v.get_uint("attempt", 0));
+  if (const Value* pid = v.find("pid")) e.pid = pid->as_int();
+  e.outcome = v.get_string("outcome", "");
+  if (const Value* detail = v.find("detail")) {
+    e.detail = static_cast<int>(detail->as_int());
+  }
+  if (const Value* wall = v.find("wall_s")) e.wall_s = wall->as_double();
+  return e;
 }
 
 Value RunReport::to_json() const {
@@ -216,6 +256,7 @@ Value RunReport::to_json() const {
     a.set("name", ar.name);
     a.set("pass", ar.pass);
     a.set("wall_s", ar.wall_s);
+    a.set("text", ar.text);
     a.set("data", ar.data);
     ars.push_back(std::move(a));
   }
@@ -226,7 +267,59 @@ Value RunReport::to_json() const {
   v.set("peak_rss_bytes", peak_rss_bytes);
   v.set("queue_wait_s", queue_wait_s);
   v.set("metadata", metadata);
+  if (!worker_events.empty()) {
+    Value evs = Value::array();
+    for (const WorkerEvent& e : worker_events) evs.push_back(e.to_json());
+    v.set("worker_events", std::move(evs));
+  }
+  if (!error.empty()) v.set("error", error);
   return v;
+}
+
+RunReport RunReport::from_json(const Value& v) {
+  RunReport r;
+  if (const Value* plan = v.find("plan")) r.plan = RunPlan::from_json(*plan);
+  r.num_vertices = v.get_uint("num_vertices", 0);
+  r.num_undirected_edges = v.get_uint("num_undirected_edges", 0);
+  r.stored_entries = v.get_uint("stored_entries", 0);
+  r.streamed = v.get_bool("streamed", false);
+  r.partitions = static_cast<unsigned>(v.get_uint("partitions", 0));
+  if (const Value* stages = v.find("stages")) {
+    for (const Value& s : stages->items()) {
+      StageTiming st;
+      st.name = s.get_string("name", "");
+      if (const Value* w = s.find("wall_s")) st.wall_s = w->as_double();
+      if (const Value* c = s.find("cpu_s")) st.cpu_s = c->as_double();
+      st.edges = s.get_uint("edges", 0);
+      r.stages.push_back(std::move(st));
+    }
+  }
+  if (const Value* analyses = v.find("analyses")) {
+    for (const Value& a : analyses->items()) {
+      AnalysisReport ar;
+      ar.name = a.get_string("name", "");
+      ar.pass = a.get_bool("pass", false);
+      if (const Value* w = a.find("wall_s")) ar.wall_s = w->as_double();
+      ar.text = a.get_string("text", "");
+      if (const Value* data = a.find("data")) ar.data = *data;
+      r.analyses.push_back(std::move(ar));
+    }
+  }
+  r.pass = v.get_bool("pass", false);
+  if (const Value* w = v.find("total_wall_s")) r.total_wall_s = w->as_double();
+  if (const Value* c = v.find("total_cpu_s")) r.total_cpu_s = c->as_double();
+  r.peak_rss_bytes = v.get_uint("peak_rss_bytes", 0);
+  if (const Value* q = v.find("queue_wait_s")) {
+    r.queue_wait_s = q->as_double();
+  }
+  if (const Value* m = v.find("metadata")) r.metadata = *m;
+  if (const Value* evs = v.find("worker_events")) {
+    for (const Value& e : evs->items()) {
+      r.worker_events.push_back(WorkerEvent::from_json(e));
+    }
+  }
+  r.error = v.get_string("error", "");
+  return r;
 }
 
 void RunReport::print(std::ostream& os) const {
@@ -246,12 +339,31 @@ void RunReport::print(std::ostream& os) const {
     if (st.edges > 0) os << ", " << util::commas(st.edges) << " entries";
     os << "\n";
   }
+  if (!worker_events.empty()) {
+    std::size_t recoveries = 0;
+    for (const WorkerEvent& e : worker_events) {
+      if (e.outcome != "ok" && e.outcome != "speculative_loss") ++recoveries;
+    }
+    os << "  workers: " << worker_events.size() << " attempt"
+       << (worker_events.size() > 1 ? "s" : "") << ", " << recoveries
+       << " fault" << (recoveries == 1 ? "" : "s") << " recovered or fatal\n";
+    for (const WorkerEvent& e : worker_events) {
+      os << "    unit " << e.unit << " (" << e.kind << ") attempt "
+         << e.attempt << ": " << e.outcome;
+      if (e.outcome == "exit") os << " code " << e.detail;
+      if (e.outcome == "signal" || e.outcome == "timeout") {
+        os << " sig " << e.detail;
+      }
+      os << " (" << e.wall_s << " s)\n";
+    }
+  }
   for (const AnalysisReport& ar : analyses) {
     os << "\n-- " << ar.name << " (" << ar.wall_s << " s) "
        << std::string(ar.name.size() < 40 ? 40 - ar.name.size() : 1, '-')
        << "\n"
        << ar.text;
   }
+  if (!error.empty()) os << "\nerror: " << error << "\n";
   os << "\n" << (pass ? "PASS" : "FAIL") << " (" << total_wall_s
      << " s wall, " << total_cpu_s << " s cpu)\n";
 }

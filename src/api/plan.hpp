@@ -63,6 +63,25 @@ struct StageTiming {
   esz edges = 0;  ///< stored entries processed by the stage (0 if n/a)
 };
 
+/// One scheduling event of the multi-process runner: the outcome of a
+/// single worker attempt, classified from waitpid status so crashes,
+/// nonzero exits, timeouts and truncated result frames stay
+/// distinguishable in the report.
+struct WorkerEvent {
+  unsigned unit = 0;     ///< work-unit index (0 = base plan when present)
+  std::string kind;      ///< "base" | "validate" | "run"
+  unsigned attempt = 0;  ///< 0-based attempt counter for the unit
+  long pid = 0;          ///< worker process id (0 when never spawned)
+  /// "ok" | "exit" | "signal" | "timeout" | "truncated" | "spawn_failed" |
+  /// "speculative_loss" | "aborted" | "degraded"
+  std::string outcome;
+  int detail = 0;  ///< exit code ("exit") or signal number ("signal"/…)
+  double wall_s = 0;
+
+  [[nodiscard]] util::json::Value to_json() const;
+  static WorkerEvent from_json(const util::json::Value& v);
+};
+
 struct RunReport {
   RunPlan plan;  ///< the executed plan, echoed
   vid num_vertices = 0;
@@ -85,8 +104,18 @@ struct RunReport {
   /// so its latency metrics decompose into wait vs. execute.
   double queue_wait_s = 0;
   util::json::Value metadata;  ///< util::run_metadata()
+  /// Per-attempt scheduling trail of the multi-process runner; empty for
+  /// in-process runs. Volatile (pids, timings) — comparison helpers strip
+  /// it alongside the timing fields.
+  std::vector<WorkerEvent> worker_events;
+  /// Non-empty when the run failed structurally (a work unit exhausted its
+  /// retry budget, a worker could not be spawned); pass is false then.
+  std::string error;
 
   [[nodiscard]] util::json::Value to_json() const;
+  /// Inverse of to_json() — how the runner coordinator reads worker
+  /// fragments back. The echoed plan and metadata are restored verbatim.
+  static RunReport from_json(const util::json::Value& v);
   /// Human-readable rendering: header, per-analysis text blocks, verdict.
   void print(std::ostream& os) const;
 };

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <csignal>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -14,8 +15,11 @@
 
 #include "api/plan.hpp"
 #include "api/registry.hpp"
+#include "runner/runner.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
+#include "util/backoff.hpp"
+#include "util/fault.hpp"
 #include "util/table.hpp"
 
 namespace kronotri::cli {
@@ -87,13 +91,21 @@ void usage(std::ostream& out) {
          "commands:\n"
          "  run       --plan FILE|STRING [--json FILE] [--threads T]\n"
          "            [--batch N] [--out FILE] [--format text|binary]\n"
+         "            [--workers N] [--shard-timeout SECS] [--max-retries R]\n"
          "            [--list]\n"
          "            execute a declarative run plan (JSON document or the\n"
          "            shorthand \"SPEC analysis[:k=v,…] …\") in a single\n"
          "            stream pass where possible; prints the RunReport and\n"
          "            writes it as JSON with --json; --list prints every\n"
          "            registered analysis; exit 1 unless every analysis\n"
-         "            passes\n"
+         "            passes. --workers N > 1 forks the plan over N worker\n"
+         "            processes (validate analyses split by shard) with\n"
+         "            per-unit retry+backoff, --shard-timeout SIGKILL\n"
+         "            re-dispatch, and straggler re-execution; the merged\n"
+         "            report is bit-identical to --workers 1 (modulo\n"
+         "            timings/metadata), recovery recorded in\n"
+         "            worker_events; KRONOTRI_FAULT=spec injects faults\n"
+         "            (kill|exit|stall|truncate[:shard=N][:attempt=N]…)\n"
          "  serve     --socket PATH [--workers N] [--queue-depth D]\n"
          "            [--cache-bytes B[K|M|G]] [--mem-budget B[K|M|G]]\n"
          "            [--idle-timeout SECONDS]\n"
@@ -106,11 +118,16 @@ void usage(std::ostream& out) {
          "            (or --idle-timeout) drains gracefully — in-flight\n"
          "            jobs finish and their responses are delivered\n"
          "  submit    --socket PATH --plan FILE|STRING [--json FILE]\n"
+         "            [--connect-timeout SECS] [--request-timeout SECS]\n"
+         "            [--retries R]\n"
          "            --socket PATH --stats\n"
          "            submit a run plan to a serving daemon and print the\n"
          "            response (the RunReport plus cache/latency metadata),\n"
          "            or fetch server stats; exit 0 only when the plan ran\n"
-         "            (or replayed) and every analysis passed\n"
+         "            (or replayed) and every analysis passed; connect\n"
+         "            failures retry R times with backoff, and a hung\n"
+         "            server surfaces as a --request-timeout error instead\n"
+         "            of blocking forever\n"
          "  generate  --type FAMILY | --spec SPEC, --out FILE\n"
          "            [--n N] [--m M] [--p P] [--scale S] [--seed S]\n"
          "            [--loops] [--prune] [--stream] [--threads T]\n"
@@ -453,8 +470,25 @@ int cmd_run(const util::Cli& flags, std::ostream& out, std::ostream& err) {
   if (flags.has("format")) {
     plan.options.format = flags.get("format", plan.options.format);
   }
+  if (flags.has("workers")) {
+    plan.options.workers = static_cast<unsigned>(
+        flags.get_uint("workers", plan.options.workers));
+  }
+  if (flags.has("shard-timeout")) {
+    plan.options.shard_timeout_s =
+        flags.get_double("shard-timeout", plan.options.shard_timeout_s);
+  }
+  if (flags.has("max-retries")) {
+    plan.options.max_retries = static_cast<unsigned>(
+        flags.get_uint("max-retries", plan.options.max_retries));
+  }
+  if (flags.has("fault")) plan.options.fault = flags.get("fault", "");
 
-  const api::RunReport report = run_plan(plan);
+  // workers > 1 routes through the fault-tolerant multi-process runner;
+  // runner::execute itself degrades back to api::run when it must.
+  const api::RunReport report = plan.options.workers > 1
+                                    ? runner::execute(plan)
+                                    : run_plan(plan);
   report.print(out);
   if (flags.has("json")) {
     std::ofstream json(flags.get("json", ""));
@@ -466,6 +500,61 @@ int cmd_run(const util::Cli& flags, std::ostream& out, std::ostream& err) {
     json << "\n";
   }
   return report.pass ? 0 : 1;
+}
+
+int cmd_worker(const util::Cli& flags, std::ostream&, std::ostream& err) {
+  const std::string plan_file = flags.get("plan-file", "");
+  const std::string out_path = flags.get("out", "");
+  if (plan_file.empty() || out_path.empty()) {
+    err << "__worker: --plan-file and --out are required\n";
+    return 2;
+  }
+  const auto unit = flags.get_uint("unit", 0);
+  const auto attempt = flags.get_uint("attempt", 0);
+  try {
+    std::ifstream in(plan_file);
+    if (!in) {
+      err << "__worker: cannot read " << plan_file << "\n";
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const api::RunPlan plan = api::RunPlan::parse(buf.str());
+
+    // Injected faults fire at exact (unit, attempt) coordinates, before
+    // or after the real work, so every coordinator recovery path is
+    // reachable from a spec string alone.
+    const util::fault::Injector inj =
+        flags.has("fault") ? util::fault::Injector(flags.get("fault", ""))
+                           : util::fault::Injector::from_env();
+    if (inj.match("kill", unit, attempt) != nullptr) {
+      ::raise(SIGKILL);
+    }
+    if (const auto* a = inj.match("exit", unit, attempt)) {
+      std::_Exit(a->code);
+    }
+    if (const auto* a = inj.match("stall", unit, attempt)) {
+      util::Backoff::sleep_s(a->secs);
+    }
+
+    const api::RunReport report = api::run(plan);
+    std::string frame = report.to_json().dump_string(0);
+    frame += '\n';
+    if (inj.match("truncate", unit, attempt) != nullptr) {
+      frame.resize(frame.size() / 2);
+    }
+    std::ofstream out_file(out_path, std::ios::binary | std::ios::trunc);
+    out_file << frame;
+    out_file.flush();
+    if (!out_file) {
+      err << "__worker: cannot write " << out_path << "\n";
+      return 4;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "__worker: " << e.what() << "\n";
+    return 3;
+  }
 }
 
 namespace {
@@ -532,7 +621,15 @@ int cmd_submit(const util::Cli& flags, std::ostream& out, std::ostream& err) {
     err << "submit: --socket PATH is required\n";
     return 2;
   }
-  service::Client client;
+  service::ClientOptions copt;
+  copt.connect_timeout_s =
+      flags.get_double("connect-timeout", copt.connect_timeout_s);
+  copt.request_timeout_s =
+      flags.get_double("request-timeout", copt.request_timeout_s);
+  // --retries R = R extra connect attempts after the first.
+  copt.connect_attempts = static_cast<unsigned>(
+      flags.get_uint("retries", copt.connect_attempts - 1) + 1);
+  service::Client client(copt);
   client.connect(socket_path);
 
   if (flags.has("stats")) {
@@ -589,6 +686,7 @@ int run(int argc, char** argv, std::ostream& out, std::ostream& err) {
     if (command == "validate") return cmd_validate(flags, out, err);
     if (command == "egonet") return cmd_egonet(flags, out, err);
     if (command == "truss") return cmd_truss(flags, out, err);
+    if (command == "__worker") return cmd_worker(flags, out, err);
     if (command == "help" || command == "--help") {
       usage(out);
       return 0;

@@ -38,6 +38,11 @@ int cmd_census(const util::Cli& flags, std::ostream& out, std::ostream& err);
 int cmd_validate(const util::Cli& flags, std::ostream& out, std::ostream& err);
 int cmd_egonet(const util::Cli& flags, std::ostream& out, std::ostream& err);
 int cmd_truss(const util::Cli& flags, std::ostream& out, std::ostream& err);
+/// Hidden: one work unit of a multi-process run (`kronotri __worker
+/// --plan-file F --out F --unit N --attempt N [--fault SPEC]`). Executes
+/// the child plan and writes the RunReport fragment frame to --out;
+/// exec'd by runner::execute, never typed by hand.
+int cmd_worker(const util::Cli& flags, std::ostream& out, std::ostream& err);
 
 /// Prints the full usage text.
 void usage(std::ostream& out);

@@ -1,0 +1,607 @@
+#include "runner/runner.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/fault.hpp"
+#include "util/runmeta.hpp"
+#include "util/timer.hpp"
+#include "validate/report.hpp"
+
+namespace kronotri::runner {
+
+namespace {
+
+using util::json::Value;
+
+double monotonic_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One work unit of the decomposed plan: a child plan a worker executes to
+/// a RunReport fragment.
+struct Unit {
+  unsigned id = 0;
+  std::string kind;        // "base" | "validate" | "run"
+  int analysis_index = -1; // original plan.analyses index (validate units)
+  api::RunPlan plan;
+};
+
+/// Decomposition: one base unit for everything that is not a validate
+/// analysis (it keeps the plan's output/stream duties), plus
+/// units_per_validate shard-subset units per validate analysis. Validate
+/// is the unit-splittable analysis — its deterministic shard plan is
+/// derived identically in every worker, so unit i can take slice i
+/// without any coordinator→worker shard negotiation.
+std::vector<Unit> decompose(const api::RunPlan& plan,
+                            unsigned units_per_validate) {
+  std::vector<Unit> units;
+
+  api::RunPlan base = plan;
+  base.options.workers = 1;
+  base.options.fault.clear();
+  base.analyses.clear();
+  std::vector<std::size_t> validate_indices;
+  for (std::size_t i = 0; i < plan.analyses.size(); ++i) {
+    if (plan.analyses[i].name == "validate") {
+      validate_indices.push_back(i);
+    } else {
+      base.analyses.push_back(plan.analyses[i]);
+    }
+  }
+
+  const bool base_has_work = !base.analyses.empty() ||
+                             !base.options.output.empty() ||
+                             base.options.stream;
+  if (base_has_work || validate_indices.empty()) {
+    Unit u;
+    u.id = static_cast<unsigned>(units.size());
+    u.kind = validate_indices.empty() ? "run" : "base";
+    u.plan = base;
+    units.push_back(std::move(u));
+  }
+
+  for (const std::size_t ai : validate_indices) {
+    for (unsigned i = 0; i < units_per_validate; ++i) {
+      Unit u;
+      u.id = static_cast<unsigned>(units.size());
+      u.kind = "validate";
+      u.analysis_index = static_cast<int>(ai);
+      u.plan = plan;
+      u.plan.options.workers = 1;
+      u.plan.options.fault.clear();
+      u.plan.options.output.clear();
+      u.plan.options.stream = false;
+      api::AnalysisRequest req = plan.analyses[ai];
+      req.params["unit"] = std::to_string(i);
+      req.params["units"] = std::to_string(units_per_validate);
+      u.plan.analyses = {std::move(req)};
+      units.push_back(std::move(u));
+    }
+  }
+  return units;
+}
+
+std::string tmp_dir() {
+  const char* dir = std::getenv("TMPDIR");
+  return (dir != nullptr && *dir != '\0') ? dir : "/tmp";
+}
+
+pid_t spawn_worker(const std::string& exe,
+                   const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Child: exec immediately — no OpenMP, no allocation-heavy work
+    // between fork and exec (the parent may hold libgomp/locale state a
+    // forked child must not touch).
+    ::execv(exe.c_str(), argv.data());
+    ::_exit(127);
+  }
+  return pid;
+}
+
+/// A complete fragment frame is the report JSON plus a trailing newline —
+/// a missing terminator or a parse failure both classify as "truncated"
+/// (the worker died mid-write, or the truncate fault fired).
+std::optional<Value> read_fragment(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string frame = buf.str();
+  if (frame.empty() || frame.back() != '\n') return std::nullopt;
+  try {
+    return Value::parse(frame);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+struct RunningAttempt {
+  unsigned unit = 0;
+  unsigned attempt = 0;
+  pid_t pid = -1;
+  double start_s = 0;
+  std::string out_path;
+  bool timed_out = false;   // we SIGKILLed it past its deadline
+  bool superseded = false;  // another attempt of the unit already won
+  bool aborted = false;     // run is failing, everything was killed
+};
+
+struct UnitState {
+  unsigned next_attempt = 0;
+  unsigned failures = 0;
+  bool done = false;
+  bool speculated = false;
+  Value fragment;
+};
+
+/// Merges per-unit validate fragments back into the analysis list in the
+/// original plan order; non-validate analyses come from the base fragment
+/// verbatim.
+api::RunReport merge_fragments(const api::RunPlan& plan,
+                               const std::vector<Unit>& units,
+                               const std::vector<UnitState>& states) {
+  // Skeleton: the base fragment when one exists, else any validate
+  // fragment (every top-level field outside `analyses` is identical
+  // across fragments of the same plan, timings aside).
+  const Value* skeleton = nullptr;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (units[i].kind != "validate") skeleton = &states[i].fragment;
+  }
+  if (skeleton == nullptr) skeleton = &states[0].fragment;
+  api::RunReport report = api::RunReport::from_json(*skeleton);
+  std::vector<api::AnalysisReport> base_analyses = std::move(report.analyses);
+
+  report.plan = plan;
+  report.analyses.clear();
+  std::size_t base_next = 0;
+  for (std::size_t ai = 0; ai < plan.analyses.size(); ++ai) {
+    if (plan.analyses[ai].name != "validate") {
+      report.analyses.push_back(std::move(base_analyses.at(base_next++)));
+      continue;
+    }
+    validate::ValidationReport merged;
+    bool first = true;
+    double wall_s = 0;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      if (units[i].analysis_index != static_cast<int>(ai)) continue;
+      const api::RunReport frag = api::RunReport::from_json(states[i].fragment);
+      const api::AnalysisReport& ar = frag.analyses.at(0);
+      wall_s += ar.wall_s;
+      validate::ValidationReport vr =
+          validate::ValidationReport::from_json(ar.data);
+      if (first) {
+        merged = std::move(vr);
+        first = false;
+      } else {
+        merged.merge(vr);
+      }
+    }
+    merged.finalize_merged();
+    api::AnalysisReport ar;
+    ar.name = "validate";
+    ar.pass = merged.pass();
+    ar.wall_s = wall_s;
+    std::ostringstream os;
+    merged.print(os);
+    ar.text = os.str();
+    ar.data = merged.to_json();
+    report.analyses.push_back(std::move(ar));
+  }
+
+  report.pass = true;
+  for (const api::AnalysisReport& ar : report.analyses) {
+    report.pass = report.pass && ar.pass;
+  }
+  return report;
+}
+
+}  // namespace
+
+Options options_from(const api::RunPlan& plan) {
+  Options opt;
+  opt.workers = plan.options.workers;
+  opt.shard_timeout_s = plan.options.shard_timeout_s;
+  opt.max_retries = plan.options.max_retries;
+  opt.fault_spec = plan.options.fault;
+  return opt;
+}
+
+std::string default_worker_exe() {
+  if (const char* env = std::getenv("KRONOTRI_BIN");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    const std::string self(buf);
+    const std::size_t slash = self.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : self.substr(0, slash);
+    if (self.substr(slash + 1) == "kronotri") return self;
+    // Test and bench binaries live in the build tree next to (or one
+    // level below) the CLI binary.
+    for (const std::string& cand : {dir + "/kronotri", dir + "/../kronotri"}) {
+      if (::access(cand.c_str(), X_OK) == 0) return cand;
+    }
+  }
+  if (::access("./kronotri", X_OK) == 0) return "./kronotri";
+  return "";
+}
+
+api::RunReport execute(const api::RunPlan& plan) {
+  return execute(plan, options_from(plan));
+}
+
+api::RunReport execute(const api::RunPlan& plan, Options opt) {
+  if (opt.workers <= 1) return api::run(plan);
+
+  if (opt.fault_spec.empty()) {
+    if (const char* env = std::getenv("KRONOTRI_FAULT");
+        env != nullptr && *env != '\0') {
+      opt.fault_spec = env;
+    }
+  }
+  // Validate the spec in the coordinator: a typo should fail the run with
+  // an actionable message, not silently inject nothing in every worker.
+  (void)util::fault::Injector(opt.fault_spec);
+
+  std::string exe =
+      opt.worker_exe.empty() ? default_worker_exe() : opt.worker_exe;
+  if (exe.empty() || ::access(exe.c_str(), X_OK) != 0) {
+    // Graceful degradation: no worker binary → in-process serial run,
+    // recorded as such instead of silently pretending to be parallel.
+    api::RunReport report = api::run(plan);
+    api::WorkerEvent e;
+    e.kind = "run";
+    e.outcome = "degraded";
+    report.worker_events.push_back(e);
+    return report;
+  }
+
+  const util::WallTimer total_wall;
+  const util::CpuTimer total_cpu;
+  const std::vector<Unit> units =
+      decompose(plan, opt.workers * std::max(1u, opt.units_per_worker));
+  std::vector<UnitState> states(units.size());
+  std::vector<api::WorkerEvent> events;
+  std::vector<std::string> cleanup;
+
+  const std::string prefix =
+      tmp_dir() + "/kronotri." + std::to_string(::getpid()) + ".";
+  std::vector<std::string> plan_files(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    plan_files[i] = prefix + "plan" + std::to_string(units[i].id) + ".json";
+    std::ofstream out(plan_files[i], std::ios::trunc);
+    units[i].plan.to_json().dump(out);
+    out << "\n";
+    if (!out) {
+      throw std::runtime_error("runner: cannot write " + plan_files[i]);
+    }
+    cleanup.push_back(plan_files[i]);
+  }
+
+  struct Pending {
+    unsigned unit;
+    double ready_at_s;
+  };
+  std::deque<Pending> pending;
+  for (const Unit& u : units) pending.push_back({u.id, 0.0});
+  std::vector<RunningAttempt> running;
+  std::string error;
+  bool any_spawned = false;
+
+  const auto dispatch = [&](unsigned unit_id) -> bool {
+    UnitState& st = states[unit_id];
+    RunningAttempt ra;
+    ra.unit = unit_id;
+    ra.attempt = st.next_attempt++;
+    ra.out_path = prefix + "u" + std::to_string(unit_id) + ".a" +
+                  std::to_string(ra.attempt) + ".json";
+    cleanup.push_back(ra.out_path);
+    std::vector<std::string> args = {exe,
+                                     "__worker",
+                                     "--plan-file",
+                                     plan_files[unit_id],
+                                     "--out",
+                                     ra.out_path,
+                                     "--unit",
+                                     std::to_string(unit_id),
+                                     "--attempt",
+                                     std::to_string(ra.attempt)};
+    if (!opt.fault_spec.empty()) {
+      args.push_back("--fault");
+      args.push_back(opt.fault_spec);
+    }
+    ra.pid = spawn_worker(exe, args);
+    ra.start_s = monotonic_s();
+    if (ra.pid < 0) {
+      api::WorkerEvent e;
+      e.unit = unit_id;
+      e.kind = units[unit_id].kind;
+      e.attempt = ra.attempt;
+      e.outcome = "spawn_failed";
+      e.detail = errno;
+      events.push_back(e);
+      return false;
+    }
+    any_spawned = true;
+    running.push_back(std::move(ra));
+    return true;
+  };
+
+  const auto fail_unit = [&](unsigned unit_id, const std::string& why) {
+    error = "unit " + std::to_string(unit_id) + " (" + units[unit_id].kind +
+            ") " + why + " after " +
+            std::to_string(states[unit_id].failures) + " attempt" +
+            (states[unit_id].failures == 1 ? "" : "s") +
+            " (max_retries=" + std::to_string(opt.max_retries) + ")";
+    pending.clear();
+    for (RunningAttempt& ra : running) {
+      ra.aborted = true;
+      ::kill(ra.pid, SIGKILL);
+    }
+  };
+
+  // Failure of one attempt: count it against the unit's budget and either
+  // re-queue with backoff or fail the whole run.
+  const auto on_failure = [&](const RunningAttempt& ra,
+                              const std::string& why) {
+    UnitState& st = states[ra.unit];
+    ++st.failures;
+    if (st.failures > opt.max_retries) {
+      fail_unit(ra.unit, why);
+      return;
+    }
+    pending.push_back(
+        {ra.unit, monotonic_s() + opt.backoff.delay_s(st.failures - 1)});
+  };
+
+  while (!running.empty() || (!pending.empty() && error.empty())) {
+    const double now = monotonic_s();
+
+    // Deadline enforcement: SIGKILL a worker past its per-attempt budget;
+    // the reap below classifies it as "timeout" and re-dispatches.
+    for (RunningAttempt& ra : running) {
+      if (opt.shard_timeout_s > 0 && !ra.timed_out && !ra.aborted &&
+          now - ra.start_s > opt.shard_timeout_s) {
+        ra.timed_out = true;
+        ::kill(ra.pid, SIGKILL);
+      }
+    }
+
+    // Reap.
+    for (std::size_t i = 0; i < running.size();) {
+      RunningAttempt& ra = running[i];
+      int status = 0;
+      const pid_t got = ::waitpid(ra.pid, &status, WNOHANG);
+      if (got != ra.pid) {
+        ++i;
+        continue;
+      }
+      api::WorkerEvent e;
+      e.unit = ra.unit;
+      e.kind = units[ra.unit].kind;
+      e.attempt = ra.attempt;
+      e.pid = ra.pid;
+      e.wall_s = monotonic_s() - ra.start_s;
+      UnitState& st = states[ra.unit];
+
+      if (ra.aborted) {
+        e.outcome = "aborted";
+        if (WIFSIGNALED(status)) e.detail = WTERMSIG(status);
+        events.push_back(e);
+      } else if (ra.superseded || st.done) {
+        // The unit was already won by another attempt — whatever this one
+        // did (finished, crashed, got killed) is a speculative loss, never
+        // a budget-charged failure.
+        e.outcome = "speculative_loss";
+        events.push_back(e);
+      } else if (ra.timed_out) {
+        e.outcome = "timeout";
+        e.detail = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+        events.push_back(e);
+        on_failure(ra, "timed out");
+      } else if (WIFSIGNALED(status)) {
+        e.outcome = "signal";
+        e.detail = WTERMSIG(status);
+        events.push_back(e);
+        on_failure(ra, "died on signal " + std::to_string(e.detail));
+      } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+        e.outcome = "exit";
+        e.detail = WEXITSTATUS(status);
+        events.push_back(e);
+        on_failure(ra, "exited with code " + std::to_string(e.detail));
+      } else if (std::optional<Value> frag = read_fragment(ra.out_path)) {
+        e.outcome = "ok";
+        events.push_back(e);
+        st.done = true;
+        st.fragment = std::move(*frag);
+        // First result wins: kill any other in-flight attempt of the unit.
+        for (RunningAttempt& other : running) {
+          if (other.unit == ra.unit && other.pid != ra.pid &&
+              !other.superseded) {
+            other.superseded = true;
+            ::kill(other.pid, SIGKILL);
+          }
+        }
+      } else {
+        e.outcome = "truncated";
+        events.push_back(e);
+        on_failure(ra, "wrote a truncated result frame");
+      }
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+
+    if (!error.empty()) {
+      if (running.empty()) break;
+      util::Backoff::sleep_s(opt.poll_interval_s);
+      continue;
+    }
+
+    // Launch pending attempts whose backoff delay has elapsed.
+    for (std::size_t i = 0; i < pending.size() && running.size() < opt.workers;) {
+      if (pending[i].ready_at_s > now || states[pending[i].unit].done) {
+        if (states[pending[i].unit].done) {
+          pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      const unsigned unit_id = pending[i].unit;
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+      if (!dispatch(unit_id)) {
+        if (!any_spawned) {
+          // fork is unavailable before anything ran: degrade to the
+          // in-process serial path rather than failing the plan.
+          api::RunReport report = api::run(plan);
+          api::WorkerEvent ev;
+          ev.kind = "run";
+          ev.outcome = "degraded";
+          report.worker_events = std::move(events);
+          report.worker_events.push_back(ev);
+          for (const std::string& path : cleanup) ::unlink(path.c_str());
+          return report;
+        }
+        RunningAttempt ra;
+        ra.unit = unit_id;
+        ra.attempt = states[unit_id].next_attempt - 1;
+        on_failure(ra, "could not be spawned");
+      }
+    }
+
+    // Speculative re-execution: queue drained, slots free, and a running
+    // attempt has outlived the straggler threshold — re-issue its unit
+    // once; whichever attempt finishes first wins.
+    if (opt.speculate && pending.empty() && !running.empty() &&
+        running.size() < opt.workers && error.empty()) {
+      std::vector<double> walls;
+      for (const api::WorkerEvent& ev : events) {
+        if (ev.outcome == "ok") walls.push_back(ev.wall_s);
+      }
+      double threshold = opt.straggler_min_s;
+      if (!walls.empty()) {
+        std::sort(walls.begin(), walls.end());
+        threshold = std::max(threshold, 2 * walls[walls.size() / 2]);
+      }
+      RunningAttempt* straggler = nullptr;
+      for (RunningAttempt& ra : running) {
+        const UnitState& st = states[ra.unit];
+        if (st.done || st.speculated || ra.timed_out || ra.superseded) {
+          continue;
+        }
+        if (now - ra.start_s < threshold) continue;
+        if (straggler == nullptr || ra.start_s < straggler->start_s) {
+          straggler = &ra;
+        }
+      }
+      if (straggler != nullptr) {
+        states[straggler->unit].speculated = true;
+        dispatch(straggler->unit);
+      }
+    }
+
+    // Always yield a poll interval: also covers the drained-but-backing-
+    // off state (nothing running, every pending attempt waiting out its
+    // delay), which must not busy-spin.
+    if (!running.empty() || !pending.empty()) {
+      util::Backoff::sleep_s(opt.poll_interval_s);
+    }
+  }
+
+  api::RunReport report;
+  if (error.empty()) {
+    report = merge_fragments(plan, units, states);
+  } else {
+    report.plan = plan;
+    report.pass = false;
+    report.error = error;
+    report.metadata = util::run_metadata(plan.options.batch_size);
+  }
+  report.worker_events = std::move(events);
+  report.total_wall_s = total_wall.seconds();
+  report.total_cpu_s = total_cpu.seconds();
+  report.peak_rss_bytes = util::peak_rss_bytes();
+  for (const std::string& path : cleanup) ::unlink(path.c_str());
+  return report;
+}
+
+Value comparable(const Value& report_json) {
+  const auto strip_timing = [](const Value& arr,
+                               std::initializer_list<const char*> drop) {
+    Value out = Value::array();
+    for (const Value& item : arr.items()) {
+      Value copy = Value::object();
+      for (const auto& [key, value] : item.members()) {
+        bool dropped = false;
+        for (const char* d : drop) dropped = dropped || key == d;
+        if (!dropped) copy.set(key, value);
+      }
+      out.push_back(std::move(copy));
+    }
+    return out;
+  };
+
+  Value out = Value::object();
+  for (const auto& [key, value] : report_json.members()) {
+    if (key == "total_wall_s" || key == "total_cpu_s" ||
+        key == "peak_rss_bytes" || key == "queue_wait_s" ||
+        key == "metadata" || key == "worker_events") {
+      continue;
+    }
+    if (key == "stages") {
+      out.set(key, strip_timing(value, {"wall_s", "cpu_s"}));
+    } else if (key == "analyses") {
+      out.set(key, strip_timing(value, {"wall_s"}));
+    } else if (key == "plan") {
+      Value p = Value::object();
+      for (const auto& [pkey, pvalue] : value.members()) {
+        if (pkey != "options") {
+          p.set(pkey, pvalue);
+          continue;
+        }
+        Value o = Value::object();
+        for (const auto& [okey, ovalue] : pvalue.members()) {
+          if (okey == "workers" || okey == "shard_timeout" ||
+              okey == "max_retries" || okey == "fault") {
+            continue;
+          }
+          o.set(okey, ovalue);
+        }
+        p.set("options", std::move(o));
+      }
+      out.set(key, std::move(p));
+    } else {
+      out.set(key, value);
+    }
+  }
+  return out;
+}
+
+}  // namespace kronotri::runner

@@ -1,0 +1,92 @@
+// Fault-tolerant multi-process RunPlan execution.
+//
+// The paper's trillion-edge regime assumes a fleet where individual
+// workers stall or die; this module is the single-machine half of that
+// story (and the ROADMAP's stated on-ramp to a remote transport): a
+// RunPlan is decomposed into per-shard child plans — one "base" unit for
+// everything that is not a validate analysis, plus U shard-subset
+// validate units riding the deterministic `validate::` shard plan — and
+// executed by fork/exec'd worker processes (`kronotri __worker`), each
+// writing its RunReport fragment to a private tmp file. The coordinator
+// merges fragments into one report BIT-IDENTICAL (modulo timings,
+// metadata and the worker_events trail) to the single-process run:
+// shard ownership makes fragment counters disjoint, so the merge is a
+// pure fold.
+//
+// Robustness core:
+//   * retry with exponential backoff (util::Backoff) under a bounded
+//     attempt budget; exhausting it fails the run with a structured
+//     error report, never a hang;
+//   * per-attempt wall-clock timeouts: a worker past its deadline is
+//     SIGKILLed and its unit re-dispatched;
+//   * speculative re-execution of stragglers — when the queue is drained
+//     and a slot is free, the slowest running unit is re-issued and the
+//     first result wins (safe: units are deterministic);
+//   * crash-safe accounting via waitpid status — signal vs nonzero-exit
+//     vs timeout vs truncated frame are distinguished in the report's
+//     worker_events array;
+//   * graceful degradation to in-process execution when the worker
+//     binary cannot be found/spawned or workers <= 1.
+//
+// fork+exec (not bare fork) on purpose: the parent has usually run OpenMP
+// regions (tests, benches, a long-lived service), and libgomp's internal
+// state does not survive fork into a child that starts its own parallel
+// regions. A fresh exec sidesteps the whole class of deadlocks.
+#pragma once
+
+#include <string>
+
+#include "api/plan.hpp"
+#include "util/backoff.hpp"
+#include "util/json.hpp"
+
+namespace kronotri::runner {
+
+struct Options {
+  unsigned workers = 1;       ///< concurrent worker processes
+  double shard_timeout_s = 0; ///< per-attempt wall clock (0 = none)
+  unsigned max_retries = 2;   ///< re-dispatches per unit beyond attempt 0
+  /// Validate units per worker slot: U = workers * units_per_worker
+  /// shard-subset units per validate analysis, so the schedule has slack
+  /// for stragglers without a unit being too small to measure.
+  unsigned units_per_worker = 2;
+  bool speculate = true;      ///< re-issue stragglers when otherwise drained
+  /// A running attempt becomes a straggler candidate only after
+  /// max(straggler_min_s, 2 x median completed attempt wall).
+  double straggler_min_s = 1.0;
+  double poll_interval_s = 0.002;
+  /// Fault-injection spec forwarded to workers; empty falls back to the
+  /// KRONOTRI_FAULT environment variable (the CI smoke's entry point).
+  std::string fault_spec;
+  /// Worker executable; empty resolves via default_worker_exe().
+  std::string worker_exe;
+  util::Backoff backoff;
+};
+
+/// Options derived from the plan's RunOptions (workers, shard_timeout,
+/// max_retries, fault) with runner defaults for the rest.
+Options options_from(const api::RunPlan& plan);
+
+/// The kronotri CLI binary to exec workers from: $KRONOTRI_BIN when set,
+/// else a `kronotri` sibling of /proc/self/exe (the binary itself, or the
+/// build-tree sibling when the caller is a test/bench binary). Empty when
+/// nothing resolves — execute() then degrades to in-process.
+std::string default_worker_exe();
+
+/// Executes the plan across opt.workers forked workers and returns the
+/// merged report. workers <= 1 runs in-process (api::run). Never throws
+/// for worker failures — those come back as a pass=false report with
+/// `error` set and the full worker_events trail.
+api::RunReport execute(const api::RunPlan& plan, Options opt);
+
+/// execute() with options_from(plan).
+api::RunReport execute(const api::RunPlan& plan);
+
+/// A report JSON with every volatile field removed — timings, rss,
+/// metadata, worker_events, and the runner-only plan options — so a
+/// multi-process report can be compared bit-identically against the
+/// serial run. Tests, bench_runner and the CI smoke all use this one
+/// definition of "identical".
+util::json::Value comparable(const util::json::Value& report_json);
+
+}  // namespace kronotri::runner

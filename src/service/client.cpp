@@ -1,9 +1,13 @@
 #include "service/client.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -14,26 +18,76 @@ namespace kronotri::service {
 
 Client::~Client() { close(); }
 
-void Client::connect(const std::string& socket_path) {
-  close();
+std::string Client::try_connect(const std::string& socket_path) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("service::Client: bad socket path \"" +
-                             socket_path + "\"");
-  }
   std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd_ < 0) {
-    throw std::runtime_error(std::string("service::Client: socket: ") +
-                             std::strerror(errno));
+    return std::string("socket: ") + std::strerror(errno);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+#ifdef SO_NOSIGPIPE
+  // BSD/macOS have no MSG_NOSIGNAL; suppress SIGPIPE at the socket level
+  // so a server hanging up mid-send surfaces as EPIPE, not a signal.
+  int on = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_NOSIGPIPE, &on, sizeof(on));
+#endif
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (opt_.connect_timeout_s > 0 && flags >= 0) {
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  }
+  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno == EINTR) rc = 0;  // resolved by the poll below
+  if (rc < 0 && (errno == EINPROGRESS || errno == EAGAIN)) {
+    // AF_UNIX connect can block on a full server backlog; bound the wait.
+    pollfd pfd{fd_, POLLOUT, 0};
+    const int timeout_ms = static_cast<int>(opt_.connect_timeout_s * 1000);
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) {
+      close();
+      return "connect timed out after " +
+             std::to_string(opt_.connect_timeout_s) + " s";
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (ready < 0 ||
+        ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      const std::string why = std::strerror(err != 0 ? err : errno);
+      close();
+      return "connect: " + why;
+    }
+    rc = 0;
+  }
+  if (rc < 0) {
     const std::string why = std::strerror(errno);
     close();
-    throw std::runtime_error("service::Client: connect " + socket_path +
-                             ": " + why);
+    return "connect: " + why;
   }
+  if (opt_.connect_timeout_s > 0 && flags >= 0) {
+    ::fcntl(fd_, F_SETFL, flags);  // back to blocking for send/read
+  }
+  return {};
+}
+
+void Client::connect(const std::string& socket_path) {
+  close();
+  if (socket_path.empty() ||
+      socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw std::runtime_error("service::Client: bad socket path \"" +
+                             socket_path + "\"");
+  }
+  const unsigned attempts = opt_.connect_attempts > 0
+                                ? opt_.connect_attempts
+                                : 1;
+  std::string last_error;
+  for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) util::Backoff::sleep_s(opt_.backoff.delay_s(attempt - 1));
+    last_error = try_connect(socket_path);
+    if (last_error.empty()) return;
+  }
+  throw std::runtime_error("service::Client: " + socket_path + ": " +
+                           last_error + " (" + std::to_string(attempts) +
+                           " attempt" + (attempts > 1 ? "s" : "") + ")");
 }
 
 void Client::close() {
@@ -53,12 +107,34 @@ void Client::send(const util::json::Value& request) {
 
 util::json::Value Client::read_response() {
   if (fd_ < 0) throw std::runtime_error("service::Client: not connected");
+  // One overall deadline per response frame, not per read(): a server
+  // trickling bytes forever must still hit it.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(opt_.request_timeout_s);
   while (true) {
     const std::size_t nl = buffer_.find('\n');
     if (nl != std::string::npos) {
       const std::string line = buffer_.substr(0, nl);
       buffer_.erase(0, nl + 1);
       return util::json::Value::parse(line);
+    }
+    if (opt_.request_timeout_s > 0) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(
+          &pfd, 1,
+          static_cast<int>(std::max<long long>(0, remaining.count())));
+      if (ready == 0) {
+        throw std::runtime_error(
+            "service::Client: request timed out after " +
+            std::to_string(opt_.request_timeout_s) +
+            " s waiting for a response");
+      }
+      if (ready < 0 && errno != EINTR) {
+        throw std::runtime_error(std::string("service::Client: poll: ") +
+                                 std::strerror(errno));
+      }
     }
     char chunk[4096];
     const ssize_t n = ::read(fd_, chunk, sizeof(chunk));

@@ -12,13 +12,31 @@
 #include <string_view>
 
 #include "api/plan.hpp"
+#include "util/backoff.hpp"
 #include "util/json.hpp"
 
 namespace kronotri::service {
 
+/// Robustness knobs for a client conversation. Defaults preserve the
+/// original single-shot semantics except that a hung socket can no longer
+/// block connect() forever.
+struct ClientOptions {
+  /// Per-attempt connect deadline (seconds; 0 = OS default blocking).
+  double connect_timeout_s = 5.0;
+  /// Total connect attempts: failures short of this are retried after a
+  /// backoff delay — covers a daemon still binding its socket.
+  unsigned connect_attempts = 1;
+  /// Deadline for one read_response() call (seconds; 0 = block forever).
+  /// A server that accepted the request but never answers surfaces as a
+  /// timeout error instead of a hang.
+  double request_timeout_s = 0;
+  util::Backoff backoff{0.05, 2.0, 1.0};
+};
+
 class Client {
  public:
   Client() = default;
+  explicit Client(ClientOptions opt) : opt_(opt) {}
   ~Client();
 
   Client(const Client&) = delete;
@@ -48,6 +66,11 @@ class Client {
   [[nodiscard]] util::json::Value stats();
 
  private:
+  /// One connect attempt under opt_.connect_timeout_s; returns an error
+  /// message on failure (empty on success).
+  [[nodiscard]] std::string try_connect(const std::string& socket_path);
+
+  ClientOptions opt_;
   int fd_ = -1;
   std::string buffer_;  ///< LineReader state folded in (single-frame reads)
 };

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -51,6 +52,11 @@ void Server::start() {
   if (running_.exchange(true)) {
     throw std::logic_error("service: Server::start() called twice");
   }
+  // A client hanging up mid-response must surface as a write_all failure
+  // (counted in client_disconnects), never as a process-killing SIGPIPE.
+  // write_all already passes MSG_NOSIGNAL where available; this covers
+  // the fallback write() path and keeps the guarantee platform-wide.
+  std::signal(SIGPIPE, SIG_IGN);
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (opt_.socket_path.empty() ||

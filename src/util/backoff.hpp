@@ -1,0 +1,34 @@
+// Deterministic exponential backoff, shared by the multi-process runner
+// (re-dispatching a failed shard worker) and service::Client (connect
+// retries against a not-yet-listening daemon). No jitter on purpose: both
+// consumers retry against resources on the SAME machine, where determinism
+// (testable delay schedules, reproducible worker_events) is worth more
+// than thundering-herd protection.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace kronotri::util {
+
+struct Backoff {
+  double base_s = 0.05;    ///< delay before the first retry
+  double multiplier = 2.0; ///< growth per additional failure
+  double max_s = 2.0;      ///< delay ceiling
+
+  /// Delay to wait before retry number `attempt` (0-based: delay_s(0) is
+  /// the wait after the first failure).
+  [[nodiscard]] double delay_s(unsigned attempt) const noexcept {
+    double d = base_s;
+    for (unsigned i = 0; i < attempt && d < max_s; ++i) d *= multiplier;
+    return std::min(d, max_s);
+  }
+
+  static void sleep_s(double seconds) {
+    if (seconds <= 0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+};
+
+}  // namespace kronotri::util

@@ -1,0 +1,91 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace kronotri::util::fault {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& why) {
+  throw std::invalid_argument(
+      "fault spec: " + why +
+      " (grammar: kind[:key=value]*, kinds kill|exit|stall|truncate, "
+      "keys shard|attempt|secs|code, comma-separated actions)");
+}
+
+bool known_kind(std::string_view kind) {
+  return kind == "kill" || kind == "exit" || kind == "stall" ||
+         kind == "truncate";
+}
+
+Action parse_action(std::string_view token) {
+  Action a;
+  std::size_t pos = token.find(':');
+  a.kind = std::string(token.substr(0, pos));
+  if (!known_kind(a.kind)) bad_spec("unknown kind \"" + a.kind + "\"");
+  while (pos != std::string_view::npos) {
+    const std::size_t start = pos + 1;
+    pos = token.find(':', start);
+    const std::string_view kv = token.substr(
+        start, pos == std::string_view::npos ? pos : pos - start);
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 == kv.size()) {
+      bad_spec("expected key=value, got \"" + std::string(kv) + "\"");
+    }
+    const std::string key(kv.substr(0, eq));
+    const std::string value(kv.substr(eq + 1));
+    try {
+      if (key == "shard") {
+        a.shard = std::stoll(value);
+      } else if (key == "attempt") {
+        a.attempt = std::stoll(value);
+      } else if (key == "secs") {
+        a.secs = std::stod(value);
+      } else if (key == "code") {
+        a.code = std::stoi(value);
+      } else {
+        bad_spec("unknown key \"" + key + "\"");
+      }
+    } catch (const std::invalid_argument&) {
+      bad_spec("non-numeric value \"" + value + "\" for key \"" + key + "\"");
+    } catch (const std::out_of_range&) {
+      bad_spec("out-of-range value \"" + value + "\" for key \"" + key +
+               "\"");
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+Injector::Injector(std::string_view spec) {
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view token = spec.substr(pos, comma - pos);
+    if (!token.empty()) actions_.push_back(parse_action(token));
+    pos = comma + 1;
+  }
+}
+
+Injector Injector::from_env() {
+  const char* spec = std::getenv("KRONOTRI_FAULT");
+  return (spec != nullptr && *spec != '\0') ? Injector(spec) : Injector();
+}
+
+const Action* Injector::match(std::string_view kind, std::uint64_t shard,
+                              std::uint64_t attempt) const noexcept {
+  for (const Action& a : actions_) {
+    if (a.kind != kind) continue;
+    if (a.shard >= 0 && static_cast<std::uint64_t>(a.shard) != shard) continue;
+    if (a.attempt >= 0 && static_cast<std::uint64_t>(a.attempt) != attempt) {
+      continue;
+    }
+    return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace kronotri::util::fault

@@ -1,0 +1,63 @@
+// Deterministic fault injection for the multi-process runner.
+//
+// The runner's recovery paths (retry, timeout + SIGKILL, truncated-frame
+// re-dispatch, retry-budget exhaustion) are only trustworthy if every one
+// of them is exercised, not just claimed — so faults are injected at
+// exact (work-unit, attempt) coordinates from a compact spec string:
+//
+//   spec    := action ( ',' action )*
+//   action  := kind ( ':' key '=' value )*
+//   kind    := kill | exit | stall | truncate
+//   keys    := shard=N     work-unit index the fault fires on (default any)
+//              attempt=N   0-based attempt it fires on (default every one)
+//              secs=F      stall duration (stall only; default 3600)
+//              code=N      exit status (exit only; default 1)
+//
+// Examples: "kill:shard=1:attempt=0" (the CI crash-injection smoke),
+// "stall:shard=2:secs=30", "truncate:shard=0:attempt=0,exit:shard=3".
+// The spec reaches a worker via plan options.fault or the KRONOTRI_FAULT
+// environment variable; an empty spec is a no-op injector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kronotri::util::fault {
+
+/// One parsed fault action. shard/attempt of -1 match any value.
+struct Action {
+  std::string kind;
+  std::int64_t shard = -1;
+  std::int64_t attempt = -1;
+  double secs = 3600;
+  int code = 1;
+};
+
+class Injector {
+ public:
+  Injector() = default;
+  /// Parses a spec; throws std::invalid_argument naming the offending
+  /// token on unknown kinds/keys or malformed key=value pairs.
+  explicit Injector(std::string_view spec);
+
+  /// Injector from $KRONOTRI_FAULT (empty injector when unset).
+  static Injector from_env();
+
+  [[nodiscard]] bool empty() const noexcept { return actions_.empty(); }
+  [[nodiscard]] const std::vector<Action>& actions() const noexcept {
+    return actions_;
+  }
+
+  /// First action of `kind` whose shard/attempt constraints accept the
+  /// given coordinates, or nullptr.
+  [[nodiscard]] const Action* match(std::string_view kind,
+                                    std::uint64_t shard,
+                                    std::uint64_t attempt) const noexcept;
+
+ private:
+  std::vector<Action> actions_;
+};
+
+}  // namespace kronotri::util::fault

@@ -4,6 +4,8 @@
 #include <optional>
 #include <ostream>
 #include <stdexcept>
+#include <string>
+#include <tuple>
 
 #include "kron/multi.hpp"
 #include "kron/oracle.hpp"
@@ -28,7 +30,16 @@ ValidationReport build_report(
   r.mem_budget_bytes = opt.mem_budget_bytes;
   r.predicted_total = predicted_total;
 
-  r.stats = census.run([&](const StreamingCensus::Shard& shard) {
+  // Work-unit restriction: the full shard plan is deterministic, so every
+  // process derives the same boundaries and takes its own disjoint index
+  // slice — the fragments merge() back into the single-process report.
+  std::size_t begin = 0, end = census.shards().size();
+  if (opt.units > 0) {
+    std::tie(begin, end) = unit_index_range(end, opt.unit, opt.units);
+    r.partial = true;
+  }
+
+  const auto fold = [&](const StreamingCensus::Shard& shard) {
     const auto vc = shard.vertex_counts();
     for (std::size_t i = 0; i < vc.size(); ++i) {
       const count_t measured = vc[i];
@@ -56,10 +67,20 @@ ValidationReport build_report(
             std::max(r.edge_max_abs_err, abs_diff(measured, *predicted));
       }
     });
-  });
+  };
+  r.stats = census.run_shards(begin, end, fold);
   r.measured_total = r.stats.total_triangles;
   r.num_edges = r.stats.num_edges;
   return r;
+}
+
+std::map<count_t, count_t> histogram_from_json(const util::json::Value* v) {
+  std::map<count_t, count_t> h;
+  if (v == nullptr) return h;
+  for (const auto& [key, freq] : v->members()) {
+    h[static_cast<count_t>(std::stoull(key))] = freq.as_uint();
+  }
+  return h;
 }
 
 }  // namespace
@@ -82,7 +103,8 @@ void ValidationReport::print(std::ostream& os) const {
          util::commas(edge_mismatches) + " / " + util::commas(edges_checked)});
   t.row({"max abs error (V/E)", util::commas(vertex_max_abs_err) + " / " +
                                     util::commas(edge_max_abs_err)});
-  if (histogram_checked) {
+  if (partial) t.row({"coverage", "PARTIAL (shard-subset fragment)"});
+  if (histogram_checked && !partial) {
     t.row({"vertex histogram",
            vertex_histogram == predicted_vertex_histogram
                ? "matches closed form"
@@ -102,8 +124,11 @@ util::json::Value ValidationReport::to_json() const {
   out.set("num_shards", stats.num_shards);
   out.set("peak_accumulator_bytes", stats.peak_accumulator_bytes);
   out.set("wedge_checks", stats.wedge_checks);
+  out.set("vertex_count_sum", stats.vertex_count_sum);
+  out.set("edge_count_sum", stats.edge_count_sum);
   out.set("measured_total", measured_total);
   out.set("predicted_total", predicted_total);
+  out.set("partial", partial);
   out.set("vertices_checked", vertices_checked);
   out.set("vertex_mismatches", vertex_mismatches);
   out.set("vertex_max_abs_err", vertex_max_abs_err);
@@ -113,8 +138,74 @@ util::json::Value ValidationReport::to_json() const {
   out.set("histogram_checked", histogram_checked);
   out.set("vertex_histogram", util::json::histogram(vertex_histogram));
   out.set("edge_histogram", util::json::histogram(edge_histogram));
+  out.set("predicted_vertex_histogram",
+          util::json::histogram(predicted_vertex_histogram));
   out.set("pass", pass());
   return out;
+}
+
+ValidationReport ValidationReport::from_json(const util::json::Value& v) {
+  ValidationReport r;
+  r.spec = v.get_string("spec", "");
+  r.num_vertices = v.get_uint("num_vertices", 0);
+  r.num_edges = v.get_uint("num_edges", 0);
+  r.num_factors = v.get_uint("num_factors", 0);
+  r.mem_budget_bytes = v.get_uint("mem_budget_bytes", 0);
+  r.stats.num_shards = v.get_uint("num_shards", 0);
+  r.stats.peak_accumulator_bytes = v.get_uint("peak_accumulator_bytes", 0);
+  r.stats.wedge_checks = v.get_uint("wedge_checks", 0);
+  r.stats.vertex_count_sum = v.get_uint("vertex_count_sum", 0);
+  r.stats.edge_count_sum = v.get_uint("edge_count_sum", 0);
+  r.stats.num_edges = r.num_edges;
+  r.measured_total = v.get_uint("measured_total", 0);
+  r.stats.total_triangles = r.measured_total;
+  r.predicted_total = v.get_uint("predicted_total", 0);
+  r.partial = v.get_bool("partial", false);
+  r.vertices_checked = v.get_uint("vertices_checked", 0);
+  r.vertex_mismatches = v.get_uint("vertex_mismatches", 0);
+  r.vertex_max_abs_err = v.get_uint("vertex_max_abs_err", 0);
+  r.edges_checked = v.get_uint("edges_checked", 0);
+  r.edge_mismatches = v.get_uint("edge_mismatches", 0);
+  r.edge_max_abs_err = v.get_uint("edge_max_abs_err", 0);
+  r.histogram_checked = v.get_bool("histogram_checked", false);
+  r.vertex_histogram = histogram_from_json(v.find("vertex_histogram"));
+  r.edge_histogram = histogram_from_json(v.find("edge_histogram"));
+  r.predicted_vertex_histogram =
+      histogram_from_json(v.find("predicted_vertex_histogram"));
+  return r;
+}
+
+void ValidationReport::merge(const ValidationReport& other) {
+  num_edges += other.num_edges;
+  stats.num_shards += other.stats.num_shards;
+  stats.num_edges += other.stats.num_edges;
+  stats.wedge_checks += other.stats.wedge_checks;
+  stats.vertex_count_sum += other.stats.vertex_count_sum;
+  stats.edge_count_sum += other.stats.edge_count_sum;
+  stats.peak_accumulator_bytes =
+      std::max(stats.peak_accumulator_bytes, other.stats.peak_accumulator_bytes);
+  vertices_checked += other.vertices_checked;
+  vertex_mismatches += other.vertex_mismatches;
+  vertex_max_abs_err = std::max(vertex_max_abs_err, other.vertex_max_abs_err);
+  edges_checked += other.edges_checked;
+  edge_mismatches += other.edge_mismatches;
+  edge_max_abs_err = std::max(edge_max_abs_err, other.edge_max_abs_err);
+  for (const auto& [count, freq] : other.vertex_histogram) {
+    vertex_histogram[count] += freq;
+  }
+  for (const auto& [count, freq] : other.edge_histogram) {
+    edge_histogram[count] += freq;
+  }
+  histogram_checked = histogram_checked || other.histogram_checked;
+  if (predicted_vertex_histogram.empty()) {
+    predicted_vertex_histogram = other.predicted_vertex_histogram;
+  }
+}
+
+void ValidationReport::finalize_merged() {
+  partial = false;
+  measured_total = stats.vertex_count_sum / 3;
+  stats.total_triangles = measured_total;
 }
 
 void ValidationReport::write_json(std::ostream& os) const {

@@ -54,7 +54,15 @@ struct ValidationReport {
 
   StreamingStats stats;
 
+  /// True while the report covers only a shard subset (StreamingOptions
+  /// unit/units) — a fragment of the multi-process runner. Total and
+  /// histogram identities only hold on the whole census, so a partial
+  /// report passes on pointwise mismatches alone; merge() + finalize()
+  /// restore the full contract.
+  bool partial = false;
+
   [[nodiscard]] bool pass() const noexcept {
+    if (partial) return vertex_mismatches == 0 && edge_mismatches == 0;
     return vertex_mismatches == 0 && edge_mismatches == 0 &&
            measured_total == predicted_total &&
            stats.vertex_count_sum == 3 * measured_total &&
@@ -62,6 +70,18 @@ struct ValidationReport {
            (!histogram_checked ||
             vertex_histogram == predicted_vertex_histogram);
   }
+
+  /// Folds a fragment covering a DISJOINT shard subset of the same census
+  /// into this one: counters add, maxima take max, histograms sum.
+  /// Shard ownership makes the fold exact — no shard contributes to two
+  /// fragments' counters.
+  void merge(const ValidationReport& other);
+
+  /// Marks a fully merged report complete again: recomputes the measured
+  /// total from the merged vertex sum and drops `partial`, restoring the
+  /// strict pass() contract. The result is field-identical to the
+  /// single-process report when every unit was merged exactly once.
+  void finalize_merged();
 
   /// Human-readable summary (the `kronotri validate --spec` output).
   void print(std::ostream& os) const;
@@ -71,6 +91,9 @@ struct ValidationReport {
   /// RunReport `validate` stage.
   [[nodiscard]] util::json::Value to_json() const;
   void write_json(std::ostream& os) const;
+
+  /// Inverse of to_json() — how the coordinator reads worker fragments.
+  static ValidationReport from_json(const util::json::Value& v);
 };
 
 /// Streams the census of C = A ⊗ B under `opt` and validates it against the

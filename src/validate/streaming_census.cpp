@@ -252,11 +252,21 @@ void StreamingCensus::process_shard(ShardRange range,
 }
 
 StreamingStats StreamingCensus::run(const ShardConsumer& consumer) const {
+  return run_shards(0, shards_.size(), consumer);
+}
+
+StreamingStats StreamingCensus::run_shards(std::size_t begin, std::size_t end,
+                                           const ShardConsumer& consumer)
+    const {
+  if (begin > end || end > shards_.size()) {
+    throw std::out_of_range("StreamingCensus::run_shards: bad range");
+  }
   StreamingStats st;
-  st.num_shards = shards_.size();
+  st.num_shards = end - begin;
   std::vector<count_t> vertex, edge;
   std::vector<esz> offsets;
-  for (const ShardRange range : shards_) {
+  for (std::size_t s = begin; s < end; ++s) {
+    const ShardRange range = shards_[s];
     count_t checks = 0;
     process_shard(range, vertex, edge, offsets, checks);
     st.wedge_checks += checks;
@@ -279,8 +289,10 @@ StreamingStats StreamingCensus::run(const ShardConsumer& consumer) const {
     st.num_edges += edge.size();
     if (consumer) consumer(Shard(*this, range, vertex, edge, offsets));
   }
-  assert(st.vertex_count_sum % 3 == 0);
-  st.total_triangles = st.vertex_count_sum / 3;
+  if (begin == 0 && end == shards_.size()) {
+    assert(st.vertex_count_sum % 3 == 0);
+    st.total_triangles = st.vertex_count_sum / 3;
+  }
   return st;
 }
 

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/graph.hpp"
@@ -58,7 +59,23 @@ struct StreamingOptions {
   /// Force exactly this many (equal-vertex-range) shards instead of
   /// deriving boundaries from the budget; 0 = use the budget.
   std::uint64_t force_shards = 0;
+
+  /// Restrict the run to work unit `unit` of `units`: the report layer
+  /// plans the full shard list as usual (budget-derived boundaries are
+  /// identical in every process) and then processes only the unit's
+  /// contiguous slice of shard indices — the decomposition the
+  /// multi-process runner forks over. units == 0 disables (full run).
+  std::uint64_t unit = 0;
+  std::uint64_t units = 0;
 };
+
+/// Balanced contiguous index subrange [lo, hi) of `total` items for work
+/// unit `unit` of `units` (empty for the tail units when total < units).
+inline std::pair<std::size_t, std::size_t> unit_index_range(
+    std::size_t total, std::uint64_t unit, std::uint64_t units) {
+  return {static_cast<std::size_t>(total * unit / units),
+          static_cast<std::size_t>(total * (unit + 1) / units)};
+}
 
 /// Contiguous product-vertex range [lo, hi) processed as one unit.
 struct ShardRange {
@@ -151,6 +168,15 @@ class StreamingCensus {
   /// Deterministic: identical counts, shard boundaries and stats at every
   /// OMP thread count.
   StreamingStats run(const ShardConsumer& consumer = {}) const;
+
+  /// Runs only shards [begin, end) of shards() — the multi-process
+  /// runner's work unit. Per-shard counts are identical to the shards'
+  /// slice of a full run() (ownership makes shards independent), so
+  /// disjoint subranges merge additively. total_triangles is only
+  /// computed when the range covers every shard: a partial
+  /// vertex_count_sum need not be divisible by 3.
+  StreamingStats run_shards(std::size_t begin, std::size_t end,
+                            const ShardConsumer& consumer = {}) const;
 
   // -- exposed for tests / the report layer --------------------------------
 

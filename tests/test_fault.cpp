@@ -1,0 +1,81 @@
+// util::fault::Injector spec grammar + match semantics, and the
+// util::Backoff delay schedule shared by the runner and service::Client.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/backoff.hpp"
+#include "util/fault.hpp"
+
+namespace {
+
+using namespace kronotri;
+using util::fault::Injector;
+
+TEST(Fault, EmptySpecMatchesNothing) {
+  const Injector inj{std::string_view{}};
+  EXPECT_TRUE(inj.empty());
+  EXPECT_EQ(inj.match("kill", 0, 0), nullptr);
+}
+
+TEST(Fault, ParsesTheCiSmokeSpec) {
+  const Injector inj{std::string_view{"kill:shard=1:attempt=0"}};
+  ASSERT_EQ(inj.actions().size(), 1u);
+  EXPECT_EQ(inj.actions()[0].kind, "kill");
+  EXPECT_EQ(inj.actions()[0].shard, 1);
+  EXPECT_EQ(inj.actions()[0].attempt, 0);
+  // Fires exactly at (shard 1, attempt 0) — nowhere else.
+  EXPECT_NE(inj.match("kill", 1, 0), nullptr);
+  EXPECT_EQ(inj.match("kill", 1, 1), nullptr);
+  EXPECT_EQ(inj.match("kill", 0, 0), nullptr);
+  EXPECT_EQ(inj.match("stall", 1, 0), nullptr);
+}
+
+TEST(Fault, OmittedKeysMatchAnyCoordinate) {
+  const Injector inj{std::string_view{"exit:code=7"}};
+  const auto* a = inj.match("exit", 3, 2);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->code, 7);
+  EXPECT_NE(inj.match("exit", 0, 0), nullptr);
+}
+
+TEST(Fault, MultipleActionsAndStallSeconds) {
+  const Injector inj{
+      std::string_view{"stall:shard=2:secs=0.25,truncate:shard=0:attempt=1"}};
+  ASSERT_EQ(inj.actions().size(), 2u);
+  const auto* stall = inj.match("stall", 2, 5);
+  ASSERT_NE(stall, nullptr);
+  EXPECT_DOUBLE_EQ(stall->secs, 0.25);
+  EXPECT_NE(inj.match("truncate", 0, 1), nullptr);
+  EXPECT_EQ(inj.match("truncate", 0, 0), nullptr);
+}
+
+TEST(Fault, RejectsMalformedSpecs) {
+  EXPECT_THROW(Injector{std::string_view{"explode"}}, std::invalid_argument);
+  EXPECT_THROW(Injector{std::string_view{"kill:shard"}},
+               std::invalid_argument);
+  EXPECT_THROW(Injector{std::string_view{"kill:shard=x"}},
+               std::invalid_argument);
+  EXPECT_THROW(Injector{std::string_view{"kill:boom=1"}},
+               std::invalid_argument);
+}
+
+TEST(Fault, FromEnvReadsKronotriFault) {
+  ::setenv("KRONOTRI_FAULT", "kill:shard=4", 1);
+  const Injector inj = Injector::from_env();
+  EXPECT_NE(inj.match("kill", 4, 9), nullptr);
+  ::unsetenv("KRONOTRI_FAULT");
+  EXPECT_TRUE(Injector::from_env().empty());
+}
+
+TEST(Backoff, ExponentialWithCeiling) {
+  const util::Backoff b{0.05, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(b.delay_s(0), 0.05);
+  EXPECT_DOUBLE_EQ(b.delay_s(1), 0.1);
+  EXPECT_DOUBLE_EQ(b.delay_s(2), 0.2);
+  EXPECT_DOUBLE_EQ(b.delay_s(10), 2.0);   // clamped
+  EXPECT_DOUBLE_EQ(b.delay_s(100), 2.0);  // no overflow at large attempts
+}
+
+}  // namespace

@@ -1,0 +1,220 @@
+// runner::execute — fault-tolerant multi-process RunPlan execution.
+//
+// Every test compares the merged multi-process report against the
+// in-process serial run through runner::comparable(), the one shared
+// definition of "bit-identical modulo timings/metadata/worker_events".
+// Faults are injected with util::fault specs at chosen (unit, attempt)
+// coordinates; unit 0 is the base (non-validate) unit, units 1..U are the
+// validate shard-subset units.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <csignal>
+#include <string>
+
+#include "api/plan.hpp"
+#include "runner/runner.hpp"
+
+namespace {
+
+using namespace kronotri;
+
+// Small two-factor product with a base unit (census + degree) and several
+// validate shards: big enough that every validate unit owns real work,
+// small enough for a fork-heavy test on one core.
+constexpr const char* kPlanText =
+    "kron:(hk:n=40,m=2,p=0.5,seed=7)x(hk:n=40,m=2,p=0.5,seed=7,loops=1) "
+    "census:edges=1 degree:histogram=0 validate:mem_budget=8K";
+
+api::RunPlan test_plan() {
+  api::RunPlan plan = api::RunPlan::parse(kPlanText);
+  plan.options.threads = 2;
+  return plan;
+}
+
+runner::Options test_opts() {
+  runner::Options opt;
+  opt.workers = 3;
+  opt.straggler_min_s = 60;  // no accidental speculation on a loaded box
+  return opt;
+}
+
+std::string comparable_dump(const api::RunReport& report) {
+  return runner::comparable(report.to_json()).dump_string(2);
+}
+
+int count_events(const api::RunReport& report, unsigned unit,
+                 const std::string& outcome) {
+  int n = 0;
+  for (const api::WorkerEvent& e : report.worker_events) {
+    if (e.unit == unit && e.outcome == outcome) ++n;
+  }
+  return n;
+}
+
+TEST(Runner, ComparableStripsVolatileFields) {
+  const api::RunPlan plan = test_plan();
+  api::RunReport a = api::run(plan);
+  api::RunReport b = a;
+  // Everything volatile differs; everything semantic is untouched.
+  b.total_wall_s += 1;
+  b.total_cpu_s += 2;
+  b.peak_rss_bytes += 4096;
+  b.queue_wait_s += 3;
+  b.metadata = util::json::Value::object();
+  for (auto& st : b.stages) st.wall_s += 0.5;
+  for (auto& ar : b.analyses) ar.wall_s += 0.5;
+  b.plan.options.workers = 4;
+  b.plan.options.shard_timeout_s = 9;
+  b.plan.options.max_retries = 7;
+  b.plan.options.fault = "kill";
+  api::WorkerEvent e;
+  e.outcome = "ok";
+  b.worker_events.push_back(e);
+  EXPECT_EQ(comparable_dump(a), comparable_dump(b));
+
+  b.num_vertices += 1;  // a semantic field must NOT be stripped
+  EXPECT_NE(comparable_dump(a), comparable_dump(b));
+}
+
+TEST(Runner, MultiprocessMatchesSerial) {
+  const api::RunPlan plan = test_plan();
+  const api::RunReport serial = api::run(plan);
+  const api::RunReport multi = runner::execute(plan, test_opts());
+  EXPECT_TRUE(multi.pass);
+  EXPECT_TRUE(multi.error.empty()) << multi.error;
+  EXPECT_FALSE(multi.worker_events.empty());
+  EXPECT_EQ(comparable_dump(serial), comparable_dump(multi));
+  // Every attempt succeeded first try.
+  for (const api::WorkerEvent& e : multi.worker_events) {
+    EXPECT_EQ(e.outcome, "ok") << "unit " << e.unit;
+  }
+}
+
+TEST(Runner, WorkersOneRunsInProcess) {
+  const api::RunPlan plan = test_plan();
+  runner::Options opt;
+  opt.workers = 1;
+  const api::RunReport report = runner::execute(plan, opt);
+  EXPECT_TRUE(report.pass);
+  EXPECT_TRUE(report.worker_events.empty());
+  EXPECT_EQ(comparable_dump(api::run(plan)), comparable_dump(report));
+}
+
+TEST(Runner, InjectedKillRecovers) {
+  const api::RunPlan plan = test_plan();
+  runner::Options opt = test_opts();
+  opt.fault_spec = "kill:shard=1:attempt=0";  // first validate unit, once
+  const api::RunReport multi = runner::execute(plan, opt);
+  EXPECT_TRUE(multi.pass);
+  EXPECT_EQ(comparable_dump(api::run(plan)), comparable_dump(multi));
+  // The crash is recorded as a SIGKILL death, then the retry succeeds.
+  ASSERT_EQ(count_events(multi, 1, "signal"), 1);
+  for (const api::WorkerEvent& e : multi.worker_events) {
+    if (e.outcome != "signal") continue;
+    EXPECT_EQ(e.unit, 1u);
+    EXPECT_EQ(e.attempt, 0u);
+    EXPECT_EQ(e.detail, SIGKILL);
+    EXPECT_EQ(e.kind, "validate");
+  }
+  EXPECT_EQ(count_events(multi, 1, "ok"), 1);
+}
+
+TEST(Runner, InjectedTimeoutRecovers) {
+  const api::RunPlan plan = test_plan();
+  runner::Options opt = test_opts();
+  opt.fault_spec = "stall:shard=1:attempt=0:secs=30";
+  opt.shard_timeout_s = 1.0;
+  const api::RunReport multi = runner::execute(plan, opt);
+  EXPECT_TRUE(multi.pass);
+  EXPECT_EQ(comparable_dump(api::run(plan)), comparable_dump(multi));
+  EXPECT_EQ(count_events(multi, 1, "timeout"), 1);
+  EXPECT_EQ(count_events(multi, 1, "ok"), 1);
+}
+
+TEST(Runner, TruncatedFragmentRetries) {
+  const api::RunPlan plan = test_plan();
+  runner::Options opt = test_opts();
+  opt.fault_spec = "truncate:shard=2:attempt=0";
+  const api::RunReport multi = runner::execute(plan, opt);
+  EXPECT_TRUE(multi.pass);
+  EXPECT_EQ(comparable_dump(api::run(plan)), comparable_dump(multi));
+  EXPECT_EQ(count_events(multi, 2, "truncated"), 1);
+  EXPECT_EQ(count_events(multi, 2, "ok"), 1);
+}
+
+TEST(Runner, RetryBudgetExhaustedFailsStructurally) {
+  const api::RunPlan plan = test_plan();
+  runner::Options opt = test_opts();
+  opt.fault_spec = "exit:shard=1:code=7";  // every attempt of unit 1 fails
+  opt.max_retries = 1;
+  const api::RunReport multi = runner::execute(plan, opt);
+  EXPECT_FALSE(multi.pass);
+  EXPECT_FALSE(multi.error.empty());
+  EXPECT_NE(multi.error.find("unit 1"), std::string::npos) << multi.error;
+  // attempt 0 + one retry, both recorded with the worker's exit code.
+  EXPECT_EQ(count_events(multi, 1, "exit"), 2);
+  for (const api::WorkerEvent& e : multi.worker_events) {
+    if (e.outcome == "exit") {
+      EXPECT_EQ(e.detail, 7);
+    }
+  }
+  EXPECT_EQ(count_events(multi, 1, "ok"), 0);
+}
+
+TEST(Runner, SpeculativeRedispatchBeatsStraggler) {
+  const api::RunPlan plan = test_plan();
+  runner::Options opt = test_opts();
+  // Unit 1's first attempt stalls well past the straggler threshold; the
+  // speculative duplicate (attempt 1, no fault match) wins.
+  opt.fault_spec = "stall:shard=1:attempt=0:secs=20";
+  opt.straggler_min_s = 0.2;
+  opt.speculate = true;
+  const api::RunReport multi = runner::execute(plan, opt);
+  EXPECT_TRUE(multi.pass);
+  EXPECT_EQ(comparable_dump(api::run(plan)), comparable_dump(multi));
+  EXPECT_EQ(count_events(multi, 1, "speculative_loss"), 1);
+  EXPECT_EQ(count_events(multi, 1, "ok"), 1);
+}
+
+TEST(Runner, DegradesWithoutWorkerBinary) {
+  const api::RunPlan plan = test_plan();
+  runner::Options opt = test_opts();
+  opt.worker_exe = "/nonexistent/kronotri";
+  const api::RunReport report = runner::execute(plan, opt);
+  EXPECT_TRUE(report.pass);
+  EXPECT_EQ(comparable_dump(api::run(plan)), comparable_dump(report));
+  ASSERT_EQ(report.worker_events.size(), 1u);
+  EXPECT_EQ(report.worker_events[0].outcome, "degraded");
+}
+
+TEST(Runner, ValidateOnlyPlanDecomposesWithoutBaseUnit) {
+  // No non-validate analyses: every unit is a validate shard subset, so
+  // the skeleton comes from a validate fragment and must still merge to
+  // the serial report.
+  api::RunPlan plan = api::RunPlan::parse(
+      "kron:(hk:n=40,m=2,p=0.5,seed=7)x(hk:n=40,m=2,p=0.5,seed=7,loops=1) "
+      "validate:mem_budget=8K");
+  plan.options.threads = 2;
+  const api::RunReport multi = runner::execute(plan, test_opts());
+  EXPECT_TRUE(multi.pass);
+  EXPECT_EQ(comparable_dump(api::run(plan)), comparable_dump(multi));
+  for (const api::WorkerEvent& e : multi.worker_events) {
+    EXPECT_EQ(e.kind, "validate");
+  }
+}
+
+TEST(Runner, OptionsFromPlanMapsRunnerKnobs) {
+  api::RunPlan plan = test_plan();
+  plan.options.workers = 4;
+  plan.options.shard_timeout_s = 12.5;
+  plan.options.max_retries = 5;
+  plan.options.fault = "kill:shard=1";
+  const runner::Options opt = runner::options_from(plan);
+  EXPECT_EQ(opt.workers, 4u);
+  EXPECT_DOUBLE_EQ(opt.shard_timeout_s, 12.5);
+  EXPECT_EQ(opt.max_retries, 5u);
+  EXPECT_EQ(opt.fault_spec, "kill:shard=1");
+}
+
+}  // namespace

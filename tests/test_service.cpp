@@ -439,6 +439,131 @@ TEST(Service, CacheEvictionStaysWithinByteBudget) {
   EXPECT_EQ(again.get_string("cache", ""), "miss");
 }
 
+TEST(Service, SurvivesClientDisconnectMidResponseWrite) {
+  // A client that hangs up while the server is writing its (large)
+  // response must cost the server exactly one EPIPE, never a SIGPIPE
+  // death. The report with the full edge list is far bigger than an
+  // AF_UNIX socket buffer, so the server's write_all is still in flight
+  // when the socket dies.
+  service::ServerOptions opt = small_options("midwrite");
+  opt.workers = 1;
+  service::Server server(opt);
+  server.start();
+
+  {
+    service::Client rude;
+    rude.connect(opt.socket_path);
+    Value req = Value::object();
+    req.set("type", "submit");
+    req.set("plan",
+            api::RunPlan::parse("hk:n=6000,seed=3 census:edges=1").to_json());
+    rude.send(req);
+    // The job may finish between stats polls, so accept either state: the
+    // response is bigger than the socket buffer either way, so the
+    // server's write is (or will be) blocked mid-frame when we hang up.
+    ASSERT_TRUE(wait_for_stats(opt.socket_path, [](const Value& s) {
+      return s.get_uint("jobs_active", 0) + s.get_uint("jobs_completed", 0) >=
+             1;
+    }));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    rude.close();  // mid-write: the rest of the frame hits EPIPE
+  }
+
+  ASSERT_TRUE(wait_for_stats(opt.socket_path, [](const Value& s) {
+    return s.get_uint("jobs_completed", 0) == 1;
+  }));
+  // Server process survived the broken pipe and still round-trips.
+  service::Client polite;
+  polite.connect(opt.socket_path);
+  Value ping = Value::object();
+  ping.set("type", "ping");
+  EXPECT_TRUE(polite.request(ping).get_bool("ok", false));
+  EXPECT_GE(stats_of(polite.stats()).get_uint("client_disconnects", 0), 1u);
+}
+
+TEST(Service, RequestTimeoutFiresOnSilentServer) {
+  // A socket that listens but never accepts: connect() succeeds via the
+  // backlog, then no response ever arrives. Without request_timeout_s the
+  // old client would block forever.
+  const std::string path = test_socket("silent");
+  ::unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  ASSERT_EQ(::listen(listener, 4), 0);
+
+  service::ClientOptions copt;
+  copt.request_timeout_s = 0.3;
+  service::Client c(copt);
+  c.connect(path);
+  Value ping = Value::object();
+  ping.set("type", "ping");
+  c.send(ping);
+  try {
+    (void)c.read_response();
+    FAIL() << "expected a request timeout";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos)
+        << e.what();
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+}
+
+TEST(Service, ConnectRetriesUntilServerAppears) {
+  // The daemon-still-binding race: the socket appears ~250ms after the
+  // client starts dialing. Backoff (0.05, x2) reaches that well inside
+  // the 10-attempt budget.
+  const std::string path = test_socket("lateserver");
+  ::unlink(path.c_str());
+  std::thread late_binder([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(listener, 0);
+    ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(listener, 4), 0);
+    std::this_thread::sleep_for(std::chrono::seconds(2));
+    ::close(listener);
+  });
+
+  service::ClientOptions copt;
+  copt.connect_attempts = 10;
+  copt.connect_timeout_s = 1.0;
+  service::Client c(copt);
+  c.connect(path);  // throws on failure
+  EXPECT_TRUE(c.connected());
+  c.close();
+  late_binder.join();
+  ::unlink(path.c_str());
+}
+
+TEST(Service, ConnectFailureReportsAttemptBudget) {
+  service::ClientOptions copt;
+  copt.connect_attempts = 3;
+  copt.connect_timeout_s = 0.2;
+  copt.backoff = util::Backoff{0.01, 2.0, 0.05};
+  service::Client c(copt);
+  try {
+    c.connect(test_socket("nobody_home"));
+    FAIL() << "expected connect to fail";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("3 attempts"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(c.connected());
+}
+
 TEST(Service, SurvivesManyConcurrentClients) {
   service::ServerOptions opt = small_options("many");
   opt.workers = 4;
