@@ -1,20 +1,30 @@
 // Multi-process runner benchmark (BENCH_runner.json): forked shard
 // workers vs the in-process serial run, plus the cost of recovering from
-// an injected worker crash.
+// an injected worker crash and the price of durability (journaled run,
+// resume from a complete journal).
 //
 // Artifact contract (consumed by CI):
 //   * every mode's report must PASS;
-//   * the multi-process and crash-recovery reports must be bit-identical
-//     to the in-process serial report under runner::comparable() — the
-//     binary exits non-zero on any merge divergence, failing the job;
+//   * the multi-process, crash-recovery, journaled and resumed reports
+//     must be bit-identical to the in-process serial report under
+//     runner::comparable() — the binary exits non-zero on any merge
+//     divergence, failing the job;
 //   * "recovery_overhead" records workers4_kill wall / workers4 wall: the
-//     price of one SIGKILLed worker attempt (re-dispatch + backoff).
+//     price of one SIGKILLed worker attempt (re-dispatch + backoff);
+//   * "journal_overhead" records workers4_journal wall / workers4 wall:
+//     the fsync-per-record price of crash-safety;
+//   * "resume_overhead" records workers4_resume wall / workers4 wall: a
+//     resume of a COMPLETE journal reloads every fragment and executes
+//     nothing, so this is the pure verification cost (expected << 1).
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "api/plan.hpp"
 #include "api/pipeline.hpp"
@@ -41,6 +51,10 @@ api::RunPlan bench_plan() {
   return plan;
 }
 
+std::string journal_dir() {
+  return "/tmp/kronotri_bench_journal_" + std::to_string(::getpid());
+}
+
 struct ModeResult {
   std::string name;
   unsigned workers = 1;
@@ -50,12 +64,14 @@ struct ModeResult {
   bool merge_identical = true;  // vs the serial reference
   count_t edges = 0;
   std::size_t events = 0;
-  std::size_t recoveries = 0;  // non-"ok" attempt outcomes
+  std::size_t recoveries = 0;  // failed attempts re-dispatched
+  std::size_t resumed = 0;     // units reloaded from journal fragments
   std::string comparable_dump;
 };
 
 ModeResult run_mode(const std::string& name, unsigned workers,
-                    const std::string& fault) {
+                    const std::string& fault,
+                    const std::string& journal = "", bool resume = false) {
   ModeResult r;
   r.name = name;
   r.workers = workers;
@@ -64,6 +80,8 @@ ModeResult run_mode(const std::string& name, unsigned workers,
   opt.workers = workers;
   opt.fault_spec = fault;
   opt.straggler_min_s = 60;  // measure recovery, not speculation
+  opt.journal_dir = journal;
+  opt.resume = resume;
   const util::WallTimer timer;
   const api::RunReport report = runner::execute(bench_plan(), opt);
   r.wall_s = timer.seconds();
@@ -71,7 +89,11 @@ ModeResult run_mode(const std::string& name, unsigned workers,
   r.edges = report.num_undirected_edges;
   r.events = report.worker_events.size();
   for (const api::WorkerEvent& e : report.worker_events) {
-    if (e.outcome != "ok") ++r.recoveries;
+    if (e.outcome == "resumed") {
+      ++r.resumed;
+    } else if (e.outcome != "ok") {
+      ++r.recoveries;
+    }
   }
   r.comparable_dump = runner::comparable(report.to_json()).dump_string(0);
   return r;
@@ -80,30 +102,53 @@ ModeResult run_mode(const std::string& name, unsigned workers,
 std::vector<ModeResult> g_results;
 bool g_all_ok = true;
 
+const ModeResult& mode(const std::string& name) {
+  for (const ModeResult& r : g_results) {
+    if (r.name == name) return r;
+  }
+  throw std::logic_error("unknown bench mode " + name);
+}
+
+double overhead_vs_workers4(const std::string& name) {
+  const double base = mode("workers4").wall_s;
+  return base > 0 ? mode(name).wall_s / base : 0.0;
+}
+
 void print_artifact() {
   kt_bench::banner("Multi-process runner (BENCH_runner.json)",
-                   "forked shard workers vs in-process; crash recovery cost");
+                   "forked workers; crash recovery; journal + resume cost");
 
+  const std::string jdir = journal_dir();
+  std::filesystem::remove_all(jdir);
   g_results.push_back(run_mode("in_process", 1, ""));
   g_results.push_back(run_mode("workers4", 4, ""));
   g_results.push_back(run_mode("workers4_kill", 4, "kill:shard=1:attempt=0"));
+  // The journaled run leaves a COMPLETE journal behind; the resume leg
+  // reloads it without executing a single unit.
+  g_results.push_back(run_mode("workers4_journal", 4, "", jdir));
+  g_results.push_back(run_mode("workers4_resume", 4, "", jdir, true));
+  std::filesystem::remove_all(jdir);
 
   const ModeResult& serial = g_results[0];
   for (ModeResult& r : g_results) {
     r.merge_identical = r.comparable_dump == serial.comparable_dump;
     g_all_ok = g_all_ok && r.pass && r.merge_identical;
   }
-  // The kill mode must actually have recovered from something.
-  g_all_ok = g_all_ok && g_results[2].recoveries >= 1;
+  // The kill mode must actually have recovered from something, and the
+  // resume mode must have reloaded everything (zero fresh executions).
+  g_all_ok = g_all_ok && mode("workers4_kill").recoveries >= 1;
+  g_all_ok = g_all_ok && mode("workers4_resume").resumed >= 1 &&
+             mode("workers4_resume").recoveries == 0;
 
   util::Table t({"mode", "workers", "fault", "wall s", "edges/s",
-                 "attempts", "recoveries", "verdict"});
+                 "attempts", "recoveries", "resumed", "verdict"});
   for (const ModeResult& r : g_results) {
     t.row({r.name, std::to_string(r.workers),
            r.fault.empty() ? "-" : r.fault, std::to_string(r.wall_s),
            util::commas(static_cast<count_t>(
                r.wall_s > 0 ? static_cast<double>(r.edges) / r.wall_s : 0)),
            std::to_string(r.events), std::to_string(r.recoveries),
+           std::to_string(r.resumed),
            r.pass && r.merge_identical ? "PASS" : "FAIL"});
   }
   t.print(std::cout);
@@ -123,15 +168,17 @@ void print_artifact() {
     m.set("merge_identical_to_serial", r.merge_identical);
     m.set("worker_attempts", r.events);
     m.set("recovered_attempts", r.recoveries);
+    m.set("resumed_units", r.resumed);
     modes.push_back(std::move(m));
   }
   j.set("modes", std::move(modes));
   j.set("speedup_workers4",
-        g_results[1].wall_s > 0 ? g_results[0].wall_s / g_results[1].wall_s
-                                : 0.0);
-  j.set("recovery_overhead",
-        g_results[1].wall_s > 0 ? g_results[2].wall_s / g_results[1].wall_s
-                                : 0.0);
+        mode("workers4").wall_s > 0
+            ? mode("in_process").wall_s / mode("workers4").wall_s
+            : 0.0);
+  j.set("recovery_overhead", overhead_vs_workers4("workers4_kill"));
+  j.set("journal_overhead", overhead_vs_workers4("workers4_journal"));
+  j.set("resume_overhead", overhead_vs_workers4("workers4_resume"));
   j.set("all_pass", g_all_ok);
   j.set("metadata", util::run_metadata(api::kDefaultBatchSize));
   std::ofstream out("BENCH_runner.json");
@@ -141,10 +188,10 @@ void print_artifact() {
             << (g_all_ok ? "all modes PASS, merges bit-identical"
                          : "FAILURE: divergent merge or failed mode")
             << "; recovery overhead "
-            << (g_results[1].wall_s > 0
-                    ? g_results[2].wall_s / g_results[1].wall_s
-                    : 0.0)
-            << "x)\n";
+            << overhead_vs_workers4("workers4_kill") << "x; journal overhead "
+            << overhead_vs_workers4("workers4_journal")
+            << "x; resume overhead "
+            << overhead_vs_workers4("workers4_resume") << "x)\n";
 }
 
 void bm_runner_workers(benchmark::State& state) {

@@ -73,7 +73,11 @@ struct WorkerEvent {
   unsigned attempt = 0;  ///< 0-based attempt counter for the unit
   long pid = 0;          ///< worker process id (0 when never spawned)
   /// "ok" | "exit" | "signal" | "timeout" | "truncated" | "spawn_failed" |
-  /// "speculative_loss" | "aborted" | "degraded"
+  /// "speculative_loss" | "aborted" | "degraded" | "oom" (worker died at
+  /// kOomExitCode after the RLIMIT_AS guard tripped its allocation path) |
+  /// "resumed" (unit reloaded from a journal, not re-executed) | "corrupt"
+  /// (a journaled fragment failed CRC/digest verification on resume and
+  /// the unit was re-queued)
   std::string outcome;
   int detail = 0;  ///< exit code ("exit") or signal number ("signal"/…)
   double wall_s = 0;

@@ -6,12 +6,15 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <new>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include "api/plan.hpp"
 #include "api/registry.hpp"
@@ -20,6 +23,7 @@
 #include "service/server.hpp"
 #include "util/backoff.hpp"
 #include "util/fault.hpp"
+#include "util/journal.hpp"
 #include "util/table.hpp"
 
 namespace kronotri::cli {
@@ -92,7 +96,8 @@ void usage(std::ostream& out) {
          "  run       --plan FILE|STRING [--json FILE] [--threads T]\n"
          "            [--batch N] [--out FILE] [--format text|binary]\n"
          "            [--workers N] [--shard-timeout SECS] [--max-retries R]\n"
-         "            [--list]\n"
+         "            [--journal DIR [--resume]]\n"
+         "            [--worker-mem-limit BYTES[K|M|G]|auto] [--list]\n"
          "            execute a declarative run plan (JSON document or the\n"
          "            shorthand \"SPEC analysis[:k=v,…] …\") in a single\n"
          "            stream pass where possible; prints the RunReport and\n"
@@ -105,10 +110,19 @@ void usage(std::ostream& out) {
          "            report is bit-identical to --workers 1 (modulo\n"
          "            timings/metadata), recovery recorded in\n"
          "            worker_events; KRONOTRI_FAULT=spec injects faults\n"
-         "            (kill|exit|stall|truncate[:shard=N][:attempt=N]…)\n"
+         "            (kill|exit|stall|truncate|oom|torn_write\n"
+         "            [:shard=N][:attempt=N]…). --journal DIR write-ahead-\n"
+         "            logs every unit transition and persists fragments as\n"
+         "            CRC64 frames in DIR; after a crash, --resume reloads\n"
+         "            only fragments whose checksum and journaled digest\n"
+         "            verify and re-executes the rest — the merged report\n"
+         "            is bit-identical to an uninterrupted run.\n"
+         "            --worker-mem-limit installs an RLIMIT_AS guard in\n"
+         "            each worker (auto = 8x the plan mem budget + 512M);\n"
+         "            a worker that trips it is classified oom and retried\n"
          "  serve     --socket PATH [--workers N] [--queue-depth D]\n"
          "            [--cache-bytes B[K|M|G]] [--mem-budget B[K|M|G]]\n"
-         "            [--idle-timeout SECONDS]\n"
+         "            [--idle-timeout SECONDS] [--state DIR]\n"
          "            run as a long-lived analysis daemon on a unix socket\n"
          "            (newline-delimited JSON protocol): bounded job queue\n"
          "            over a worker pool, admission control (full queue and\n"
@@ -116,7 +130,12 @@ void usage(std::ostream& out) {
          "            queued), and a deterministic LRU result cache that\n"
          "            replays repeated plans byte-for-byte; SIGINT/SIGTERM\n"
          "            (or --idle-timeout) drains gracefully — in-flight\n"
-         "            jobs finish and their responses are delivered\n"
+         "            jobs finish and their responses are delivered.\n"
+         "            --state DIR journals every admitted submit and, on\n"
+         "            restart, replays the ones that never finished (a\n"
+         "            kill -9 loses no admitted work); a stale socket file\n"
+         "            left by a dead server is probed and reclaimed, a\n"
+         "            LIVE server on the socket refuses the second serve\n"
          "  submit    --socket PATH --plan FILE|STRING [--json FILE]\n"
          "            [--connect-timeout SECS] [--request-timeout SECS]\n"
          "            [--retries R]\n"
@@ -484,11 +503,30 @@ int cmd_run(const util::Cli& flags, std::ostream& out, std::ostream& err) {
   }
   if (flags.has("fault")) plan.options.fault = flags.get("fault", "");
 
-  // workers > 1 routes through the fault-tolerant multi-process runner;
-  // runner::execute itself degrades back to api::run when it must.
-  const api::RunReport report = plan.options.workers > 1
-                                    ? runner::execute(plan)
-                                    : run_plan(plan);
+  runner::Options ropt = runner::options_from(plan);
+  ropt.journal_dir = flags.get("journal", "");
+  ropt.resume = flags.has("resume");
+  if (ropt.resume && ropt.journal_dir.empty()) {
+    err << "run: --resume requires --journal DIR\n";
+    return 2;
+  }
+  if (flags.has("worker-mem-limit")) {
+    const std::string v = flags.get("worker-mem-limit", "");
+    // "auto" derives the RLIMIT_AS guard from the plan's mem budget plus
+    // headroom for the runtime itself; anything else is an explicit byte
+    // count (K/M/G suffixes accepted).
+    ropt.worker_mem_limit_bytes =
+        v == "auto" ? plan.options.mem_budget_bytes * 8 + (512ull << 20)
+                    : util::parse_byte_count(v);
+  }
+
+  // workers > 1 — or any durable run — routes through the fault-tolerant
+  // multi-process runner; runner::execute itself degrades back to
+  // api::run when it must.
+  const bool use_runner =
+      plan.options.workers > 1 || !ropt.journal_dir.empty();
+  const api::RunReport report =
+      use_runner ? runner::execute(plan, ropt) : run_plan(plan);
   report.print(out);
   if (flags.has("json")) {
     std::ofstream json(flags.get("json", ""));
@@ -512,6 +550,17 @@ int cmd_worker(const util::Cli& flags, std::ostream&, std::ostream& err) {
   const auto unit = flags.get_uint("unit", 0);
   const auto attempt = flags.get_uint("attempt", 0);
   try {
+    // Resource guard: the coordinator hands down an RLIMIT_AS ceiling, so
+    // a worker whose allocations run away dies HERE — std::bad_alloc
+    // caught below and converted to the dedicated oom exit code — instead
+    // of dragging the whole box into swap.
+    if (const auto limit = flags.get_uint("mem-limit", 0); limit > 0) {
+      struct rlimit rl {};
+      rl.rlim_cur = static_cast<rlim_t>(limit);
+      rl.rlim_max = static_cast<rlim_t>(limit);
+      (void)::setrlimit(RLIMIT_AS, &rl);
+    }
+
     std::ifstream in(plan_file);
     if (!in) {
       err << "__worker: cannot read " << plan_file << "\n";
@@ -536,10 +585,14 @@ int cmd_worker(const util::Cli& flags, std::ostream&, std::ostream& err) {
     if (const auto* a = inj.match("stall", unit, attempt)) {
       util::Backoff::sleep_s(a->secs);
     }
+    if (inj.match("oom", unit, attempt) != nullptr) {
+      // Exercises the exact guard path a real RLIMIT_AS trip takes.
+      throw std::bad_alloc();
+    }
 
     const api::RunReport report = api::run(plan);
-    std::string frame = report.to_json().dump_string(0);
-    frame += '\n';
+    std::string frame =
+        util::journal::encode_frame(report.to_json().dump_string(0));
     if (inj.match("truncate", unit, attempt) != nullptr) {
       frame.resize(frame.size() / 2);
     }
@@ -551,6 +604,11 @@ int cmd_worker(const util::Cli& flags, std::ostream&, std::ostream& err) {
       return 4;
     }
     return 0;
+  } catch (const std::bad_alloc&) {
+    // The RLIMIT_AS guard (or the oom fault) tripped. A dedicated exit
+    // code keeps "ran out of memory" distinguishable from every other
+    // nonzero exit in the coordinator's worker_events.
+    std::_Exit(runner::kOomExitCode);
   } catch (const std::exception& e) {
     err << "__worker: " << e.what() << "\n";
     return 3;
@@ -574,6 +632,7 @@ int cmd_serve(const util::Cli& flags, std::ostream& out, std::ostream& err) {
   }
   service::ServerOptions opt;
   opt.socket_path = socket_path;
+  opt.state_dir = flags.get("state", "");
   opt.workers = static_cast<unsigned>(flags.get_uint("workers", opt.workers));
   opt.queue_depth = static_cast<std::size_t>(
       flags.get_uint("queue-depth", opt.queue_depth));

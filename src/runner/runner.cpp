@@ -13,11 +13,14 @@
 #include <stdexcept>
 #include <vector>
 
+#include <dirent.h>
 #include <signal.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include "util/fault.hpp"
+#include "util/journal.hpp"
 #include "util/runmeta.hpp"
 #include "util/timer.hpp"
 #include "validate/report.hpp"
@@ -26,6 +29,7 @@ namespace kronotri::runner {
 
 namespace {
 
+namespace journal = util::journal;
 using util::json::Value;
 
 double monotonic_s() {
@@ -103,6 +107,63 @@ std::string tmp_dir() {
   return (dir != nullptr && *dir != '\0') ? dir : "/tmp";
 }
 
+/// A SIGKILLed coordinator used to leak its kronotri.<pid>.* scratch files
+/// in $TMPDIR forever (cleanup only ran on the success path). Every
+/// execute() starts by sweeping scratch whose owning pid is gone.
+void sweep_stale_tmp() {
+  const std::string dir = tmp_dir();
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> stale;
+  while (dirent* ent = ::readdir(d)) {
+    const std::string_view name(ent->d_name);
+    constexpr std::string_view kPrefix = "kronotri.";
+    if (name.substr(0, kPrefix.size()) != kPrefix) continue;
+    const std::size_t dot = name.find('.', kPrefix.size());
+    if (dot == std::string_view::npos || dot == kPrefix.size()) continue;
+    const std::string pid_str(name.substr(kPrefix.size(),
+                                          dot - kPrefix.size()));
+    char* end = nullptr;
+    const long pid = std::strtol(pid_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || pid <= 0) continue;
+    if (pid == static_cast<long>(::getpid())) continue;
+    errno = 0;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH) continue;
+    stale.push_back(dir + "/" + std::string(name));
+  }
+  ::closedir(d);
+  for (const std::string& path : stale) ::unlink(path.c_str());
+}
+
+constexpr const char* kJournalFile = "run.journal";
+
+std::string frag_path(const std::string& dir, unsigned unit) {
+  return dir + "/unit" + std::to_string(unit) + ".frag";
+}
+
+/// Deletes a journal directory's contents: always the tmp.* scratch, and
+/// (unless scratch_only) the journal and fragment files too — the fresh
+/// `--journal` start must not resurrect an older run's records, while a
+/// resume clears only scratch.
+void clear_journal_dir(const std::string& dir, bool scratch_only) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> doomed;
+  while (dirent* ent = ::readdir(d)) {
+    const std::string_view name(ent->d_name);
+    const bool scratch = name.substr(0, 4) == "tmp.";
+    const bool durable =
+        name == kJournalFile ||
+        (name.substr(0, 4) == "unit" && name.size() > 5 &&
+         name.substr(name.size() - 5) == ".frag");
+    if (scratch || (!scratch_only && durable)) {
+      doomed.push_back(dir + "/" + std::string(name));
+    }
+  }
+  ::closedir(d);
+  for (const std::string& path : doomed) ::unlink(path.c_str());
+}
+
 pid_t spawn_worker(const std::string& exe,
                    const std::vector<std::string>& args) {
   std::vector<char*> argv;
@@ -122,21 +183,139 @@ pid_t spawn_worker(const std::string& exe,
   return pid;
 }
 
-/// A complete fragment frame is the report JSON plus a trailing newline —
-/// a missing terminator or a parse failure both classify as "truncated"
-/// (the worker died mid-write, or the truncate fault fired).
-std::optional<Value> read_fragment(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::stringstream buf;
-  buf << in.rdbuf();
-  const std::string frame = buf.str();
-  if (frame.empty() || frame.back() != '\n') return std::nullopt;
+struct Fragment {
+  Value json;
+  std::string payload;  ///< exact bytes the journal digest covers
+};
+
+/// A complete fragment is exactly ONE clean CRC64 frame with nothing after
+/// it. A trailing newline used to stand in for "the worker finished its
+/// write" — a checksum is the honest version of that claim: a torn frame,
+/// trailing garbage, a flipped byte or a parse failure all classify as
+/// "truncated"/"corrupt", never as a result.
+std::optional<Fragment> read_fragment(const std::string& path) {
+  const std::optional<std::string> bytes = journal::read_file(path);
+  if (!bytes) return std::nullopt;
+  journal::Decoded dec = journal::decode_frames(*bytes);
+  if (dec.tail != journal::Decoded::Tail::kClean || dec.frames.size() != 1 ||
+      dec.valid_bytes != bytes->size()) {
+    return std::nullopt;
+  }
   try {
-    return Value::parse(frame);
+    Fragment f;
+    f.json = Value::parse(dec.frames[0]);
+    f.payload = std::move(dec.frames[0]);
+    return f;
   } catch (const std::exception&) {
     return std::nullopt;
   }
+}
+
+/// Per-unit facts recovered from a journal.
+struct UnitRecord {
+  bool done = false;         ///< a done record exists (last one wins)
+  unsigned attempt = 0;      ///< attempt the winning done record credits
+  std::uint64_t digest = 0;  ///< crc64 of the fragment frame payload
+  std::uint64_t canon = 0;   ///< hash64 of the fragment's canonical JSON
+  std::uint64_t vfp = 0;     ///< ValidationReport::fingerprint (validate)
+  bool has_vfp = false;
+  unsigned max_attempt = 0;  ///< highest attempt ever dispatched
+  bool any_attempt = false;
+};
+
+struct JournalState {
+  std::string error;  ///< non-empty → structured resume failure
+  unsigned units_per_validate = 0;
+  std::vector<UnitRecord> units;
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+/// Decodes DIR/run.journal for a resume. A truncated/corrupt tail is the
+/// EXPECTED post-crash state: the file is cut back to its valid prefix
+/// (so our own appends decode later) and the prefix is trusted. Anything
+/// structurally wrong INSIDE verified frames — no plan record, an identity
+/// mismatch, an out-of-range unit — is a refusal, not a guess.
+JournalState load_journal(const std::string& dir, std::uint64_t identity) {
+  JournalState js;
+  const std::string path = dir + "/" + std::string(kJournalFile);
+  const std::optional<std::string> bytes = journal::read_file(path);
+  if (!bytes) {
+    js.error = "resume: cannot read journal " + path;
+    return js;
+  }
+  const journal::Decoded dec = journal::decode_frames(*bytes);
+  if (dec.tail != journal::Decoded::Tail::kClean &&
+      ::truncate(path.c_str(), static_cast<off_t>(dec.valid_bytes)) != 0) {
+    js.error = "resume: cannot drop the torn tail of " + path;
+    return js;
+  }
+  if (dec.frames.empty()) {
+    js.error = "resume: journal " + path + " holds no verifiable record";
+    return js;
+  }
+
+  std::vector<Value> records;
+  records.reserve(dec.frames.size());
+  for (std::size_t i = 0; i < dec.frames.size(); ++i) {
+    try {
+      records.push_back(Value::parse(dec.frames[i]));
+    } catch (const std::exception&) {
+      js.error = "resume: journal record " + std::to_string(i) +
+                 " verified its CRC but is not JSON — not a kronotri journal";
+      return js;
+    }
+  }
+
+  const Value& head = records.front();
+  if (head.get_string("type", "") != "plan") {
+    js.error = "resume: journal " + path + " does not start with a plan record";
+    return js;
+  }
+  const std::uint64_t recorded = head.get_uint("identity", 0);
+  if (recorded != identity) {
+    js.error = "resume: journal was written for a different plan (identity " +
+               std::to_string(recorded) + ", this plan is " +
+               std::to_string(identity) + ")";
+    return js;
+  }
+  const std::uint64_t unit_count = head.get_uint("units", 0);
+  js.units_per_validate =
+      static_cast<unsigned>(head.get_uint("units_per_validate", 0));
+  if (unit_count == 0 || unit_count > 1u << 20 ||
+      js.units_per_validate == 0) {
+    js.error = "resume: journal plan record is malformed";
+    return js;
+  }
+  js.units.resize(unit_count);
+
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    const Value& rec = records[i];
+    const std::string type = rec.get_string("type", "");
+    const std::uint64_t u = rec.get_uint("unit", unit_count);
+    if (u >= unit_count) {
+      js.error = "resume: journal record " + std::to_string(i) +
+                 " names unit " + std::to_string(u) + " of " +
+                 std::to_string(unit_count);
+      return js;
+    }
+    UnitRecord& ur = js.units[u];
+    const unsigned attempt = static_cast<unsigned>(rec.get_uint("attempt", 0));
+    ur.max_attempt = std::max(ur.max_attempt, attempt);
+    ur.any_attempt = true;
+    if (type == "done") {
+      // Duplicate done records for a unit are idempotent: the last one
+      // wins, exactly as the last finished attempt's fragment is the one
+      // sitting in unit<u>.frag.
+      ur.done = true;
+      ur.attempt = attempt;
+      ur.digest = rec.get_uint("digest", 0);
+      ur.canon = rec.get_uint("canon", 0);
+      ur.has_vfp = rec.find("vfp") != nullptr;
+      ur.vfp = rec.get_uint("vfp", 0);
+    }
+    // "dispatch" and "failure" records only contribute attempt tracking.
+  }
+  return js;
 }
 
 struct RunningAttempt {
@@ -230,6 +409,31 @@ Options options_from(const api::RunPlan& plan) {
   return opt;
 }
 
+std::uint64_t plan_identity_hash(const api::RunPlan& plan) {
+  // Strip exactly the options comparable() strips: how the plan is
+  // distributed (workers, timeouts, retries, faults) may change across a
+  // resume; everything content-bearing (spec, analyses, threads/partition
+  // count, budgets, output) is pinned.
+  const Value v = plan.to_json();
+  Value out = Value::object();
+  for (const auto& [key, value] : v.members()) {
+    if (key != "options") {
+      out.set(key, value);
+      continue;
+    }
+    Value o = Value::object();
+    for (const auto& [okey, ovalue] : value.members()) {
+      if (okey == "workers" || okey == "shard_timeout" ||
+          okey == "max_retries" || okey == "fault") {
+        continue;
+      }
+      o.set(okey, ovalue);
+    }
+    out.set("options", std::move(o));
+  }
+  return util::json::hash64(out.dump_canonical_string());
+}
+
 std::string default_worker_exe() {
   if (const char* env = std::getenv("KRONOTRI_BIN");
       env != nullptr && *env != '\0') {
@@ -259,7 +463,14 @@ api::RunReport execute(const api::RunPlan& plan) {
 }
 
 api::RunReport execute(const api::RunPlan& plan, Options opt) {
-  if (opt.workers <= 1) return api::run(plan);
+  const bool journaled = !opt.journal_dir.empty();
+  if (opt.resume && !journaled) {
+    throw std::invalid_argument("runner: resume requires a journal_dir");
+  }
+  // A journaled run goes through the worker machinery even at one worker —
+  // durability needs the fragment/WAL protocol, not the in-process path.
+  if (opt.workers <= 1 && !journaled) return api::run(plan);
+  opt.workers = std::max(1u, opt.workers);
 
   if (opt.fault_spec.empty()) {
     if (const char* env = std::getenv("KRONOTRI_FAULT");
@@ -269,7 +480,8 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
   }
   // Validate the spec in the coordinator: a typo should fail the run with
   // an actionable message, not silently inject nothing in every worker.
-  (void)util::fault::Injector(opt.fault_spec);
+  // The coordinator keeps the injector for its own torn_write actions.
+  const util::fault::Injector inject(opt.fault_spec);
 
   std::string exe =
       opt.worker_exe.empty() ? default_worker_exe() : opt.worker_exe;
@@ -284,18 +496,112 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
     return report;
   }
 
+  sweep_stale_tmp();
+
   const util::WallTimer total_wall;
   const util::CpuTimer total_cpu;
-  const std::vector<Unit> units =
-      decompose(plan, opt.workers * std::max(1u, opt.units_per_worker));
+  const auto fail_report = [&](const std::string& why) {
+    api::RunReport r;
+    r.plan = plan;
+    r.pass = false;
+    r.error = why;
+    r.metadata = util::run_metadata(plan.options.batch_size);
+    r.total_wall_s = total_wall.seconds();
+    r.total_cpu_s = total_cpu.seconds();
+    r.peak_rss_bytes = util::peak_rss_bytes();
+    return r;
+  };
+
+  const std::uint64_t identity = journaled ? plan_identity_hash(plan) : 0;
+  unsigned units_per_validate =
+      opt.workers * std::max(1u, opt.units_per_worker);
+  JournalState js;
+  if (opt.resume) {
+    js = load_journal(opt.journal_dir, identity);
+    if (!js.ok()) return fail_report(js.error);
+    // The journal's decomposition shape wins: resuming with a different
+    // --workers must not re-slice the validate units out from under the
+    // fragments already on disk.
+    units_per_validate = js.units_per_validate;
+  }
+
+  const std::vector<Unit> units = decompose(plan, units_per_validate);
+  if (opt.resume && js.units.size() != units.size()) {
+    return fail_report(
+        "resume: journal records " + std::to_string(js.units.size()) +
+        " units but this plan decomposes into " +
+        std::to_string(units.size()));
+  }
   std::vector<UnitState> states(units.size());
   std::vector<api::WorkerEvent> events;
   std::vector<std::string> cleanup;
 
+  journal::Journal wal;
+  if (journaled) {
+    journal::ensure_dir(opt.journal_dir);
+    clear_journal_dir(opt.journal_dir, /*scratch_only=*/opt.resume);
+    wal.open(opt.journal_dir + "/" + std::string(kJournalFile));
+    if (!opt.resume) {
+      Value rec = Value::object();
+      rec.set("type", "plan");
+      rec.set("identity", identity);
+      rec.set("units", units.size());
+      rec.set("units_per_validate", units_per_validate);
+      wal.append(rec.dump_string(0));
+    }
+  }
+
+  // Resume: reload every unit whose journaled digest AND fragment bytes
+  // agree; anything less re-executes. A resumed unit costs one "resumed"
+  // event, a damaged one a "corrupt" event plus a fresh attempt.
+  if (opt.resume) {
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      const UnitRecord& ur = js.units[i];
+      UnitState& st = states[i];
+      st.next_attempt = ur.any_attempt ? ur.max_attempt + 1 : 0;
+      if (!ur.done) continue;
+      api::WorkerEvent e;
+      e.unit = static_cast<unsigned>(i);
+      e.kind = units[i].kind;
+      e.attempt = ur.attempt;
+      bool verified = false;
+      try {
+        std::optional<Fragment> frag =
+            read_fragment(frag_path(opt.journal_dir, e.unit));
+        if (frag && journal::crc64(frag->payload) == ur.digest &&
+            util::json::hash64(frag->json.dump_canonical_string()) ==
+                ur.canon) {
+          bool semantic_ok = true;
+          if (ur.has_vfp && units[i].kind == "validate") {
+            const api::RunReport fr = api::RunReport::from_json(frag->json);
+            semantic_ok =
+                validate::ValidationReport::from_json(
+                    fr.analyses.at(0).data)
+                    .fingerprint() == ur.vfp;
+          }
+          if (semantic_ok) {
+            st.done = true;
+            st.fragment = std::move(frag->json);
+            verified = true;
+          }
+        }
+      } catch (const std::exception&) {
+        verified = false;  // a fragment that throws anywhere is not a result
+      }
+      e.outcome = verified ? "resumed" : "corrupt";
+      events.push_back(e);
+    }
+  }
+
+  // Scratch lives inside the journal directory when journaling (a killed
+  // coordinator then leaks nothing into $TMPDIR), in $TMPDIR otherwise.
   const std::string prefix =
-      tmp_dir() + "/kronotri." + std::to_string(::getpid()) + ".";
+      journaled
+          ? opt.journal_dir + "/tmp." + std::to_string(::getpid()) + "."
+          : tmp_dir() + "/kronotri." + std::to_string(::getpid()) + ".";
   std::vector<std::string> plan_files(units.size());
   for (std::size_t i = 0; i < units.size(); ++i) {
+    if (states[i].done) continue;  // resumed units never touch a worker
     plan_files[i] = prefix + "plan" + std::to_string(units[i].id) + ".json";
     std::ofstream out(plan_files[i], std::ios::trunc);
     units[i].plan.to_json().dump(out);
@@ -311,7 +617,9 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
     double ready_at_s;
   };
   std::deque<Pending> pending;
-  for (const Unit& u : units) pending.push_back({u.id, 0.0});
+  for (const Unit& u : units) {
+    if (!states[u.id].done) pending.push_back({u.id, 0.0});
+  }
   std::vector<RunningAttempt> running;
   std::string error;
   bool any_spawned = false;
@@ -322,8 +630,18 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
     ra.unit = unit_id;
     ra.attempt = st.next_attempt++;
     ra.out_path = prefix + "u" + std::to_string(unit_id) + ".a" +
-                  std::to_string(ra.attempt) + ".json";
+                  std::to_string(ra.attempt) + ".frame";
     cleanup.push_back(ra.out_path);
+    // WAL the dispatch BEFORE the spawn: after a crash the journal then
+    // names every attempt that may ever have existed, so a resume picks
+    // attempt numbers no orphaned worker could still be writing under.
+    if (wal.is_open()) {
+      Value rec = Value::object();
+      rec.set("type", "dispatch");
+      rec.set("unit", unit_id);
+      rec.set("attempt", ra.attempt);
+      wal.append(rec.dump_string(0));
+    }
     std::vector<std::string> args = {exe,
                                      "__worker",
                                      "--plan-file",
@@ -337,6 +655,10 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
     if (!opt.fault_spec.empty()) {
       args.push_back("--fault");
       args.push_back(opt.fault_spec);
+    }
+    if (opt.worker_mem_limit_bytes > 0) {
+      args.push_back("--mem-limit");
+      args.push_back(std::to_string(opt.worker_mem_limit_bytes));
     }
     ra.pid = spawn_worker(exe, args);
     ra.start_s = monotonic_s();
@@ -369,17 +691,28 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
   };
 
   // Failure of one attempt: count it against the unit's budget and either
-  // re-queue with backoff or fail the whole run.
+  // re-queue with backoff or fail the whole run. The delay is jittered per
+  // unit so a mass worker kill does not re-dispatch every unit in
+  // lockstep (deterministic — see util::Backoff).
   const auto on_failure = [&](const RunningAttempt& ra,
                               const std::string& why) {
     UnitState& st = states[ra.unit];
     ++st.failures;
+    if (wal.is_open()) {
+      Value rec = Value::object();
+      rec.set("type", "failure");
+      rec.set("unit", ra.unit);
+      rec.set("attempt", ra.attempt);
+      rec.set("why", why);
+      wal.append(rec.dump_string(0));
+    }
     if (st.failures > opt.max_retries) {
       fail_unit(ra.unit, why);
       return;
     }
-    pending.push_back(
-        {ra.unit, monotonic_s() + opt.backoff.delay_s(st.failures - 1)});
+    pending.push_back({ra.unit, monotonic_s() + opt.backoff.delay_jittered_s(
+                                                    st.failures - 1,
+                                                    ra.unit)});
   };
 
   while (!running.empty() || (!pending.empty() && error.empty())) {
@@ -432,16 +765,64 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
         e.detail = WTERMSIG(status);
         events.push_back(e);
         on_failure(ra, "died on signal " + std::to_string(e.detail));
+      } else if (WIFEXITED(status) && WEXITSTATUS(status) == kOomExitCode) {
+        // The worker's RLIMIT_AS guard (or the oom fault) tripped its
+        // std::bad_alloc path — a resource verdict, not a generic "exit".
+        e.outcome = "oom";
+        e.detail = kOomExitCode;
+        events.push_back(e);
+        on_failure(ra, "exceeded its memory guard (RLIMIT_AS)");
       } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
         e.outcome = "exit";
         e.detail = WEXITSTATUS(status);
         events.push_back(e);
         on_failure(ra, "exited with code " + std::to_string(e.detail));
-      } else if (std::optional<Value> frag = read_fragment(ra.out_path)) {
+      } else if (std::optional<Fragment> frag = read_fragment(ra.out_path)) {
         e.outcome = "ok";
         events.push_back(e);
         st.done = true;
-        st.fragment = std::move(*frag);
+        if (wal.is_open()) {
+          // Persist-then-record: the fragment becomes DIR/unit<u>.frag by
+          // rename (never copied, never unlinked), THEN the done record
+          // lands in the WAL. A crash between the two re-executes the
+          // unit — wasteful, never wrong.
+          const std::string fpath = frag_path(opt.journal_dir, ra.unit);
+          Value rec = Value::object();
+          rec.set("type", "done");
+          rec.set("unit", ra.unit);
+          rec.set("attempt", ra.attempt);
+          rec.set("digest", journal::crc64(frag->payload));
+          rec.set("canon",
+                  util::json::hash64(frag->json.dump_canonical_string()));
+          if (units[ra.unit].kind == "validate") {
+            const api::RunReport fr = api::RunReport::from_json(frag->json);
+            rec.set("vfp", validate::ValidationReport::from_json(
+                               fr.analyses.at(0).data)
+                               .fingerprint());
+          }
+          if (const util::fault::Action* torn =
+                  inject.match("torn_write", ra.unit, ra.attempt)) {
+            // Injected coordinator crash mid-persist: write half the
+            // fragment frame, no fsync, but still journal the done record
+            // (the order a real crash between write and rename produces
+            // is covered by the plain re-execute path; THIS is the nastier
+            // inversion resume must catch by digest).
+            (void)torn;
+            const std::string frame = journal::encode_frame(frag->payload);
+            std::ofstream out(fpath, std::ios::binary | std::ios::trunc);
+            out.write(frame.data(),
+                      static_cast<std::streamsize>(frame.size() / 2));
+          } else {
+            journal::fsync_file_and_dir(ra.out_path);
+            if (::rename(ra.out_path.c_str(), fpath.c_str()) != 0) {
+              throw std::runtime_error("runner: cannot persist fragment " +
+                                       fpath);
+            }
+            journal::fsync_file_and_dir(fpath);
+          }
+          wal.append(rec.dump_string(0));
+        }
+        st.fragment = std::move(frag->json);
         // First result wins: kill any other in-flight attempt of the unit.
         for (RunningAttempt& other : running) {
           if (other.unit == ra.unit && other.pid != ra.pid &&

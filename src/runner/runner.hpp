@@ -23,10 +23,20 @@
 //     and a slot is free, the slowest running unit is re-issued and the
 //     first result wins (safe: units are deterministic);
 //   * crash-safe accounting via waitpid status — signal vs nonzero-exit
-//     vs timeout vs truncated frame are distinguished in the report's
-//     worker_events array;
+//     vs timeout vs truncated frame vs oom (the RLIMIT_AS guard) are
+//     distinguished in the report's worker_events array;
 //   * graceful degradation to in-process execution when the worker
 //     binary cannot be found/spawned or workers <= 1.
+//
+// Durability (--journal DIR / --resume): the coordinator write-ahead-logs
+// every unit transition (dispatch, done, failure) as CRC64 frames in
+// DIR/run.journal and persists each verified fragment as a checksummed
+// frame file DIR/unit<u>.frag (rename-into-journal, fsynced). A resume
+// verifies the journaled plan identity hash, reloads only fragments whose
+// CRC and journaled digest both verify — corrupt or truncated ones are
+// re-executed, never trusted — and re-dispatches the rest through the
+// same retry/backoff/speculation machinery; the merged report is
+// bit-identical (per comparable()) to an uninterrupted run.
 //
 // fork+exec (not bare fork) on purpose: the parent has usually run OpenMP
 // regions (tests, benches, a long-lived service), and libgomp's internal
@@ -60,12 +70,42 @@ struct Options {
   std::string fault_spec;
   /// Worker executable; empty resolves via default_worker_exe().
   std::string worker_exe;
-  util::Backoff backoff;
+  /// Durable-run directory: when non-empty, unit transitions are WAL'd to
+  /// <journal_dir>/run.journal and fragments persist as CRC64 frame files
+  /// there (scratch files also live there instead of $TMPDIR, so a killed
+  /// coordinator leaks nothing outside its own journal directory).
+  std::string journal_dir;
+  /// Resume from journal_dir instead of starting fresh: verified-complete
+  /// units are reloaded ("resumed" events), damaged ones re-executed
+  /// ("corrupt" events). Requires journal_dir; a plan-hash mismatch fails
+  /// the run with a structured report.
+  bool resume = false;
+  /// RLIMIT_AS ceiling installed in each worker (bytes; 0 = none). A
+  /// worker whose allocations trip it dies at kOomExitCode and is
+  /// classified "oom", distinct from "signal"/"exit".
+  std::size_t worker_mem_limit_bytes = 0;
+  /// Runner re-dispatch backoff: seeded jitter on by default so a mass
+  /// re-queue does not re-dispatch in lockstep (the service client keeps
+  /// its separate documented no-jitter default).
+  util::Backoff backoff{0.05, 2.0, 2.0, 0.5, 0x6b726f6e6f747269ULL};
 };
 
+/// Exit code a worker dies with when its RLIMIT_AS guard (or the `oom`
+/// fault) trips std::bad_alloc — the coordinator classifies it "oom".
+/// Distinct from 127 (exec failure) and ordinary analysis exit codes.
+inline constexpr int kOomExitCode = 86;
+
 /// Options derived from the plan's RunOptions (workers, shard_timeout,
-/// max_retries, fault) with runner defaults for the rest.
+/// max_retries, fault) with runner defaults for the rest. The durability
+/// and guard knobs (journal_dir, resume, worker_mem_limit_bytes) are
+/// CLI-level — set them on the returned Options.
 Options options_from(const api::RunPlan& plan);
+
+/// Identity hash a journal pins its plan to: canonical-JSON hash of the
+/// plan with the distribution options (workers, shard_timeout,
+/// max_retries, fault — the same set comparable() strips) removed. A
+/// resume may change HOW the plan is distributed, never WHAT it computes.
+std::uint64_t plan_identity_hash(const api::RunPlan& plan);
 
 /// The kronotri CLI binary to exec workers from: $KRONOTRI_BIN when set,
 /// else a `kronotri` sibling of /proc/self/exe (the binary itself, or the

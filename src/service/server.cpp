@@ -4,14 +4,18 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <map>
+#include <set>
 #include <stdexcept>
 #include <utility>
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "service/admission.hpp"
+#include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "util/timer.hpp"
 
@@ -19,8 +23,29 @@ namespace kronotri::service {
 
 namespace {
 
+namespace journal = util::journal;
+
 [[noreturn]] void socket_error(const std::string& what) {
   throw std::runtime_error("service: " + what + ": " + std::strerror(errno));
+}
+
+constexpr const char* kStateFile = "state.journal";
+
+/// True when something on the other end of `path` answers a ping — the
+/// probe that tells a live predecessor from a stale socket file.
+bool socket_alive(const std::string& path) {
+  try {
+    ClientOptions copt;
+    copt.connect_timeout_s = 0.5;
+    copt.request_timeout_s = 1.0;
+    Client client(copt);
+    client.connect(path);
+    util::json::Value ping = util::json::Value::object();
+    ping.set("type", "ping");
+    return client.request(ping).get_bool("pong", false);
+  } catch (const std::exception&) {
+    return false;
+  }
 }
 
 }  // namespace
@@ -68,12 +93,29 @@ void Server::start() {
   std::strncpy(addr.sun_path, opt_.socket_path.c_str(),
                sizeof(addr.sun_path) - 1);
 
+  // Something already at the path is either a stale socket file a dead
+  // predecessor left behind (reclaim it) or a LIVE server (refuse loudly —
+  // unlinking it would steal its clients mid-flight). A ping probe tells
+  // them apart; anything that is not a socket is never deleted.
+  struct stat st {};
+  if (::lstat(opt_.socket_path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      running_ = false;
+      throw std::runtime_error("service: " + opt_.socket_path +
+                               " exists and is not a socket; refusing to "
+                               "delete it");
+    }
+    if (socket_alive(opt_.socket_path)) {
+      running_ = false;
+      throw std::runtime_error("service: a live server already answers on " +
+                               opt_.socket_path +
+                               "; refusing to take over its socket");
+    }
+    ::unlink(opt_.socket_path.c_str());
+  }
+
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) socket_error("socket");
-  // A stale socket file from a crashed predecessor would make bind fail;
-  // a LIVE predecessor still serving is indistinguishable here, so the
-  // deploy story is "one server per path".
-  ::unlink(opt_.socket_path.c_str());
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
     socket_error("bind " + opt_.socket_path);
@@ -81,6 +123,9 @@ void Server::start() {
   if (::listen(listen_fd_, 128) < 0) socket_error("listen");
 
   touch_activity();
+  // Replay before the workers spawn: re-enqueued jobs sit in the queue and
+  // are the first thing the pool drains.
+  if (!opt_.state_dir.empty()) replay_state();
   workers_.reserve(opt_.workers);
   for (unsigned i = 0; i < opt_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -140,6 +185,70 @@ void Server::stop() {
   }
 
   ::unlink(opt_.socket_path.c_str());
+  state_wal_.close();
+}
+
+void Server::journal_state(const util::json::Value& record) {
+  if (!state_wal_.is_open()) return;
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  state_wal_.append(record.dump_string(0));
+}
+
+void Server::replay_state() {
+  journal::ensure_dir(opt_.state_dir);
+  const std::string path = opt_.state_dir + "/" + std::string(kStateFile);
+  const journal::Decoded dec = journal::Journal::read(path);
+  if (dec.tail != journal::Decoded::Tail::kClean) {
+    // A torn tail is the expected residue of a kill -9 mid-append: cut the
+    // file back to its verified prefix so our own appends stay decodable.
+    (void)::truncate(path.c_str(), static_cast<off_t>(dec.valid_bytes));
+  }
+
+  // Two-pass, order-independent diff: a done record may precede its submit
+  // in the byte stream (worker and connection threads append
+  // concurrently), so collect both sides before comparing.
+  std::map<std::string, std::string> submits;  // cache key → plan JSON
+  std::set<std::string> finished;
+  for (const std::string& payload : dec.frames) {
+    util::json::Value rec;
+    try {
+      rec = util::json::Value::parse(payload);
+    } catch (const std::exception&) {
+      continue;  // CRC-valid but foreign bytes: not ours to replay
+    }
+    const std::string type = rec.get_string("type", "");
+    const std::string key = rec.get_string("key", "");
+    if (key.empty()) continue;
+    if (type == "submit") {
+      submits[key] = rec.get_string("plan", "");
+    } else if (type == "done") {
+      finished.insert(key);
+    }
+  }
+
+  state_wal_.open(path);
+
+  for (const auto& [key, plan_text] : submits) {
+    if (finished.count(key) > 0 || plan_text.empty()) continue;
+    api::RunPlan plan;
+    try {
+      plan = api::RunPlan::parse(plan_text);
+    } catch (const std::exception&) {
+      continue;  // journaled by an incompatible version; skip, don't crash
+    }
+    auto job = std::make_shared<Job>();
+    job->plan = std::move(plan);
+    job->key = key;
+    job->enqueued_at_s = metrics_.uptime.seconds();
+    // No connection is waiting on a replayed job — its promise is simply
+    // never read; the result lands in the cache (and its done record in
+    // the journal), which is what the re-submitting client will hit.
+    if (!queue_->try_push(job)) break;  // full queue: the rest wait for the
+                                       // next restart, records intact
+    jobs_replayed_.fetch_add(1);
+    metrics_.jobs_accepted.fetch_add(1);
+  }
+  touch_activity();
 }
 
 void Server::accept_loop() {
@@ -304,6 +413,16 @@ std::string Server::handle_submit(const util::json::Value& request) {
             " waiting jobs); retry with backoff");
   }
   metrics_.jobs_accepted.fetch_add(1);
+  // Admission is durable from this point: the submit record is fsynced
+  // before the connection blocks on the result, so a kill -9 anywhere
+  // after here replays the job on restart.
+  if (state_wal_.is_open()) {
+    util::json::Value rec = util::json::Value::object();
+    rec.set("type", "submit");
+    rec.set("key", job->key);
+    rec.set("plan", job->plan.to_json().dump_string(0));
+    journal_state(rec);
+  }
   touch_activity();
 
   try {
@@ -332,6 +451,12 @@ void Server::worker_loop() {
       std::string report_json = report.to_json().dump_string(0);
       cache_.put(job->key, report_json);
       metrics_.jobs_completed.fetch_add(1);
+      if (state_wal_.is_open()) {
+        util::json::Value rec = util::json::Value::object();
+        rec.set("type", "done");
+        rec.set("key", job->key);
+        journal_state(rec);
+      }
       job->result.set_value(report_frame("miss",
                                          util::json::hash64(job->key), wait_s,
                                          execute_s, report_json));
@@ -350,6 +475,7 @@ void Server::worker_loop() {
 util::json::Value Server::stats_json() const {
   util::json::Value v = metrics_.to_json(queue_->size());
   v.set("cache_store", cache_.stats_json());
+  v.set("jobs_replayed", jobs_replayed_.load());
   util::json::Value cfg = util::json::Value::object();
   cfg.set("socket", opt_.socket_path);
   cfg.set("workers", opt_.workers);
@@ -357,6 +483,7 @@ util::json::Value Server::stats_json() const {
   cfg.set("cache_bytes", static_cast<std::uint64_t>(opt_.cache_bytes));
   cfg.set("mem_budget_bytes",
           static_cast<std::uint64_t>(opt_.mem_budget_bytes));
+  cfg.set("state_dir", opt_.state_dir);
   v.set("config", std::move(cfg));
   return v;
 }

@@ -21,6 +21,13 @@
 //     delivered, then connections and threads are joined. Safe to call
 //     from a signal-watching loop (the CLI's SIGINT/SIGTERM handling) or
 //     from tests.
+//   * Durable admission (--state DIR): accepted submits are journaled
+//     before the client hears "accepted", completions are journaled after
+//     the cache put, and start() replays the difference — so even kill -9
+//     loses no admitted work (the replayed result lands in the cache; the
+//     client re-submits and hits). A stale socket file from a dead
+//     predecessor is probed with a ping and reclaimed; a LIVE predecessor
+//     makes start() refuse instead of stealing its clients.
 //
 // Threading: one acceptor thread, one thread per live connection (requests
 // on a connection are served in order; concurrency comes from concurrent
@@ -44,6 +51,7 @@
 #include "service/cache.hpp"
 #include "service/metrics.hpp"
 #include "service/queue.hpp"
+#include "util/journal.hpp"
 #include "util/json.hpp"
 
 namespace kronotri::service {
@@ -54,6 +62,11 @@ struct ServerOptions {
   std::size_t queue_depth = 16;       ///< waiting jobs (executing excluded)
   std::size_t cache_bytes = 64 << 20;
   std::size_t mem_budget_bytes = 1ull << 30;  ///< per-job admission budget
+  /// Durable admission: when non-empty, every accepted submit is journaled
+  /// to <state_dir>/state.journal (CRC64 frames, fsync per record) and its
+  /// completion recorded; on restart, admitted-but-unfinished submits are
+  /// replayed into the queue — a kill -9 loses no admitted work.
+  std::string state_dir;
 };
 
 class Server {
@@ -112,6 +125,14 @@ class Server {
   [[nodiscard]] std::string handle_submit(const util::json::Value& request);
   void touch_activity();
 
+  /// Appends a state-journal record (no-op without state_dir). The journal
+  /// is shared across connection and worker threads — state_mutex_
+  /// serializes the appends.
+  void journal_state(const util::json::Value& record);
+  /// Opens the state journal (dropping a torn tail) and re-enqueues every
+  /// journaled submit without a matching done record. Called from start().
+  void replay_state();
+
   ServerOptions opt_;
   const api::GeneratorRegistry& generators_;
   const api::AnalysisRegistry& analyses_;
@@ -119,6 +140,10 @@ class Server {
   Metrics metrics_;
   ResultCache cache_;
   std::unique_ptr<BoundedQueue<std::shared_ptr<Job>>> queue_;
+
+  util::journal::Journal state_wal_;
+  std::mutex state_mutex_;
+  std::atomic<std::uint64_t> jobs_replayed_{0};
 
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};

@@ -1,14 +1,24 @@
 // Deterministic exponential backoff, shared by the multi-process runner
 // (re-dispatching a failed shard worker) and service::Client (connect
-// retries against a not-yet-listening daemon). No jitter on purpose: both
-// consumers retry against resources on the SAME machine, where determinism
-// (testable delay schedules, reproducible worker_events) is worth more
-// than thundering-herd protection.
+// retries against a not-yet-listening daemon).
+//
+// delay_s() has no jitter on purpose: the service client retries against a
+// resource on the SAME machine, where determinism (testable delay
+// schedules, reproducible worker_events) is worth more than
+// thundering-herd protection — that documented no-jitter default stands.
+// The runner is different: a mass worker kill re-queues MANY units at the
+// same instant, and identical delays re-dispatch them in lockstep against
+// the same contended box. delay_jittered_s() spreads those re-dispatches
+// with SEEDED jitter (util::hash64 over seed/stream/attempt), so the
+// schedule is still bit-reproducible run-to-run — jitter without giving up
+// determinism.
 #pragma once
 
 #include <algorithm>
 #include <chrono>
 #include <thread>
+
+#include "util/prng.hpp"
 
 namespace kronotri::util {
 
@@ -16,13 +26,34 @@ struct Backoff {
   double base_s = 0.05;    ///< delay before the first retry
   double multiplier = 2.0; ///< growth per additional failure
   double max_s = 2.0;      ///< delay ceiling
+  /// Fraction of each delay randomized downward by delay_jittered_s():
+  /// 0 keeps the exact schedule (delay_s), 0.5 draws from
+  /// [0.5*delay, delay]. Deterministic — see `seed`.
+  double jitter = 0;
+  std::uint64_t seed = 0;  ///< jitter stream seed (keyed per consumer)
 
   /// Delay to wait before retry number `attempt` (0-based: delay_s(0) is
-  /// the wait after the first failure).
+  /// the wait after the first failure). Never jittered.
   [[nodiscard]] double delay_s(unsigned attempt) const noexcept {
     double d = base_s;
     for (unsigned i = 0; i < attempt && d < max_s; ++i) d *= multiplier;
     return std::min(d, max_s);
+  }
+
+  /// delay_s(attempt) scaled by a deterministic draw from
+  /// [1 - jitter, 1]: the draw depends only on (seed, stream, attempt),
+  /// so distinct streams (the runner keys by work-unit id) spread out
+  /// while the whole schedule stays reproducible. jitter <= 0 is exactly
+  /// delay_s.
+  [[nodiscard]] double delay_jittered_s(unsigned attempt,
+                                        std::uint64_t stream) const noexcept {
+    const double d = delay_s(attempt);
+    if (jitter <= 0) return d;
+    const std::uint64_t h =
+        hash64(seed ^ hash64(stream ^ (static_cast<std::uint64_t>(attempt)
+                                       << 32)));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    return d * (1.0 - jitter * u);
   }
 
   static void sleep_s(double seconds) {

@@ -10,13 +10,14 @@ namespace {
 [[noreturn]] void bad_spec(const std::string& why) {
   throw std::invalid_argument(
       "fault spec: " + why +
-      " (grammar: kind[:key=value]*, kinds kill|exit|stall|truncate, "
+      " (grammar: kind[:key=value]*, kinds "
+      "kill|exit|stall|truncate|oom|torn_write, "
       "keys shard|attempt|secs|code, comma-separated actions)");
 }
 
 bool known_kind(std::string_view kind) {
   return kind == "kill" || kind == "exit" || kind == "stall" ||
-         kind == "truncate";
+         kind == "truncate" || kind == "oom" || kind == "torn_write";
 }
 
 Action parse_action(std::string_view token) {

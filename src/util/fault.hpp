@@ -7,14 +7,22 @@
 //
 //   spec    := action ( ',' action )*
 //   action  := kind ( ':' key '=' value )*
-//   kind    := kill | exit | stall | truncate
+//   kind    := kill | exit | stall | truncate | oom | torn_write
 //   keys    := shard=N     work-unit index the fault fires on (default any)
 //              attempt=N   0-based attempt it fires on (default every one)
 //              secs=F      stall duration (stall only; default 3600)
 //              code=N      exit status (exit only; default 1)
 //
+// `oom` makes the worker hit its std::bad_alloc path (the same one the
+// RLIMIT_AS resource guard trips) and die with runner::kOomExitCode;
+// `torn_write` fires in the COORDINATOR: the journaled fragment of the
+// matched (unit, attempt) is written half-way and never synced, the
+// deterministic stand-in for a crash mid-write that resume must detect
+// by CRC and re-execute.
+//
 // Examples: "kill:shard=1:attempt=0" (the CI crash-injection smoke),
-// "stall:shard=2:secs=30", "truncate:shard=0:attempt=0,exit:shard=3".
+// "stall:shard=2:secs=30", "truncate:shard=0:attempt=0,exit:shard=3",
+// "oom:shard=1:attempt=0", "torn_write:shard=2".
 // The spec reaches a worker via plan options.fault or the KRONOTRI_FAULT
 // environment variable; an empty spec is a no-op injector.
 #pragma once

@@ -1,0 +1,250 @@
+#include "util/journal.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace kronotri::util::journal {
+
+namespace {
+
+constexpr char kMagic[4] = {'K', 'T', 'J', '1'};
+
+[[noreturn]] void io_error(const std::string& what) {
+  throw std::runtime_error("journal: " + what + ": " + std::strerror(errno));
+}
+
+void put_u64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint64_t get_u64le(const char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+/// write() until everything is out or an error other than EINTR hits.
+bool write_all_fd(int fd, std::string_view bytes) noexcept {
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) io_error("open dir " + dir);
+  // Directory fsync failures are real on some filesystems; a durability
+  // layer must not shrug them off.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    io_error("fsync dir " + dir);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+std::uint64_t crc64(std::string_view bytes) noexcept {
+  // Table for the reflected ECMA-182 polynomial (CRC-64/XZ).
+  static const std::array<std::uint64_t, 256> table = [] {
+    std::array<std::uint64_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint64_t crc = i;
+      for (int b = 0; b < 8; ++b) {
+        crc = (crc >> 1) ^ ((crc & 1) != 0 ? 0xC96C5795D7870F42ULL : 0);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  std::uint64_t crc = ~0ULL;
+  for (const char c : bytes) {
+    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::string encode_frame(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + kFrameOverhead);
+  out.append(kMagic, sizeof(kMagic));
+  put_u64le(out, payload.size());
+  out.append(payload);
+  put_u64le(out, crc64(payload));
+  return out;
+}
+
+Decoded decode_frames(std::string_view bytes) {
+  Decoded out;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t remaining = bytes.size() - pos;
+    if (remaining < sizeof(kMagic) + 8) {
+      out.tail = Decoded::Tail::kTruncated;
+      break;
+    }
+    if (std::memcmp(bytes.data() + pos, kMagic, sizeof(kMagic)) != 0) {
+      out.tail = Decoded::Tail::kCorrupt;
+      break;
+    }
+    const std::uint64_t len = get_u64le(bytes.data() + pos + sizeof(kMagic));
+    const std::size_t header = sizeof(kMagic) + 8;
+    // A corrupted length field that "asks" for more bytes than exist is
+    // indistinguishable from a mid-append death; both stop decoding here.
+    if (len > remaining - header || remaining - header - len < 8) {
+      out.tail = Decoded::Tail::kTruncated;
+      break;
+    }
+    const std::string_view payload = bytes.substr(pos + header, len);
+    const std::uint64_t stored = get_u64le(bytes.data() + pos + header + len);
+    if (crc64(payload) != stored) {
+      out.tail = Decoded::Tail::kCorrupt;
+      break;
+    }
+    out.frames.emplace_back(payload);
+    pos += header + len + 8;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+void atomic_write_file(const std::string& path, std::string_view bytes) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) io_error("open " + tmp);
+  if (!write_all_fd(fd, bytes)) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    io_error("write " + tmp);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    io_error("fsync " + tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    io_error("rename " + tmp + " -> " + path);
+  }
+  fsync_dir(parent_dir(path));
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  std::string out;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+void fsync_file_and_dir(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) io_error("open " + path);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    io_error("fsync " + path);
+  }
+  ::close(fd);
+  fsync_dir(parent_dir(path));
+}
+
+void ensure_dir(const std::string& dir) {
+  if (dir.empty()) return;
+  std::string prefix;
+  std::size_t pos = 0;
+  while (pos <= dir.size()) {
+    const std::size_t slash = dir.find('/', pos);
+    prefix = dir.substr(0, slash == std::string::npos ? dir.size() : slash);
+    pos = (slash == std::string::npos ? dir.size() : slash) + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (::mkdir(prefix.c_str(), 0755) == 0 || errno == EEXIST) {
+      struct stat st {};
+      if (::stat(prefix.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+        throw std::runtime_error("journal: " + prefix +
+                                 " exists and is not a directory");
+      }
+      continue;
+    }
+    io_error("mkdir " + prefix);
+  }
+}
+
+void Journal::open(const std::string& path) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) io_error("open " + path);
+  path_ = path;
+}
+
+void Journal::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_.clear();
+}
+
+void Journal::append(std::string_view payload) {
+  if (fd_ < 0) throw std::logic_error("journal: append on a closed Journal");
+  const std::string frame = encode_frame(payload);
+  if (!write_all_fd(fd_, frame)) io_error("append to " + path_);
+  if (::fsync(fd_) != 0) io_error("fsync " + path_);
+}
+
+void Journal::append_torn(std::string_view payload, std::size_t bytes) {
+  if (fd_ < 0) throw std::logic_error("journal: append on a closed Journal");
+  const std::string frame = encode_frame(payload);
+  const std::string_view torn =
+      std::string_view(frame).substr(0, std::min(bytes, frame.size()));
+  if (!write_all_fd(fd_, torn)) io_error("append to " + path_);
+  // Deliberately no fsync: a torn write is a crash, crashes do not sync.
+}
+
+Decoded Journal::read(const std::string& path) {
+  const std::optional<std::string> bytes = read_file(path);
+  if (!bytes) return Decoded{};
+  return decode_frames(*bytes);
+}
+
+}  // namespace kronotri::util::journal

@@ -1,0 +1,116 @@
+// Crash-safe journaling primitives — the durability layer under the
+// multi-process runner's `--journal/--resume` and the service's
+// `--state` replay.
+//
+// Three pieces, each usable on its own:
+//
+//   * atomic_write_file(): write-to-temp + fsync + rename + parent-dir
+//     fsync, so a path either holds the complete old bytes or the
+//     complete new bytes — never a torn mixture — even across power loss.
+//   * Frames: length-prefixed, CRC64-checksummed records
+//     ("KTJ1" magic | u64 LE length | payload | u64 LE CRC-64/XZ of the
+//     payload). decode_frames() returns every frame that verifies and
+//     classifies the tail as clean, truncated (a writer died mid-append)
+//     or corrupt (bit rot, a torn write, a flipped byte) — corrupt and
+//     truncated tails are DATA LOSS BOUNDARIES, never parse errors: the
+//     valid prefix stays usable.
+//   * Journal: an append-only file of frames with an fsync per append —
+//     the write-ahead log the runner coordinator records unit transitions
+//     in and the service records admitted submits in. Readers truncate to
+//     the valid prefix before appending again, so one torn tail never
+//     poisons the records that follow it.
+//
+// CRC-64/XZ (reflected ECMA-182 polynomial) on purpose: it is the
+// checksum xz/liblzma uses for exactly this "detect torn or rotted
+// frames" job, and its check value is pinned in tests so the format can
+// never drift silently.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kronotri::util::journal {
+
+/// CRC-64/XZ digest of `bytes` (poly 0x42F0E1EBA9EA3693 reflected, init
+/// and xorout ~0). crc64("123456789") == 0x995DC9BBDF1939FA.
+[[nodiscard]] std::uint64_t crc64(std::string_view bytes) noexcept;
+
+/// One encoded frame: "KTJ1" | u64 LE payload length | payload |
+/// u64 LE crc64(payload).
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Bytes every frame costs beyond its payload (magic + length + CRC).
+inline constexpr std::size_t kFrameOverhead = 4 + 8 + 8;
+
+struct Decoded {
+  enum class Tail {
+    kClean,      ///< the byte stream ends exactly on a frame boundary
+    kTruncated,  ///< a final frame is incomplete (writer died mid-append)
+    kCorrupt,    ///< bad magic or CRC mismatch — bit rot or a torn write
+  };
+  std::vector<std::string> frames;  ///< verified payloads, in write order
+  std::size_t valid_bytes = 0;      ///< offset one past the last good frame
+  Tail tail = Tail::kClean;
+};
+
+/// Decodes frames until the bytes run out or a frame fails to verify.
+/// Never throws: damage is reported through `tail`, and everything before
+/// `valid_bytes` is trustworthy.
+[[nodiscard]] Decoded decode_frames(std::string_view bytes);
+
+/// Atomically replaces `path` with `bytes`: writes `path`.tmp.<pid>,
+/// fsyncs it, renames over `path`, fsyncs the parent directory. Throws
+/// std::runtime_error (with errno text) on any failure; the temp file is
+/// unlinked on the error paths.
+void atomic_write_file(const std::string& path, std::string_view bytes);
+
+/// Whole file as a string; nullopt when it cannot be opened.
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path);
+
+/// fsync() of an existing file, then of its parent directory — what makes
+/// a rename-into-journal durable. Throws std::runtime_error on failure.
+void fsync_file_and_dir(const std::string& path);
+
+/// mkdir -p: creates `dir` and any missing ancestors (mode 0755). Throws
+/// std::runtime_error when a component exists as a non-directory or
+/// creation fails.
+void ensure_dir(const std::string& dir);
+
+/// Append-only write-ahead log of frames. Not thread-safe — callers that
+/// share one Journal across threads (the service) serialize externally.
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal() { close(); }
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Opens (creating if missing) `path` for appends. Throws
+  /// std::runtime_error on failure.
+  void open(const std::string& path);
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  void close() noexcept;
+
+  /// Appends one frame and fsyncs — the record is durable when this
+  /// returns. Throws std::runtime_error on write/fsync failure.
+  void append(std::string_view payload);
+
+  /// Appends only the first `bytes` bytes of what append(payload) would
+  /// write, with NO fsync — the deterministic "writer died mid-append"
+  /// (torn write) used by fault injection and the malformed-journal tests.
+  void append_torn(std::string_view payload, std::size_t bytes);
+
+  /// Decodes the whole file at `path`; a missing file decodes to zero
+  /// clean frames (a journal that was never written is an empty journal).
+  [[nodiscard]] static Decoded read(const std::string& path);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace kronotri::util::journal

@@ -212,6 +212,10 @@ void ValidationReport::write_json(std::ostream& os) const {
   to_json().dump(os);
 }
 
+std::uint64_t ValidationReport::fingerprint() const {
+  return util::json::hash64(to_json().dump_canonical_string());
+}
+
 ValidationReport validate_product(const Graph& a, const Graph& b,
                                   const StreamingOptions& opt) {
   const kron::TriangleOracle oracle(a, b);

@@ -94,6 +94,11 @@ struct ValidationReport {
 
   /// Inverse of to_json() — how the coordinator reads worker fragments.
   static ValidationReport from_json(const util::json::Value& v);
+
+  /// Content digest (hash64 of the canonical JSON) — what the runner's
+  /// journal records per fragment so a resumed unit is provably the same
+  /// result, not merely a file that parses.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 };
 
 /// Streams the census of C = A ⊗ B under `opt` and validates it against the

@@ -1,0 +1,216 @@
+// Unit tests for util::journal — the crash-safe primitives under
+// `run --journal/--resume` and `serve --state`: CRC-64/XZ, frame
+// encode/decode with tail classification, atomic file replacement, and
+// the append-only Journal (including its deterministic torn-write mode).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+#include "util/journal.hpp"
+
+namespace {
+
+using namespace kronotri;
+namespace jn = util::journal;
+
+std::string test_path(const std::string& tag) {
+  return "/tmp/kronotri_jt" + std::to_string(::getpid()) + "_" + tag;
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& tag) : path(test_path(tag)) {
+    ::unlink(path.c_str());
+  }
+  ~TempFile() { ::unlink(path.c_str()); }
+};
+
+TEST(Crc64, PinnedCheckValue) {
+  // The CRC-64/XZ check value — if this moves, the on-disk format moved.
+  EXPECT_EQ(jn::crc64("123456789"), 0x995DC9BBDF1939FAULL);
+}
+
+TEST(Crc64, EmptyAndSensitivity) {
+  EXPECT_EQ(jn::crc64(""), 0u);
+  EXPECT_NE(jn::crc64("kronotri"), jn::crc64("kronotrj"));
+  const std::string with_nul("a\0b", 3);
+  EXPECT_NE(jn::crc64(with_nul), jn::crc64("ab"));
+}
+
+TEST(Frames, RoundTripSingle) {
+  const std::string payload = "{\"type\":\"plan\",\"units\":7}";
+  const std::string frame = jn::encode_frame(payload);
+  EXPECT_EQ(frame.size(), payload.size() + jn::kFrameOverhead);
+  const jn::Decoded dec = jn::decode_frames(frame);
+  EXPECT_EQ(dec.tail, jn::Decoded::Tail::kClean);
+  ASSERT_EQ(dec.frames.size(), 1u);
+  EXPECT_EQ(dec.frames[0], payload);
+  EXPECT_EQ(dec.valid_bytes, frame.size());
+}
+
+TEST(Frames, RoundTripMany) {
+  std::string stream;
+  for (int i = 0; i < 20; ++i) {
+    stream += jn::encode_frame("payload-" + std::to_string(i));
+  }
+  const jn::Decoded dec = jn::decode_frames(stream);
+  EXPECT_EQ(dec.tail, jn::Decoded::Tail::kClean);
+  ASSERT_EQ(dec.frames.size(), 20u);
+  EXPECT_EQ(dec.frames[7], "payload-7");
+  EXPECT_EQ(dec.valid_bytes, stream.size());
+}
+
+TEST(Frames, EmptyPayloadIsAFrame) {
+  const jn::Decoded dec = jn::decode_frames(jn::encode_frame(""));
+  EXPECT_EQ(dec.tail, jn::Decoded::Tail::kClean);
+  ASSERT_EQ(dec.frames.size(), 1u);
+  EXPECT_EQ(dec.frames[0], "");
+}
+
+TEST(Frames, TruncatedTailKeepsValidPrefix) {
+  const std::string good = jn::encode_frame("first");
+  std::string stream = good + jn::encode_frame("second-gets-cut");
+  // cut == good.size() is a CLEAN end (exact frame boundary), so start one
+  // byte in: every partial suffix of the second frame must classify as
+  // truncation while preserving the first frame.
+  for (std::size_t cut = good.size() + 1; cut < stream.size(); ++cut) {
+    const jn::Decoded dec = jn::decode_frames(stream.substr(0, cut));
+    EXPECT_EQ(dec.tail, jn::Decoded::Tail::kTruncated) << "cut=" << cut;
+    ASSERT_EQ(dec.frames.size(), 1u) << "cut=" << cut;
+    EXPECT_EQ(dec.frames[0], "first");
+    EXPECT_EQ(dec.valid_bytes, good.size());
+  }
+}
+
+TEST(Frames, FlippedCrcByteIsCorrupt) {
+  const std::string good = jn::encode_frame("first");
+  std::string stream = good + jn::encode_frame("second");
+  stream.back() ^= 0x01;  // last CRC byte of the second frame
+  const jn::Decoded dec = jn::decode_frames(stream);
+  EXPECT_EQ(dec.tail, jn::Decoded::Tail::kCorrupt);
+  ASSERT_EQ(dec.frames.size(), 1u);
+  EXPECT_EQ(dec.frames[0], "first");
+  EXPECT_EQ(dec.valid_bytes, good.size());
+}
+
+TEST(Frames, FlippedPayloadByteIsCorrupt) {
+  std::string frame = jn::encode_frame("sensitive-payload");
+  frame[jn::kFrameOverhead - 8 + 3] ^= 0x40;  // a payload byte
+  const jn::Decoded dec = jn::decode_frames(frame);
+  EXPECT_EQ(dec.tail, jn::Decoded::Tail::kCorrupt);
+  EXPECT_TRUE(dec.frames.empty());
+  EXPECT_EQ(dec.valid_bytes, 0u);
+}
+
+TEST(Frames, BadMagicIsCorrupt) {
+  const jn::Decoded dec =
+      jn::decode_frames("XXXXjunk-that-is-long-enough-to-hold-a-header");
+  EXPECT_EQ(dec.tail, jn::Decoded::Tail::kCorrupt);
+  EXPECT_TRUE(dec.frames.empty());
+}
+
+TEST(Frames, LyingLengthFieldIsTruncatedNotARead) {
+  // A length field pointing far past the end must classify as damage, not
+  // crash or over-read.
+  std::string frame = jn::encode_frame("x");
+  frame[4] = '\xFF';  // low byte of the u64 LE length
+  const jn::Decoded dec = jn::decode_frames(frame);
+  EXPECT_EQ(dec.tail, jn::Decoded::Tail::kTruncated);
+  EXPECT_TRUE(dec.frames.empty());
+}
+
+TEST(AtomicWrite, ReplacesWholeFile) {
+  TempFile f("atomic");
+  jn::atomic_write_file(f.path, "first contents");
+  EXPECT_EQ(jn::read_file(f.path).value_or(""), "first contents");
+  jn::atomic_write_file(f.path, "second");
+  EXPECT_EQ(jn::read_file(f.path).value_or(""), "second");
+}
+
+TEST(AtomicWrite, MissingFileReadsAsNullopt) {
+  EXPECT_FALSE(jn::read_file(test_path("never_written")).has_value());
+}
+
+TEST(EnsureDir, CreatesNestedAndTolersatesExisting) {
+  const std::string root = test_path("dirs");
+  const std::string nested = root + "/a/b/c";
+  jn::ensure_dir(nested);
+  jn::ensure_dir(nested);  // idempotent
+  EXPECT_TRUE(jn::read_file(nested + "/probe") == std::nullopt);
+  jn::atomic_write_file(nested + "/probe", "x");
+  EXPECT_EQ(jn::read_file(nested + "/probe").value_or(""), "x");
+  ::unlink((nested + "/probe").c_str());
+  ::rmdir(nested.c_str());
+  ::rmdir((root + "/a/b").c_str());
+  ::rmdir((root + "/a").c_str());
+  ::rmdir(root.c_str());
+}
+
+TEST(EnsureDir, FileInTheWayThrows) {
+  TempFile f("dir_conflict");
+  jn::atomic_write_file(f.path, "not a directory");
+  EXPECT_THROW(jn::ensure_dir(f.path), std::runtime_error);
+}
+
+TEST(Journal, AppendAndReadBack) {
+  TempFile f("wal");
+  {
+    jn::Journal j;
+    j.open(f.path);
+    EXPECT_TRUE(j.is_open());
+    j.append("one");
+    j.append("two");
+  }
+  {
+    // Reopen appends, never truncates.
+    jn::Journal j;
+    j.open(f.path);
+    j.append("three");
+  }
+  const jn::Decoded dec = jn::Journal::read(f.path);
+  EXPECT_EQ(dec.tail, jn::Decoded::Tail::kClean);
+  ASSERT_EQ(dec.frames.size(), 3u);
+  EXPECT_EQ(dec.frames[0], "one");
+  EXPECT_EQ(dec.frames[2], "three");
+}
+
+TEST(Journal, MissingFileIsEmptyJournal) {
+  const jn::Decoded dec = jn::Journal::read(test_path("no_such_journal"));
+  EXPECT_EQ(dec.tail, jn::Decoded::Tail::kClean);
+  EXPECT_TRUE(dec.frames.empty());
+}
+
+TEST(Journal, AppendOnClosedThrows) {
+  jn::Journal j;
+  EXPECT_THROW(j.append("x"), std::logic_error);
+}
+
+TEST(Journal, TornAppendLeavesPrefixUsable) {
+  TempFile f("torn");
+  jn::Journal j;
+  j.open(f.path);
+  j.append("durable");
+  j.append_torn("never-finished", 7);  // half a header, no fsync
+  j.close();
+  const jn::Decoded dec = jn::Journal::read(f.path);
+  EXPECT_EQ(dec.tail, jn::Decoded::Tail::kTruncated);
+  ASSERT_EQ(dec.frames.size(), 1u);
+  EXPECT_EQ(dec.frames[0], "durable");
+  // The recovery protocol: truncate to the valid prefix, append again.
+  ASSERT_EQ(::truncate(f.path.c_str(),
+                       static_cast<off_t>(dec.valid_bytes)),
+            0);
+  jn::Journal j2;
+  j2.open(f.path);
+  j2.append("after-recovery");
+  j2.close();
+  const jn::Decoded dec2 = jn::Journal::read(f.path);
+  EXPECT_EQ(dec2.tail, jn::Decoded::Tail::kClean);
+  ASSERT_EQ(dec2.frames.size(), 2u);
+  EXPECT_EQ(dec2.frames[1], "after-recovery");
+}
+
+}  // namespace

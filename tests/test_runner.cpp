@@ -10,10 +10,25 @@
 
 #include <algorithm>
 #include <csignal>
+#include <set>
 #include <string>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "api/plan.hpp"
 #include "runner/runner.hpp"
+#include "util/journal.hpp"
+#include "util/json.hpp"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define KRONOTRI_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define KRONOTRI_ASAN 1
+#endif
+#endif
 
 namespace {
 
@@ -215,6 +230,297 @@ TEST(Runner, OptionsFromPlanMapsRunnerKnobs) {
   EXPECT_DOUBLE_EQ(opt.shard_timeout_s, 12.5);
   EXPECT_EQ(opt.max_retries, 5u);
   EXPECT_EQ(opt.fault_spec, "kill:shard=1");
+}
+
+// ---------------------------------------------------------------------------
+// Durable runs: --journal / --resume / resource guards.
+
+/// A private journal directory per test, emptied on entry and exit.
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& tag)
+      : path("/tmp/kronotri_rt" + std::to_string(::getpid()) + "_" + tag) {
+    nuke();
+    ::mkdir(path.c_str(), 0755);
+  }
+  ~TempDir() {
+    nuke();
+    ::rmdir(path.c_str());
+  }
+  void nuke() const {
+    DIR* d = ::opendir(path.c_str());
+    if (d == nullptr) return;
+    while (dirent* e = ::readdir(d)) {
+      const std::string n = e->d_name;
+      if (n != "." && n != "..") ::unlink((path + "/" + n).c_str());
+    }
+    ::closedir(d);
+  }
+};
+
+std::set<unsigned> units_with(const api::RunReport& report,
+                              const std::string& outcome) {
+  std::set<unsigned> out;
+  for (const api::WorkerEvent& e : report.worker_events) {
+    if (e.outcome == outcome) out.insert(e.unit);
+  }
+  return out;
+}
+
+TEST(RunnerJournal, JournaledRunMatchesSerialAndPersists) {
+  const api::RunPlan plan = test_plan();
+  const TempDir dir("journaled");
+  runner::Options opt = test_opts();
+  opt.journal_dir = dir.path;
+  const api::RunReport multi = runner::execute(plan, opt);
+  EXPECT_TRUE(multi.pass);
+  EXPECT_TRUE(multi.error.empty()) << multi.error;
+  EXPECT_EQ(comparable_dump(api::run(plan)), comparable_dump(multi));
+
+  // The durable artifacts: a WAL whose head is the plan record, and one
+  // verified fragment frame per unit.
+  const util::journal::Decoded dec =
+      util::journal::Journal::read(dir.path + "/run.journal");
+  EXPECT_EQ(dec.tail, util::journal::Decoded::Tail::kClean);
+  ASSERT_FALSE(dec.frames.empty());
+  const util::json::Value head = util::json::Value::parse(dec.frames[0]);
+  EXPECT_EQ(head.get_string("type", ""), "plan");
+  EXPECT_EQ(head.get_uint("identity", 0), runner::plan_identity_hash(plan));
+  const std::uint64_t unit_count = head.get_uint("units", 0);
+  ASSERT_GT(unit_count, 1u);
+  for (std::uint64_t u = 0; u < unit_count; ++u) {
+    const auto bytes = util::journal::read_file(
+        dir.path + "/unit" + std::to_string(u) + ".frag");
+    ASSERT_TRUE(bytes.has_value()) << "unit " << u;
+    const util::journal::Decoded frag = util::journal::decode_frames(*bytes);
+    EXPECT_EQ(frag.tail, util::journal::Decoded::Tail::kClean);
+    EXPECT_EQ(frag.frames.size(), 1u);
+  }
+}
+
+TEST(RunnerJournal, ResumeOfCompleteRunReloadsEveryUnit) {
+  const api::RunPlan plan = test_plan();
+  const TempDir dir("resume_complete");
+  runner::Options opt = test_opts();
+  opt.journal_dir = dir.path;
+  const api::RunReport first = runner::execute(plan, opt);
+  ASSERT_TRUE(first.pass);
+
+  opt.resume = true;
+  const api::RunReport second = runner::execute(plan, opt);
+  EXPECT_TRUE(second.pass);
+  EXPECT_EQ(comparable_dump(first), comparable_dump(second));
+  // Nothing re-executes: every unit comes back from the journal.
+  EXPECT_TRUE(units_with(second, "ok").empty());
+  EXPECT_EQ(units_with(second, "resumed").size(),
+            units_with(first, "ok").size());
+}
+
+TEST(RunnerJournal, ResumeSkipsCompletedUnitsAndMatchesSerial) {
+  const api::RunPlan plan = test_plan();
+  const TempDir dir("resume_partial");
+  runner::Options opt = test_opts();
+  opt.journal_dir = dir.path;
+  // The LAST validate unit fails every attempt with no retry budget: units
+  // dispatched earlier finish (and journal their fragments) first, then
+  // the run aborts — the journaled prefix of a crashed run.
+  opt.fault_spec = "exit:shard=6:code=9";
+  opt.max_retries = 0;
+  const api::RunReport first = runner::execute(plan, opt);
+  ASSERT_FALSE(first.pass);
+  ASSERT_FALSE(first.error.empty());
+
+  opt.fault_spec.clear();
+  opt.max_retries = 2;
+  opt.resume = true;
+  const api::RunReport second = runner::execute(plan, opt);
+  EXPECT_TRUE(second.pass);
+  EXPECT_TRUE(second.error.empty()) << second.error;
+  EXPECT_EQ(comparable_dump(api::run(plan)), comparable_dump(second));
+
+  // The resume contract: a unit is reloaded XOR re-executed, never both;
+  // the unit that never completed is re-executed.
+  const std::set<unsigned> resumed = units_with(second, "resumed");
+  const std::set<unsigned> executed = units_with(second, "ok");
+  for (const unsigned u : resumed) {
+    EXPECT_EQ(executed.count(u), 0u) << "unit " << u << " resumed AND re-run";
+  }
+  EXPECT_EQ(executed.count(6), 1u) << "failed unit must re-execute";
+  // Every unit arrived one way or the other: 1 base + 6 validate units.
+  EXPECT_EQ(resumed.size() + executed.size(), 7u);
+}
+
+TEST(RunnerJournal, TornWriteReexecutesOnlyTheDamagedUnit) {
+  const api::RunPlan plan = test_plan();
+  const TempDir dir("torn");
+  runner::Options opt = test_opts();
+  opt.journal_dir = dir.path;
+  // The coordinator tears unit 2's fragment mid-persist: the live run
+  // still passes (its in-memory fragment is fine) but the durable copy is
+  // damaged goods a resume must refuse.
+  opt.fault_spec = "torn_write:shard=2:attempt=0";
+  const api::RunReport first = runner::execute(plan, opt);
+  ASSERT_TRUE(first.pass);
+  EXPECT_EQ(comparable_dump(api::run(plan)), comparable_dump(first));
+
+  opt.fault_spec.clear();
+  opt.resume = true;
+  const api::RunReport second = runner::execute(plan, opt);
+  EXPECT_TRUE(second.pass);
+  EXPECT_EQ(comparable_dump(api::run(plan)), comparable_dump(second));
+  // Only unit 2 is detected corrupt and re-executed; everything else
+  // resumes from its verified fragment.
+  EXPECT_EQ(units_with(second, "corrupt"), std::set<unsigned>{2u});
+  EXPECT_EQ(units_with(second, "ok"), std::set<unsigned>{2u});
+  EXPECT_EQ(units_with(second, "resumed").count(2u), 0u);
+  EXPECT_FALSE(units_with(second, "resumed").empty());
+}
+
+TEST(RunnerJournal, PlanMismatchFailsStructurally) {
+  api::RunPlan plan = test_plan();
+  const TempDir dir("mismatch");
+  runner::Options opt = test_opts();
+  opt.journal_dir = dir.path;
+  ASSERT_TRUE(runner::execute(plan, opt).pass);
+
+  api::RunPlan other = api::RunPlan::parse(
+      "kron:(hk:n=40,m=2,p=0.5,seed=8)x(hk:n=40,m=2,p=0.5,seed=8,loops=1) "
+      "census:edges=1 degree:histogram=0 validate:mem_budget=8K");
+  other.options.threads = 2;
+  opt.resume = true;
+  const api::RunReport report = runner::execute(other, opt);
+  EXPECT_FALSE(report.pass);
+  EXPECT_NE(report.error.find("different plan"), std::string::npos)
+      << report.error;
+  // Distribution knobs are NOT identity: resuming with different workers
+  // and retry budget must still verify.
+  opt.workers = 2;
+  opt.max_retries = 7;
+  const api::RunReport ok = runner::execute(plan, opt);
+  EXPECT_TRUE(ok.pass) << ok.error;
+}
+
+TEST(RunnerJournal, TruncatedJournalTailResumesFromValidPrefix) {
+  const api::RunPlan plan = test_plan();
+  const TempDir dir("torn_tail");
+  runner::Options opt = test_opts();
+  opt.journal_dir = dir.path;
+  ASSERT_TRUE(runner::execute(plan, opt).pass);
+
+  // A crash mid-append: half a frame of a would-be record on the tail.
+  {
+    util::journal::Journal wal;
+    wal.open(dir.path + "/run.journal");
+    wal.append_torn("{\"type\":\"dispatch\",\"unit\":1,\"attempt\":9}", 14);
+  }
+  opt.resume = true;
+  const api::RunReport report = runner::execute(plan, opt);
+  EXPECT_TRUE(report.pass) << report.error;
+  EXPECT_EQ(comparable_dump(api::run(plan)), comparable_dump(report));
+  EXPECT_TRUE(units_with(report, "ok").empty());
+}
+
+TEST(RunnerJournal, FlippedJournalByteResumesFromValidPrefix) {
+  const api::RunPlan plan = test_plan();
+  const TempDir dir("flipped");
+  runner::Options opt = test_opts();
+  opt.journal_dir = dir.path;
+  ASSERT_TRUE(runner::execute(plan, opt).pass);
+
+  // Flip one byte in the LAST record's CRC: the damaged record (and only
+  // it) is dropped; that unit re-executes off the surviving prefix.
+  const std::string jpath = dir.path + "/run.journal";
+  std::string bytes = util::journal::read_file(jpath).value();
+  bytes.back() ^= 0x10;
+  util::journal::atomic_write_file(jpath, bytes);
+
+  opt.resume = true;
+  const api::RunReport report = runner::execute(plan, opt);
+  EXPECT_TRUE(report.pass) << report.error;
+  EXPECT_EQ(comparable_dump(api::run(plan)), comparable_dump(report));
+}
+
+TEST(RunnerJournal, DuplicateDoneRecordIsIdempotent) {
+  const api::RunPlan plan = test_plan();
+  const TempDir dir("dup");
+  runner::Options opt = test_opts();
+  opt.journal_dir = dir.path;
+  const api::RunReport first = runner::execute(plan, opt);
+  ASSERT_TRUE(first.pass);
+
+  // Re-append an existing done record verbatim (a crash between persist
+  // and WAL-ack could produce exactly this on a real resume-of-a-resume).
+  const util::journal::Decoded dec =
+      util::journal::Journal::read(dir.path + "/run.journal");
+  std::string done_payload;
+  for (const std::string& payload : dec.frames) {
+    if (util::json::Value::parse(payload).get_string("type", "") == "done") {
+      done_payload = payload;
+      break;
+    }
+  }
+  ASSERT_FALSE(done_payload.empty());
+  {
+    util::journal::Journal wal;
+    wal.open(dir.path + "/run.journal");
+    wal.append(done_payload);
+  }
+
+  opt.resume = true;
+  const api::RunReport report = runner::execute(plan, opt);
+  EXPECT_TRUE(report.pass) << report.error;
+  EXPECT_EQ(comparable_dump(first), comparable_dump(report));
+  // Merged exactly once: the duplicate must not double any unit's counts
+  // (the comparable equality above is the real assertion; no re-runs is
+  // the cheap structural one).
+  EXPECT_TRUE(units_with(report, "ok").empty());
+}
+
+TEST(RunnerJournal, ResumeWithoutJournalDirThrows) {
+  runner::Options opt = test_opts();
+  opt.resume = true;
+  EXPECT_THROW(runner::execute(test_plan(), opt), std::invalid_argument);
+}
+
+TEST(RunnerJournal, IdentityHashStripsDistributionOptions) {
+  api::RunPlan a = test_plan();
+  api::RunPlan b = test_plan();
+  b.options.workers = 9;
+  b.options.shard_timeout_s = 3;
+  b.options.max_retries = 0;
+  b.options.fault = "kill";
+  EXPECT_EQ(runner::plan_identity_hash(a), runner::plan_identity_hash(b));
+  b.options.seed = 12345;  // content-bearing → different identity
+  EXPECT_NE(runner::plan_identity_hash(a), runner::plan_identity_hash(b));
+}
+
+TEST(RunnerGuard, OomFaultClassifiedAndRetried) {
+  const api::RunPlan plan = test_plan();
+  runner::Options opt = test_opts();
+  opt.fault_spec = "oom:shard=1:attempt=0";
+  const api::RunReport multi = runner::execute(plan, opt);
+  EXPECT_TRUE(multi.pass) << multi.error;
+  EXPECT_EQ(comparable_dump(api::run(plan)), comparable_dump(multi));
+  // Classified as a resource verdict, not a generic nonzero exit.
+  EXPECT_EQ(count_events(multi, 1, "oom"), 1);
+  EXPECT_EQ(count_events(multi, 1, "exit"), 0);
+  EXPECT_EQ(count_events(multi, 1, "ok"), 1);
+}
+
+TEST(RunnerGuard, GenerousMemLimitStillPasses) {
+#ifdef KRONOTRI_ASAN
+  GTEST_SKIP() << "RLIMIT_AS is incompatible with ASan shadow memory";
+#else
+  const api::RunPlan plan = test_plan();
+  runner::Options opt = test_opts();
+  opt.worker_mem_limit_bytes = 4ull << 30;  // plenty for this tiny plan
+  const api::RunReport multi = runner::execute(plan, opt);
+  EXPECT_TRUE(multi.pass) << multi.error;
+  EXPECT_EQ(comparable_dump(api::run(plan)), comparable_dump(multi));
+  for (const api::WorkerEvent& e : multi.worker_events) {
+    EXPECT_EQ(e.outcome, "ok");
+  }
+#endif
 }
 
 }  // namespace

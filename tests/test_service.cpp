@@ -17,9 +17,11 @@
 
 #include "api/analysis.hpp"
 #include "api/plan.hpp"
+#include "service/cache.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "util/journal.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -608,6 +610,149 @@ TEST(Service, SurvivesManyConcurrentClients) {
   EXPECT_GT(exec->get_uint("count", 0), 0u);
   EXPECT_GE(exec->find("p99_s")->as_double(),
             exec->find("p50_s")->as_double());
+}
+
+/// Scratch directory for --state journals; removed with contents on exit.
+struct StateDir {
+  std::string path;
+  explicit StateDir(const std::string& tag)
+      : path("/tmp/kronotri_st" + std::to_string(::getpid()) + "_" + tag) {
+    util::journal::ensure_dir(path);
+  }
+  ~StateDir() {
+    ::unlink((path + "/state.journal").c_str());
+    ::rmdir(path.c_str());
+  }
+};
+
+TEST(ServiceDurable, StaleSocketFromDeadServerIsReclaimed) {
+  // A dead predecessor's residue: a bound-but-unserved socket file. The
+  // new server must probe it, find nobody home, and take the path over.
+  const std::string path = test_socket("stale");
+  ::unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int dead = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(dead, 0);
+  ASSERT_EQ(::bind(dead, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  ::close(dead);  // fd gone, socket FILE left behind — the kill -9 residue
+
+  service::ServerOptions opt = small_options("stale");
+  opt.socket_path = path;
+  service::Server server(opt);
+  server.start();  // must reclaim, not throw
+  service::Client c;
+  c.connect(path);
+  Value ping = Value::object();
+  ping.set("type", "ping");
+  EXPECT_TRUE(c.request(ping).get_bool("pong", false));
+}
+
+TEST(ServiceDurable, RefusesToStealALiveServersSocket) {
+  service::ServerOptions opt = small_options("liveguard");
+  service::Server first(opt);
+  first.start();
+
+  service::Server second(opt);
+  EXPECT_THROW(second.start(), std::runtime_error);
+
+  // The refusal must be collateral-free: the live server keeps serving on
+  // the same path (second's destructor must NOT have unlinked its socket).
+  service::Client c;
+  c.connect(opt.socket_path);
+  EXPECT_TRUE(c.submit_text("hk:n=40,seed=21 census").get_bool("ok", false));
+}
+
+TEST(ServiceDurable, NonSocketFileAtPathIsNeverDeleted) {
+  const std::string path = test_socket("notasock");
+  ::unlink(path.c_str());
+  util::journal::atomic_write_file(path, "precious bytes");
+
+  service::ServerOptions opt = small_options("notasock");
+  opt.socket_path = path;
+  service::Server server(opt);
+  EXPECT_THROW(server.start(), std::runtime_error);
+  // Refusal means refusal: the file survives, contents intact.
+  EXPECT_EQ(util::journal::read_file(path).value_or(""), "precious bytes");
+  ::unlink(path.c_str());
+}
+
+TEST(ServiceDurable, StateJournalReplaysAdmittedButUnfinishedWork) {
+  // Simulate a kill -9 after admission: a state journal holding a submit
+  // record with no matching done record. start() must re-enqueue it; the
+  // result lands in the cache, so the re-submitting client hits.
+  StateDir state("replay");
+  const api::RunPlan plan =
+      api::RunPlan::parse("kron:(hk:n=80,seed=13)x(clique:n=3,loops=1) "
+                          "census degree");
+  {
+    Value submit = Value::object();
+    submit.set("type", "submit");
+    submit.set("key", service::cache_key(plan));
+    submit.set("plan", plan.to_json().dump_string(0));
+    util::journal::Journal wal;
+    wal.open(state.path + "/state.journal");
+    wal.append(submit.dump_string(0));
+  }
+
+  service::ServerOptions opt = small_options("replay");
+  opt.state_dir = state.path;
+  service::Server server(opt);
+  server.start();
+  ASSERT_TRUE(wait_for_stats(opt.socket_path, [](const Value& s) {
+    return s.get_uint("jobs_replayed", 0) == 1 &&
+           s.get_uint("jobs_completed", 0) >= 1;
+  }));
+
+  service::Client c;
+  c.connect(opt.socket_path);
+  const Value response = c.submit(plan);
+  ASSERT_TRUE(response.get_bool("ok", false));
+  EXPECT_EQ(response.get_string("cache", ""), "hit");
+  EXPECT_EQ(stats_of(c.stats()).find("config")->get_string("state_dir", ""),
+            state.path);
+}
+
+TEST(ServiceDurable, CompletedWorkIsJournaledAndNotReplayed) {
+  StateDir state("noreplay");
+  const std::string plan_text = "hk:n=60,seed=31 census";
+  {
+    service::ServerOptions opt = small_options("noreplay1");
+    opt.state_dir = state.path;
+    service::Server server(opt);
+    server.start();
+    service::Client c;
+    c.connect(opt.socket_path);
+    ASSERT_TRUE(c.submit_text(plan_text).get_bool("ok", false));
+    ASSERT_TRUE(wait_for_stats(opt.socket_path, [](const Value& s) {
+      return s.get_uint("jobs_completed", 0) == 1;
+    }));
+    server.stop();
+  }
+
+  // The journal pairs the submit with its done record...
+  const util::journal::Decoded dec =
+      util::journal::Journal::read(state.path + "/state.journal");
+  EXPECT_EQ(dec.tail, util::journal::Decoded::Tail::kClean);
+  int submits = 0, dones = 0;
+  for (const std::string& frame : dec.frames) {
+    const Value rec = Value::parse(frame);
+    if (rec.get_string("type", "") == "submit") ++submits;
+    if (rec.get_string("type", "") == "done") ++dones;
+  }
+  EXPECT_EQ(submits, 1);
+  EXPECT_EQ(dones, 1);
+
+  // ...so a restart replays nothing.
+  service::ServerOptions opt = small_options("noreplay2");
+  opt.state_dir = state.path;
+  service::Server server(opt);
+  server.start();
+  service::Client c;
+  c.connect(opt.socket_path);
+  EXPECT_EQ(stats_of(c.stats()).get_uint("jobs_replayed", 1), 0u);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/types.hpp"
+#include "util/backoff.hpp"
 #include "util/cli.hpp"
 #include "util/prng.hpp"
 #include "util/stats.hpp"
@@ -190,6 +191,58 @@ TEST(Stats, LogLogSlopeOfPowerLaw) {
     h[d] = static_cast<std::uint64_t>(65536.0 / static_cast<double>(d * d));
   }
   EXPECT_NEAR(util::log_log_slope(h), -2.0, 0.05);
+}
+
+TEST(Backoff, NoJitterDefaultKeepsExactSchedule) {
+  // The service client's documented contract: delay_s is never jittered,
+  // and with jitter unset delay_jittered_s IS delay_s.
+  const util::Backoff b{0.05, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(b.delay_s(0), 0.05);
+  EXPECT_DOUBLE_EQ(b.delay_s(1), 0.1);
+  EXPECT_DOUBLE_EQ(b.delay_s(10), 1.0);  // capped
+  for (unsigned a = 0; a < 6; ++a) {
+    EXPECT_DOUBLE_EQ(b.delay_jittered_s(a, 42), b.delay_s(a));
+  }
+}
+
+TEST(Backoff, JitterStaysInBandAndIsDeterministic) {
+  util::Backoff b{0.05, 2.0, 2.0};
+  b.jitter = 0.5;
+  b.seed = 7;
+  for (unsigned a = 0; a < 8; ++a) {
+    for (std::uint64_t stream = 0; stream < 16; ++stream) {
+      const double d = b.delay_s(a);
+      const double j = b.delay_jittered_s(a, stream);
+      EXPECT_GE(j, d * 0.5 - 1e-12) << "a=" << a << " stream=" << stream;
+      EXPECT_LE(j, d + 1e-12);
+      // Deterministic: same (seed, stream, attempt) → same delay.
+      EXPECT_DOUBLE_EQ(j, b.delay_jittered_s(a, stream));
+    }
+  }
+}
+
+TEST(Backoff, JitterSpreadsStreamsApart) {
+  // The point of per-unit streams: a mass re-queue must NOT re-dispatch
+  // in lockstep. At least two of the first eight units draw different
+  // delays for the same attempt.
+  util::Backoff b{0.05, 2.0, 2.0};
+  b.jitter = 0.5;
+  b.seed = 0x6b726f6e6f747269ULL;
+  bool any_differ = false;
+  for (std::uint64_t s = 1; s < 8; ++s) {
+    any_differ = any_differ ||
+                 b.delay_jittered_s(0, s) != b.delay_jittered_s(0, 0);
+  }
+  EXPECT_TRUE(any_differ);
+  // Different seeds give different schedules for the same stream.
+  util::Backoff c = b;
+  c.seed = 1;
+  bool seed_matters = false;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    seed_matters = seed_matters ||
+                   b.delay_jittered_s(1, s) != c.delay_jittered_s(1, s);
+  }
+  EXPECT_TRUE(seed_matters);
 }
 
 }  // namespace
