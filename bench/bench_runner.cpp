@@ -15,7 +15,12 @@
 //     the fsync-per-record price of crash-safety;
 //   * "resume_overhead" records workers4_resume wall / workers4 wall: a
 //     resume of a COMPLETE journal reloads every fragment and executes
-//     nothing, so this is the pure verification cost (expected << 1).
+//     nothing, so this is the pure verification cost (expected << 1);
+//   * "trace_overhead" records workers4_trace wall / workers4 wall with
+//     the flight recorder hot (coordinator spans + per-worker trace
+//     export/stitch). The binary exits non-zero above 1.05 — tracing a
+//     run must cost at most 5%. Both legs take the best of two walls so
+//     a loaded box cannot fail the gate on scheduler noise alone.
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
@@ -29,6 +34,7 @@
 #include "api/plan.hpp"
 #include "api/pipeline.hpp"
 #include "common.hpp"
+#include "obs/trace.hpp"
 #include "runner/runner.hpp"
 #include "util/runmeta.hpp"
 #include "util/table.hpp"
@@ -66,12 +72,15 @@ struct ModeResult {
   std::size_t events = 0;
   std::size_t recoveries = 0;  // failed attempts re-dispatched
   std::size_t resumed = 0;     // units reloaded from journal fragments
+  std::size_t trace_events = 0;
+  bool trace_valid = true;  // export parsed and held the expected spans
   std::string comparable_dump;
 };
 
 ModeResult run_mode(const std::string& name, unsigned workers,
                     const std::string& fault,
-                    const std::string& journal = "", bool resume = false) {
+                    const std::string& journal = "", bool resume = false,
+                    bool trace = false) {
   ModeResult r;
   r.name = name;
   r.workers = workers;
@@ -82,9 +91,29 @@ ModeResult run_mode(const std::string& name, unsigned workers,
   opt.straggler_min_s = 60;  // measure recovery, not speculation
   opt.journal_dir = journal;
   opt.resume = resume;
+  obs::TraceRecorder& rec = obs::TraceRecorder::instance();
+  if (trace) {
+    rec.clear();
+    rec.set_enabled(true);
+  }
   const util::WallTimer timer;
   const api::RunReport report = runner::execute(bench_plan(), opt);
   r.wall_s = timer.seconds();
+  if (trace) {
+    rec.set_enabled(false);
+    r.trace_events = rec.event_count();
+    bool coord = false, attempt = false;
+    const util::json::Value doc = rec.export_json();
+    if (const util::json::Value* events = doc.find("traceEvents")) {
+      for (const util::json::Value& ev : events->items()) {
+        const std::string ev_name = ev.get_string("name", "");
+        coord = coord || ev_name == "runner::execute";
+        attempt = attempt || ev_name == "attempt";
+      }
+    }
+    r.trace_valid = r.trace_events > 0 && coord && attempt;
+    rec.clear();
+  }
   r.pass = report.pass && report.error.empty();
   r.edges = report.num_undirected_edges;
   r.events = report.worker_events.size();
@@ -114,6 +143,21 @@ double overhead_vs_workers4(const std::string& name) {
   return base > 0 ? mode(name).wall_s / base : 0.0;
 }
 
+/// Best of two walls (correctness fields and-ed): the traced-overhead
+/// gate compares two forked-worker walls, and one scheduler hiccup on a
+/// shared box would otherwise dominate a ≤5% bound.
+ModeResult best_of_two(const std::string& name, unsigned workers,
+                       bool trace) {
+  ModeResult a = run_mode(name, workers, "", "", false, trace);
+  const ModeResult b = run_mode(name, workers, "", "", false, trace);
+  const bool pass = a.pass && b.pass;
+  const bool trace_valid = a.trace_valid && b.trace_valid;
+  if (b.wall_s < a.wall_s) a = b;
+  a.pass = pass;
+  a.trace_valid = trace_valid;
+  return a;
+}
+
 void print_artifact() {
   kt_bench::banner("Multi-process runner (BENCH_runner.json)",
                    "forked workers; crash recovery; journal + resume cost");
@@ -121,12 +165,14 @@ void print_artifact() {
   const std::string jdir = journal_dir();
   std::filesystem::remove_all(jdir);
   g_results.push_back(run_mode("in_process", 1, ""));
-  g_results.push_back(run_mode("workers4", 4, ""));
+  g_results.push_back(best_of_two("workers4", 4, /*trace=*/false));
   g_results.push_back(run_mode("workers4_kill", 4, "kill:shard=1:attempt=0"));
   // The journaled run leaves a COMPLETE journal behind; the resume leg
   // reloads it without executing a single unit.
   g_results.push_back(run_mode("workers4_journal", 4, "", jdir));
   g_results.push_back(run_mode("workers4_resume", 4, "", jdir, true));
+  // Same run with the flight recorder hot — the ≤5% cost contract.
+  g_results.push_back(best_of_two("workers4_trace", 4, /*trace=*/true));
   std::filesystem::remove_all(jdir);
 
   const ModeResult& serial = g_results[0];
@@ -139,6 +185,11 @@ void print_artifact() {
   g_all_ok = g_all_ok && mode("workers4_kill").recoveries >= 1;
   g_all_ok = g_all_ok && mode("workers4_resume").resumed >= 1 &&
              mode("workers4_resume").recoveries == 0;
+  // Tracing must actually record (coordinator + attempt spans present)
+  // and must not cost more than 5% over the untraced 4-worker run.
+  const double trace_overhead = overhead_vs_workers4("workers4_trace");
+  g_all_ok = g_all_ok && mode("workers4_trace").trace_valid &&
+             trace_overhead <= 1.05;
 
   util::Table t({"mode", "workers", "fault", "wall s", "edges/s",
                  "attempts", "recoveries", "resumed", "verdict"});
@@ -179,6 +230,8 @@ void print_artifact() {
   j.set("recovery_overhead", overhead_vs_workers4("workers4_kill"));
   j.set("journal_overhead", overhead_vs_workers4("workers4_journal"));
   j.set("resume_overhead", overhead_vs_workers4("workers4_resume"));
+  j.set("trace_overhead", trace_overhead);
+  j.set("trace_events", mode("workers4_trace").trace_events);
   j.set("all_pass", g_all_ok);
   j.set("metadata", util::run_metadata(api::kDefaultBatchSize));
   std::ofstream out("BENCH_runner.json");
@@ -191,7 +244,8 @@ void print_artifact() {
             << overhead_vs_workers4("workers4_kill") << "x; journal overhead "
             << overhead_vs_workers4("workers4_journal")
             << "x; resume overhead "
-            << overhead_vs_workers4("workers4_resume") << "x)\n";
+            << overhead_vs_workers4("workers4_resume") << "x; trace overhead "
+            << trace_overhead << "x)\n";
 }
 
 void bm_runner_workers(benchmark::State& state) {

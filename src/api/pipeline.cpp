@@ -4,6 +4,8 @@
 #include <exception>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace kronotri::api {
 
 namespace {
@@ -52,11 +54,16 @@ std::vector<std::unique_ptr<EdgeSink>> stream_parallel(
   for (unsigned part = 0; part < nthreads; ++part) {
     workers.emplace_back([&, part] {
       try {
+        // Each partition thread gets its own trace track (thread-local
+        // buffer), so per-partition spans show the fan-out's balance.
+        obs::Span span("stream:partition");
+        span.arg("part", part).arg("nparts", nthreads);
         StreamOptions options;
         options.part = part;
         options.nparts = nthreads;
         options.batch_size = batch_size;
-        stream_into(a, b, *sinks[part], options);
+        const esz got = stream_into(a, b, *sinks[part], options);
+        span.arg("edges", got);
       } catch (...) {
         errors[part] = std::current_exception();
       }

@@ -11,6 +11,8 @@
 
 #include "api/pipeline.hpp"
 #include "core/io.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/runmeta.hpp"
 #include "util/table.hpp"
@@ -215,6 +217,9 @@ Value WorkerEvent::to_json() const {
   v.set("outcome", outcome);
   v.set("detail", static_cast<std::int64_t>(detail));
   v.set("wall_s", wall_s);
+  if (max_rss_bytes != 0) v.set("max_rss_bytes", max_rss_bytes);
+  if (cpu_user_s != 0) v.set("cpu_user_s", cpu_user_s);
+  if (cpu_sys_s != 0) v.set("cpu_sys_s", cpu_sys_s);
   return v;
 }
 
@@ -229,6 +234,9 @@ WorkerEvent WorkerEvent::from_json(const Value& v) {
     e.detail = static_cast<int>(detail->as_int());
   }
   if (const Value* wall = v.find("wall_s")) e.wall_s = wall->as_double();
+  e.max_rss_bytes = v.get_uint("max_rss_bytes", 0);
+  if (const Value* u = v.find("cpu_user_s")) e.cpu_user_s = u->as_double();
+  if (const Value* s = v.find("cpu_sys_s")) e.cpu_sys_s = s->as_double();
   return e;
 }
 
@@ -271,6 +279,9 @@ Value RunReport::to_json() const {
     Value evs = Value::array();
     for (const WorkerEvent& e : worker_events) evs.push_back(e.to_json());
     v.set("worker_events", std::move(evs));
+  }
+  if (counters.is_object() && !counters.members().empty()) {
+    v.set("counters", counters);
   }
   if (!error.empty()) v.set("error", error);
   return v;
@@ -318,6 +329,7 @@ RunReport RunReport::from_json(const Value& v) {
       r.worker_events.push_back(WorkerEvent::from_json(e));
     }
   }
+  if (const Value* c = v.find("counters")) r.counters = *c;
   r.error = v.get_string("error", "");
   return r;
 }
@@ -372,6 +384,11 @@ RunReport run(const RunPlan& plan, const GeneratorRegistry& generators,
               const AnalysisRegistry& registry) {
   const util::WallTimer total_wall;
   const util::CpuTimer total_cpu;
+  // The registry is process-global; the report carries this run's delta so
+  // back-to-back runs (service worker loop, tests) don't inherit counts.
+  const util::json::Value counters_start =
+      obs::CounterRegistry::instance().snapshot();
+  obs::Span run_span("api::run");
   RunReport report;
   report.plan = plan;
 
@@ -399,6 +416,7 @@ RunReport run(const RunPlan& plan, const GeneratorRegistry& generators,
   std::vector<Graph> factors;
   {
     StageTiming st{"generate", 0, 0, 0};
+    obs::Span span("stage:generate");
     const util::WallTimer w;
     const util::CpuTimer c;
     if (modified_kron) {
@@ -421,6 +439,7 @@ RunReport run(const RunPlan& plan, const GeneratorRegistry& generators,
     }
     st.wall_s = w.seconds();
     st.cpu_s = c.seconds();
+    span.arg("factors", factors.size());
     report.stages.push_back(st);
   }
 
@@ -466,6 +485,7 @@ RunReport run(const RunPlan& plan, const GeneratorRegistry& generators,
     const bool binary = plan.options.format == "binary";
     const bool collect = needs_graph && !ctx.graph_ready();
     StageTiming st{"stream", 0, 0, 0};
+    obs::Span span("stage:stream");
     const util::WallTimer w;
     const util::CpuTimer c;
     pass_sinks = stream_parallel(
@@ -510,6 +530,8 @@ RunReport run(const RunPlan& plan, const GeneratorRegistry& generators,
     esz total = 0;
     for (const auto& s : pass_sinks) total += s->edges_consumed();
     st.edges = total;
+    span.arg("edges", total).arg("partitions", pass_sinks.size());
+    obs::counter("api.edges_streamed").add(total);
     report.stages.push_back(st);
     report.streamed = true;
     report.partitions = static_cast<unsigned>(pass_sinks.size());
@@ -520,6 +542,7 @@ RunReport run(const RunPlan& plan, const GeneratorRegistry& generators,
       // exactly the single-threaded stream's edge multiset, so the
       // materialized graph is identical at every partition count.
       StageTiming mt{"materialize", 0, 0, 0};
+      obs::Span mspan("stage:materialize");
       const util::WallTimer mw;
       const util::CpuTimer mc;
       std::vector<std::pair<vid, vid>> edges;
@@ -535,6 +558,7 @@ RunReport run(const RunPlan& plan, const GeneratorRegistry& generators,
     }
   } else if ((needs_graph || write_materialized) && !ctx.graph_ready()) {
     StageTiming mt{"materialize", 0, 0, 0};
+    obs::Span mspan("stage:materialize");
     const util::WallTimer mw;
     const util::CpuTimer mc;
     mt.edges = ctx.graph().nnz();  // forces the build
@@ -546,6 +570,7 @@ RunReport run(const RunPlan& plan, const GeneratorRegistry& generators,
 
   if (write_materialized) {
     StageTiming wt{"write", 0, 0, 0};
+    obs::Span wspan("stage:write");
     const util::WallTimer ww;
     const util::CpuTimer wc;
     if (plan.options.format == "binary") {
@@ -580,12 +605,15 @@ RunReport run(const RunPlan& plan, const GeneratorRegistry& generators,
   }
 
   for (std::size_t i = 0; i < analyses.size(); ++i) {
+    obs::Span span("analyze:", analyses[i]->name());
     const util::WallTimer w;
     AnalysisReport ar = analyses[i]->execute(
         ctx, std::span<EdgeSink* const>(analysis_sinks[i].data(),
                                         analysis_sinks[i].size()));
     ar.name = analyses[i]->name();
     ar.wall_s = w.seconds();
+    span.arg("pass", ar.pass);
+    obs::counter("api.analyses_run").add();
     report.pass = report.pass && ar.pass;
     report.analyses.push_back(std::move(ar));
   }
@@ -594,6 +622,8 @@ RunReport run(const RunPlan& plan, const GeneratorRegistry& generators,
   report.total_wall_s = total_wall.seconds();
   report.total_cpu_s = total_cpu.seconds();
   report.peak_rss_bytes = util::peak_rss_bytes();
+  report.counters = obs::CounterRegistry::delta(
+      counters_start, obs::CounterRegistry::instance().snapshot());
   return report;
 }
 

@@ -81,6 +81,13 @@ struct WorkerEvent {
   std::string outcome;
   int detail = 0;  ///< exit code ("exit") or signal number ("signal"/…)
   double wall_s = 0;
+  /// Per-attempt resource accounting from the coordinator's wait4()
+  /// rusage: the worker process's own peak RSS and split CPU time. All 0
+  /// for attempts that never ran (spawn_failed, resumed) — and on the few
+  /// platforms without wait4.
+  std::size_t max_rss_bytes = 0;
+  double cpu_user_s = 0;
+  double cpu_sys_s = 0;
 
   [[nodiscard]] util::json::Value to_json() const;
   static WorkerEvent from_json(const util::json::Value& v);
@@ -112,6 +119,10 @@ struct RunReport {
   /// in-process runs. Volatile (pids, timings) — comparison helpers strip
   /// it alongside the timing fields.
   std::vector<WorkerEvent> worker_events;
+  /// obs::CounterRegistry delta over this run (edges streamed, shards
+  /// executed, retries, …). Volatile like the timings — comparison helpers
+  /// strip it. Null when nothing incremented.
+  util::json::Value counters;
   /// Non-empty when the run failed structurally (a work unit exhausted its
   /// retry budget, a worker could not be spawned); pass is false then.
   std::string error;

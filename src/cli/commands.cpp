@@ -18,12 +18,15 @@
 
 #include "api/plan.hpp"
 #include "api/registry.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "runner/runner.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 #include "util/backoff.hpp"
 #include "util/fault.hpp"
 #include "util/journal.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 namespace kronotri::cli {
@@ -79,6 +82,43 @@ api::GraphSpec factors_spec(const util::Cli& flags) {
 /// subcommand funnels into.
 api::RunReport run_plan(const api::RunPlan& plan) { return api::run(plan); }
 
+/// RAII for `--trace FILE`: flips the flight recorder on for the command's
+/// lifetime and exports the stitched timeline on destruction — after
+/// sampling the counter registry as 'C' events, so every exported trace
+/// carries its counters alongside the spans. A command without --trace
+/// constructs this with an empty path and it does nothing.
+class TraceScope {
+ public:
+  TraceScope(const util::Cli& flags, std::string_view process_name,
+             std::ostream& err)
+      : path_(flags.get("trace", "")), err_(err) {
+    if (path_.empty()) return;
+    obs::TraceRecorder& rec = obs::TraceRecorder::instance();
+    rec.clear();
+    rec.set_enabled(true);
+    rec.set_process_name(process_name);
+  }
+  ~TraceScope() {
+    if (path_.empty()) return;
+    obs::TraceRecorder& rec = obs::TraceRecorder::instance();
+    const util::json::Value counters =
+        obs::CounterRegistry::instance().snapshot();
+    for (const auto& [name, value] : counters.members()) {
+      rec.counter(name, value.as_double());
+    }
+    if (!rec.export_file(path_)) {
+      err_ << "warning: cannot write trace file " << path_ << "\n";
+    }
+    rec.set_enabled(false);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  std::string path_;
+  std::ostream& err_;
+};
+
 }  // namespace
 
 void usage(std::ostream& out) {
@@ -92,11 +132,18 @@ void usage(std::ostream& out) {
          "Every command below executes through the api::run() job engine;\n"
          "`run` exposes it directly.\n"
          "\n"
+         "Observability: `run`, `validate` and `serve` accept --trace FILE\n"
+         "to record a Chrome trace-event timeline (stages, per-partition\n"
+         "streams, validate shards, every worker attempt stitched under its\n"
+         "own pid, counters) loadable at ui.perfetto.dev; KRONOTRI_LOG=\n"
+         "debug|info|warn|error|off sets the structured-log level (default\n"
+         "warn).\n"
+         "\n"
          "commands:\n"
          "  run       --plan FILE|STRING [--json FILE] [--threads T]\n"
          "            [--batch N] [--out FILE] [--format text|binary]\n"
          "            [--workers N] [--shard-timeout SECS] [--max-retries R]\n"
-         "            [--journal DIR [--resume]]\n"
+         "            [--journal DIR [--resume]] [--trace FILE]\n"
          "            [--worker-mem-limit BYTES[K|M|G]|auto] [--list]\n"
          "            execute a declarative run plan (JSON document or the\n"
          "            shorthand \"SPEC analysis[:k=v,…] …\") in a single\n"
@@ -122,7 +169,7 @@ void usage(std::ostream& out) {
          "            a worker that trips it is classified oom and retried\n"
          "  serve     --socket PATH [--workers N] [--queue-depth D]\n"
          "            [--cache-bytes B[K|M|G]] [--mem-budget B[K|M|G]]\n"
-         "            [--idle-timeout SECONDS] [--state DIR]\n"
+         "            [--idle-timeout SECONDS] [--state DIR] [--trace FILE]\n"
          "            run as a long-lived analysis daemon on a unix socket\n"
          "            (newline-delimited JSON protocol): bounded job queue\n"
          "            over a worker pool, admission control (full queue and\n"
@@ -165,7 +212,7 @@ void usage(std::ostream& out) {
          "            diff claimed per-vertex triangle counts of C against\n"
          "            the oracle; exit 1 on any mismatch\n"
          "            --spec SPEC [--mem-budget BYTES[K|M|G]] [--shards N]\n"
-         "            [--json FILE]\n"
+         "            [--json FILE] [--trace FILE]\n"
          "            sharded streaming census of the product SPEC describes\n"
          "            (C is never materialized; shards sized to the budget),\n"
          "            checked per-vertex AND per-edge against the closed\n"
@@ -313,6 +360,7 @@ namespace {
 /// materializing C.
 int validate_spec(const util::Cli& flags, std::ostream& out,
                   std::ostream& err) {
+  const TraceScope trace(flags, "kronotri validate", err);
   api::RunPlan plan;
   plan.spec = api::GraphSpec::parse(flags.get("spec", ""));
   api::AnalysisRequest req{"validate", {}};
@@ -344,6 +392,7 @@ int cmd_validate(const util::Cli& flags, std::ostream& out, std::ostream& err) {
     err << "validate: --spec, or --a and --claims, is required\n";
     return 2;
   }
+  const TraceScope trace(flags, "kronotri validate", err);
   // Claims mode: read the claims first, then ask the census analysis for
   // ground truth at exactly the claimed vertices — claim-sized work, never
   // the full n_A·n_B vector. The diff itself is presentation only.
@@ -520,6 +569,8 @@ int cmd_run(const util::Cli& flags, std::ostream& out, std::ostream& err) {
                     : util::parse_byte_count(v);
   }
 
+  const TraceScope trace(flags, "kronotri run", err);
+
   // workers > 1 — or any durable run — routes through the fault-tolerant
   // multi-process runner; runner::execute itself degrades back to
   // api::run when it must.
@@ -549,6 +600,17 @@ int cmd_worker(const util::Cli& flags, std::ostream&, std::ostream& err) {
   }
   const auto unit = flags.get_uint("unit", 0);
   const auto attempt = flags.get_uint("attempt", 0);
+  // Trace context arrives through the hidden argv: the coordinator hands
+  // each attempt a scratch path; the worker records on the shared
+  // CLOCK_MONOTONIC axis and dumps its buffer there for stitching. A
+  // worker that dies mid-run just leaves no file — the coordinator
+  // tolerates that.
+  const std::string trace_out = flags.get("trace-out", "");
+  if (!trace_out.empty()) {
+    obs::TraceRecorder& rec = obs::TraceRecorder::instance();
+    rec.set_enabled(true);
+    rec.set_process_name("kronotri worker unit " + std::to_string(unit));
+  }
   try {
     // Resource guard: the coordinator hands down an RLIMIT_AS ceiling, so
     // a worker whose allocations run away dies HERE — std::bad_alloc
@@ -590,7 +652,12 @@ int cmd_worker(const util::Cli& flags, std::ostream&, std::ostream& err) {
       throw std::bad_alloc();
     }
 
-    const api::RunReport report = api::run(plan);
+    api::RunReport report;
+    {
+      obs::Span span("worker:run");
+      span.arg("unit", unit).arg("attempt", attempt);
+      report = api::run(plan);
+    }
     std::string frame =
         util::journal::encode_frame(report.to_json().dump_string(0));
     if (inj.match("truncate", unit, attempt) != nullptr) {
@@ -602,6 +669,9 @@ int cmd_worker(const util::Cli& flags, std::ostream&, std::ostream& err) {
     if (!out_file) {
       err << "__worker: cannot write " << out_path << "\n";
       return 4;
+    }
+    if (!trace_out.empty()) {
+      obs::TraceRecorder::instance().export_file(trace_out);
     }
     return 0;
   } catch (const std::bad_alloc&) {
@@ -645,6 +715,7 @@ int cmd_serve(const util::Cli& flags, std::ostream& out, std::ostream& err) {
   }
   const double idle_timeout_s = flags.get_double("idle-timeout", 0);
 
+  const TraceScope trace(flags, "kronotri serve", err);
   service::Server server(opt);
   server.start();
   out << "kronotri: serving on " << socket_path << " (workers=" << opt.workers

@@ -1,0 +1,104 @@
+#include "obs/counters.hpp"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace kronotri::obs {
+
+std::uint64_t Gauge::to_bits(double v) noexcept {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+double Gauge::from_bits(std::uint64_t b) noexcept {
+  double v = 0;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+// std::map keeps node addresses stable across inserts — the contract that
+// lets hot paths cache Counter&/Gauge& across registry growth.
+struct CounterRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+};
+
+CounterRegistry& CounterRegistry::instance() {
+  static CounterRegistry reg;
+  return reg;
+}
+
+CounterRegistry::Impl& CounterRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& CounterRegistry::counter(std::string_view name) {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.counters.find(name);
+  if (it == i.counters.end()) {
+    it = i.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& CounterRegistry::gauge(std::string_view name) {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.gauges.find(name);
+  if (it == i.gauges.end()) {
+    it = i.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+util::json::Value CounterRegistry::snapshot() const {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mu);
+  util::json::Value out = util::json::Value::object();
+  for (const auto& [name, c] : i.counters) {
+    const std::uint64_t v = c->value();
+    if (v != 0) out.set(name, v);
+  }
+  for (const auto& [name, g] : i.gauges) {
+    const double v = g->value();
+    if (v != 0.0) out.set(name, v);
+  }
+  return out;
+}
+
+util::json::Value CounterRegistry::delta(const util::json::Value& start,
+                                         const util::json::Value& end) {
+  util::json::Value out = util::json::Value::object();
+  if (!end.is_object()) return out;
+  for (const auto& [name, v] : end.members()) {
+    if (v.kind() == util::json::Value::Kind::kUInt) {
+      std::uint64_t base = 0;
+      if (const util::json::Value* s = start.find(name);
+          s && s->kind() == util::json::Value::Kind::kUInt) {
+        base = s->as_uint();
+      }
+      const std::uint64_t now = v.as_uint();
+      if (now > base) out.set(name, now - base);
+    } else {
+      // Gauges are levels, not accumulators: report the end value.
+      out.set(name, v);
+    }
+  }
+  return out;
+}
+
+void CounterRegistry::reset() {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mu);
+  for (auto& [name, c] : i.counters) c->reset();
+  for (auto& [name, g] : i.gauges) g->reset();
+}
+
+}  // namespace kronotri::obs

@@ -1,0 +1,106 @@
+// Process-wide counter/gauge registry.
+//
+// Counters are monotonically increasing u64s ("edges_streamed",
+// "runner.retries"); gauges are last-write/max doubles ("queue_depth",
+// "worker.max_rss_bytes"). Registration is mutex-protected and returns a
+// stable reference (the registry never erases), so hot paths hold the
+// reference and pay one relaxed atomic op per update — no lock, no lookup.
+//
+// Two consumers:
+//   * RunReport.counters / serve stats "counters": snapshot() flattens the
+//     registry into a util::json object (a delta vs a start snapshot for
+//     per-run reporting, since the registry is process-global);
+//   * the flight recorder: TraceRecorder::counter() emits 'C' events that
+//     Perfetto renders as counter tracks alongside the spans.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace kronotri::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    bits_.store(to_bits(v), std::memory_order_relaxed);
+  }
+  /// Keep the maximum of the current value and `v` (peak-RSS style).
+  void max_of(double v) noexcept {
+    double cur = value();
+    while (v > cur) {
+      std::uint64_t expected = to_bits(cur);
+      if (bits_.compare_exchange_weak(expected, to_bits(v),
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+      cur = from_bits(expected);
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return from_bits(bits_.load(std::memory_order_relaxed));
+  }
+  void reset() noexcept { bits_.store(0, std::memory_order_relaxed); }
+
+ private:
+  static std::uint64_t to_bits(double v) noexcept;
+  static double from_bits(std::uint64_t b) noexcept;
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+class CounterRegistry {
+ public:
+  static CounterRegistry& instance();
+
+  /// Find-or-create; the returned reference is valid for the process
+  /// lifetime (entries are never erased, values only reset).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+
+  /// Flat JSON object name → value. Counters dump as unsigned integers,
+  /// gauges as doubles. Zero-valued entries are skipped so an untouched
+  /// registry snapshots as {} and per-run deltas stay small.
+  [[nodiscard]] util::json::Value snapshot() const;
+
+  /// `now - start` for every counter (gauges report their current value).
+  /// This is what lands in RunReport.counters: the registry is
+  /// process-global, so a raw snapshot would leak counts across
+  /// back-to-back runs (service worker loop, tests).
+  [[nodiscard]] static util::json::Value delta(const util::json::Value& start,
+                                               const util::json::Value& end);
+
+  /// Zero every value (names and references stay valid). Test hygiene.
+  void reset();
+
+ private:
+  CounterRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Shorthands: obs::counter("runner.retries").add();
+inline Counter& counter(std::string_view name) {
+  return CounterRegistry::instance().counter(name);
+}
+inline Gauge& gauge(std::string_view name) {
+  return CounterRegistry::instance().gauge(name);
+}
+
+}  // namespace kronotri::obs

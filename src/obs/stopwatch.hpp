@@ -1,0 +1,66 @@
+// The one clock source behind every wall/CPU measurement in the repo.
+//
+// Three timing paths used to coexist — util::WallTimer (steady_clock),
+// util::CpuTimer (CLOCK_PROCESS_CPUTIME_ID) and the service metrics'
+// stopwatches — each reading its own clock its own way. obs::Stopwatch
+// dedups them: one type reads both clocks, trace spans and report timings
+// quote the same time base, and util::{Wall,Cpu}Timer are thin shims over
+// it (kept so benches and examples compile unchanged).
+//
+// Wall time is CLOCK_MONOTONIC, deliberately NOT steady_clock-as-abstract:
+// on Linux CLOCK_MONOTONIC is shared across fork/exec, so the trace
+// timestamps a fork'd worker records (obs::now_us) land on the SAME axis
+// as the coordinator's — the property that lets the flight recorder stitch
+// worker timelines under the coordinator's without clock negotiation.
+#pragma once
+
+#include <ctime>
+
+namespace kronotri::obs {
+
+/// Microseconds on the process-shared monotonic clock — the trace-event
+/// timestamp base (Chrome trace `ts`/`dur` are microseconds).
+[[nodiscard]] inline double now_us() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e6 +
+         static_cast<double>(ts.tv_nsec) * 1e-3;
+}
+
+/// Summed CPU seconds of every thread in the process. Wall on an
+/// oversubscribed box measures the scheduler; CPU seconds measure the work.
+[[nodiscard]] inline double cpu_now_s() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Wall + process-CPU stopwatch. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : wall_start_us_(now_us()), cpu_start_s_(cpu_now_s()) {}
+
+  void reset() noexcept {
+    wall_start_us_ = now_us();
+    cpu_start_s_ = cpu_now_s();
+  }
+
+  [[nodiscard]] double wall_s() const noexcept {
+    return (now_us() - wall_start_us_) * 1e-6;
+  }
+  [[nodiscard]] double wall_ms() const noexcept { return wall_s() * 1e3; }
+  [[nodiscard]] double cpu_s() const noexcept {
+    return cpu_now_s() - cpu_start_s_;
+  }
+
+  /// The start instant on the now_us() axis — what a trace span records as
+  /// its `ts` so span timing and report timing agree to the microsecond.
+  [[nodiscard]] double start_us() const noexcept { return wall_start_us_; }
+
+ private:
+  double wall_start_us_;
+  double cpu_start_s_;
+};
+
+}  // namespace kronotri::obs

@@ -15,12 +15,16 @@
 
 #include <dirent.h>
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/journal.hpp"
+#include "util/log.hpp"
 #include "util/runmeta.hpp"
 #include "util/timer.hpp"
 #include "validate/report.hpp"
@@ -323,11 +327,21 @@ struct RunningAttempt {
   unsigned attempt = 0;
   pid_t pid = -1;
   double start_s = 0;
+  double start_us = 0;      // obs::now_us() at spawn, for the attempt span
   std::string out_path;
+  std::string trace_path;   // worker trace scratch ("" when tracing is off)
   bool timed_out = false;   // we SIGKILLed it past its deadline
   bool superseded = false;  // another attempt of the unit already won
   bool aborted = false;     // run is failing, everything was killed
 };
+
+/// Trace track for one (unit, attempt) pair. Concurrent attempts all live
+/// on the coordinator's event-loop thread, so their spans would interleave
+/// on its track and break per-tid nesting; a synthetic tid per attempt
+/// keeps every track well-nested.
+std::uint32_t attempt_tid(unsigned unit, unsigned attempt) {
+  return 10000 + unit * 100 + attempt % 100;
+}
 
 struct UnitState {
   unsigned next_attempt = 0;
@@ -500,6 +514,13 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
 
   const util::WallTimer total_wall;
   const util::CpuTimer total_cpu;
+  const Value counters_start = obs::CounterRegistry::instance().snapshot();
+  obs::Span coord_span("runner::execute");
+  coord_span.arg("workers", opt.workers);
+  util::log::info("runner", "coordinator start",
+                  {{"workers", opt.workers},
+                   {"journaled", journaled ? "yes" : "no"},
+                   {"resume", opt.resume ? "yes" : "no"}});
   const auto fail_report = [&](const std::string& why) {
     api::RunReport r;
     r.plan = plan;
@@ -589,6 +610,20 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
         verified = false;  // a fragment that throws anywhere is not a result
       }
       e.outcome = verified ? "resumed" : "corrupt";
+      obs::counter(verified ? "runner.units_resumed"
+                            : "runner.fragments_corrupt")
+          .add();
+      if (obs::TraceRecorder::instance().enabled()) {
+        Value targs = Value::object();
+        targs.set("unit", e.unit);
+        targs.set("outcome", e.outcome);
+        obs::TraceRecorder::instance().instant("journal:resume",
+                                               std::move(targs));
+      }
+      if (!verified) {
+        util::log::warn("runner", "journal fragment failed verification",
+                        {{"unit", e.unit}});
+      }
       events.push_back(e);
     }
   }
@@ -660,8 +695,26 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
       args.push_back("--mem-limit");
       args.push_back(std::to_string(opt.worker_mem_limit_bytes));
     }
+    obs::TraceRecorder& trace = obs::TraceRecorder::instance();
+    if (trace.enabled()) {
+      // Trace context rides the hidden __worker argv: the worker records
+      // on the shared CLOCK_MONOTONIC axis and dumps its buffer here; the
+      // coordinator stitches the file in after the reap.
+      ra.trace_path = prefix + "u" + std::to_string(unit_id) + ".a" +
+                      std::to_string(ra.attempt) + ".trace";
+      cleanup.push_back(ra.trace_path);
+      args.push_back("--trace-out");
+      args.push_back(ra.trace_path);
+    }
     ra.pid = spawn_worker(exe, args);
     ra.start_s = monotonic_s();
+    ra.start_us = obs::now_us();
+    obs::counter("runner.dispatches").add();
+    if (ra.attempt > 0) obs::counter("runner.retries").add();
+    util::log::debug("runner", "dispatched worker",
+                     {{"unit", unit_id},
+                      {"attempt", ra.attempt},
+                      {"pid", static_cast<std::int64_t>(ra.pid)}});
     if (ra.pid < 0) {
       api::WorkerEvent e;
       e.unit = unit_id;
@@ -683,6 +736,8 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
             std::to_string(states[unit_id].failures) + " attempt" +
             (states[unit_id].failures == 1 ? "" : "s") +
             " (max_retries=" + std::to_string(opt.max_retries) + ")";
+    util::log::error("runner", "unit exhausted its retry budget",
+                     {{"unit", unit_id}, {"why", why}});
     pending.clear();
     for (RunningAttempt& ra : running) {
       ra.aborted = true;
@@ -710,9 +765,17 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
       fail_unit(ra.unit, why);
       return;
     }
-    pending.push_back({ra.unit, monotonic_s() + opt.backoff.delay_jittered_s(
-                                                    st.failures - 1,
-                                                    ra.unit)});
+    const double delay_s =
+        opt.backoff.delay_jittered_s(st.failures - 1, ra.unit);
+    if (obs::TraceRecorder::instance().enabled()) {
+      Value targs = Value::object();
+      targs.set("unit", ra.unit);
+      targs.set("attempt", ra.attempt);
+      targs.set("why", why);
+      targs.set("backoff_s", delay_s);
+      obs::TraceRecorder::instance().instant("retry", std::move(targs));
+    }
+    pending.push_back({ra.unit, monotonic_s() + delay_s});
   };
 
   while (!running.empty() || (!pending.empty() && error.empty())) {
@@ -732,7 +795,10 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
     for (std::size_t i = 0; i < running.size();) {
       RunningAttempt& ra = running[i];
       int status = 0;
-      const pid_t got = ::waitpid(ra.pid, &status, WNOHANG);
+      rusage ru{};
+      // wait4 = waitpid + the child's rusage: per-attempt peak RSS and
+      // split user/sys CPU land in the worker event for free.
+      const pid_t got = ::wait4(ra.pid, &status, WNOHANG, &ru);
       if (got != ra.pid) {
         ++i;
         continue;
@@ -743,6 +809,12 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
       e.attempt = ra.attempt;
       e.pid = ra.pid;
       e.wall_s = monotonic_s() - ra.start_s;
+      e.max_rss_bytes =
+          static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+      e.cpu_user_s = static_cast<double>(ru.ru_utime.tv_sec) +
+                     static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+      e.cpu_sys_s = static_cast<double>(ru.ru_stime.tv_sec) +
+                    static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
       UnitState& st = states[ra.unit];
 
       if (ra.aborted) {
@@ -836,6 +908,39 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
         events.push_back(e);
         on_failure(ra, "wrote a truncated result frame");
       }
+      obs::TraceRecorder& trace = obs::TraceRecorder::instance();
+      if (trace.enabled()) {
+        // Stitch the worker's own timeline in first (missing/truncated
+        // files from killed workers are tolerated), then close the
+        // coordinator-side attempt span on its synthetic track.
+        if (!ra.trace_path.empty()) trace.import_file(ra.trace_path);
+        Value targs = Value::object();
+        targs.set("unit", e.unit);
+        targs.set("kind", e.kind);
+        targs.set("attempt", e.attempt);
+        targs.set("pid", static_cast<std::int64_t>(e.pid));
+        targs.set("outcome", e.outcome);
+        trace.complete_on(attempt_tid(e.unit, e.attempt), "attempt",
+                          ra.start_us, obs::now_us() - ra.start_us,
+                          std::move(targs));
+        trace.counter("runner.worker_max_rss_bytes",
+                      static_cast<double>(e.max_rss_bytes));
+        trace.counter("runner.worker_cpu_s", e.cpu_user_s + e.cpu_sys_s);
+      }
+      obs::gauge("runner.worker_max_rss_bytes")
+          .max_of(static_cast<double>(e.max_rss_bytes));
+      if (e.outcome == "ok") {
+        util::log::debug("runner", "worker attempt ok",
+                         {{"unit", e.unit},
+                          {"attempt", e.attempt},
+                          {"wall_s", e.wall_s}});
+      } else if (e.outcome != "speculative_loss" && e.outcome != "aborted") {
+        util::log::warn("runner", "worker attempt failed",
+                        {{"unit", e.unit},
+                         {"attempt", e.attempt},
+                         {"outcome", e.outcome},
+                         {"detail", e.detail}});
+      }
       running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
     }
 
@@ -904,6 +1009,16 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
       }
       if (straggler != nullptr) {
         states[straggler->unit].speculated = true;
+        obs::counter("runner.speculations").add();
+        if (obs::TraceRecorder::instance().enabled()) {
+          Value targs = Value::object();
+          targs.set("unit", straggler->unit);
+          targs.set("running_s", now - straggler->start_s);
+          obs::TraceRecorder::instance().instant("speculate",
+                                                 std::move(targs));
+        }
+        util::log::info("runner", "speculative re-execution",
+                        {{"unit", straggler->unit}});
         dispatch(straggler->unit);
       }
     }
@@ -918,6 +1033,7 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
 
   api::RunReport report;
   if (error.empty()) {
+    obs::Span merge_span("runner::merge");
     report = merge_fragments(plan, units, states);
   } else {
     report.plan = plan;
@@ -929,6 +1045,38 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
   report.total_wall_s = total_wall.seconds();
   report.total_cpu_s = total_cpu.seconds();
   report.peak_rss_bytes = util::peak_rss_bytes();
+  // The report's counters are the coordinator's own delta plus every
+  // finished worker fragment's delta (the workers did the validate shards;
+  // their counts must not vanish with the scratch files). Counters sum;
+  // gauges (doubles) keep the max.
+  Value agg = obs::CounterRegistry::delta(
+      counters_start, obs::CounterRegistry::instance().snapshot());
+  for (const UnitState& st : states) {
+    const Value* frag_counters = st.fragment.find("counters");
+    if (frag_counters == nullptr || !frag_counters->is_object()) continue;
+    for (const auto& [key, value] : frag_counters->members()) {
+      if (value.kind() == Value::Kind::kUInt) {
+        std::uint64_t base = 0;
+        if (const Value* cur = agg.find(key);
+            cur != nullptr && cur->kind() == Value::Kind::kUInt) {
+          base = cur->as_uint();
+        }
+        agg.set(key, base + value.as_uint());
+      } else if (value.is_number()) {
+        double base = 0;
+        if (const Value* cur = agg.find(key);
+            cur != nullptr && cur->is_number()) {
+          base = cur->as_double();
+        }
+        agg.set(key, std::max(base, value.as_double()));
+      }
+    }
+  }
+  report.counters = std::move(agg);
+  util::log::info("runner", "coordinator done",
+                  {{"pass", report.pass ? "yes" : "no"},
+                   {"attempts", report.worker_events.size()},
+                   {"wall_s", report.total_wall_s}});
   for (const std::string& path : cleanup) ::unlink(path.c_str());
   return report;
 }
@@ -953,7 +1101,7 @@ Value comparable(const Value& report_json) {
   for (const auto& [key, value] : report_json.members()) {
     if (key == "total_wall_s" || key == "total_cpu_s" ||
         key == "peak_rss_bytes" || key == "queue_wait_s" ||
-        key == "metadata" || key == "worker_events") {
+        key == "metadata" || key == "worker_events" || key == "counters") {
       continue;
     }
     if (key == "stages") {

@@ -123,7 +123,7 @@ api::RunReport execute(const api::RunPlan& plan, Options opt);
 api::RunReport execute(const api::RunPlan& plan);
 
 /// A report JSON with every volatile field removed — timings, rss,
-/// metadata, worker_events, and the runner-only plan options — so a
+/// metadata, worker_events, counters, and the runner-only plan options — so a
 /// multi-process report can be compared bit-identically against the
 /// serial run. Tests, bench_runner and the CI smoke all use this one
 /// definition of "identical".

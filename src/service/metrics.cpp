@@ -51,7 +51,7 @@ util::json::Value LatencyRecorder::to_json() const {
 util::json::Value Metrics::to_json(std::size_t queue_depth) const {
   using util::json::Value;
   Value v = Value::object();
-  v.set("uptime_s", uptime.seconds());
+  v.set("uptime_s", uptime.wall_s());
   v.set("connections_opened", connections_opened.load());
   v.set("client_disconnects", client_disconnects.load());
   v.set("jobs_accepted", jobs_accepted.load());

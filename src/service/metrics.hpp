@@ -14,8 +14,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/stopwatch.hpp"
 #include "util/json.hpp"
-#include "util/timer.hpp"
 
 namespace kronotri::service {
 
@@ -52,7 +52,7 @@ class LatencyRecorder {
 /// atomics: they are statistics, not synchronization, and per-counter
 /// exactness under concurrent bumps is all that matters.
 struct Metrics {
-  util::WallTimer uptime;  ///< started when the server constructs
+  obs::Stopwatch uptime;  ///< started when the server constructs
 
   std::atomic<std::uint64_t> connections_opened{0};
   std::atomic<std::uint64_t> client_disconnects{0};  ///< mid-stream EOF/EPIPE

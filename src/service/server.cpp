@@ -14,9 +14,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "service/admission.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
+#include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace kronotri::service {
@@ -64,12 +67,12 @@ Server::Server(ServerOptions opt, const api::GeneratorRegistry& generators,
 Server::~Server() { stop(); }
 
 void Server::touch_activity() {
-  last_activity_s_.store(metrics_.uptime.seconds(), std::memory_order_relaxed);
+  last_activity_s_.store(metrics_.uptime.wall_s(), std::memory_order_relaxed);
 }
 
 double Server::seconds_idle() const {
   if (metrics_.jobs_active.load() > 0 || queue_->size() > 0) return 0;
-  return metrics_.uptime.seconds() -
+  return metrics_.uptime.wall_s() -
          last_activity_s_.load(std::memory_order_relaxed);
 }
 
@@ -131,6 +134,8 @@ void Server::start() {
     workers_.emplace_back([this] { worker_loop(); });
   }
   acceptor_ = std::thread([this] { accept_loop(); });
+  util::log::info("service", "listening",
+                  {{"socket", opt_.socket_path}, {"workers", opt_.workers}});
 }
 
 void Server::stop() {
@@ -186,6 +191,8 @@ void Server::stop() {
 
   ::unlink(opt_.socket_path.c_str());
   state_wal_.close();
+  util::log::info("service", "drained and stopped",
+                  {{"jobs_completed", metrics_.jobs_completed.load()}});
 }
 
 void Server::journal_state(const util::json::Value& record) {
@@ -239,7 +246,7 @@ void Server::replay_state() {
     auto job = std::make_shared<Job>();
     job->plan = std::move(plan);
     job->key = key;
-    job->enqueued_at_s = metrics_.uptime.seconds();
+    job->enqueued_at_s = metrics_.uptime.wall_s();
     // No connection is waiting on a replayed job — its promise is simply
     // never read; the result lands in the cache (and its done record in
     // the journal), which is what the re-submitting client will hit.
@@ -247,6 +254,9 @@ void Server::replay_state() {
                                        // next restart, records intact
     jobs_replayed_.fetch_add(1);
     metrics_.jobs_accepted.fetch_add(1);
+  }
+  if (const std::uint64_t n = jobs_replayed_.load(); n > 0) {
+    util::log::info("service", "replayed journaled submits", {{"jobs", n}});
   }
   touch_activity();
 }
@@ -348,6 +358,10 @@ std::string Server::handle_request(const std::string& line) {
 
 std::string Server::handle_submit(const util::json::Value& request) {
   const util::WallTimer total;
+  // One span per request: admission → (queue wait + execute, inside the
+  // worker's span) → respond, with the cache verdict as an arg/marker.
+  obs::Span span("service:submit");
+  obs::counter("service.requests").add();
   api::RunPlan plan;
   try {
     const util::json::Value* p = request.find("plan");
@@ -378,12 +392,21 @@ std::string Server::handle_submit(const util::json::Value& request) {
   // served even when the server is saturated — that is the whole point.
   if (auto cached = cache_.get(key)) {
     metrics_.cache_hits.fetch_add(1);
+    obs::counter("service.cache_hits").add();
+    span.arg("cache", "hit");
+    if (obs::TraceRecorder::instance().enabled()) {
+      util::json::Value targs = util::json::Value::object();
+      targs.set("key_hash", hash);
+      obs::TraceRecorder::instance().instant("cache:hit", std::move(targs));
+    }
     const double wall = total.seconds();
     metrics_.total_latency.record(wall);
     touch_activity();
     return report_frame("hit", hash, 0.0, wall, *cached);
   }
   metrics_.cache_misses.fetch_add(1);
+  obs::counter("service.cache_misses").add();
+  span.arg("cache", "miss");
 
   if (draining_.load()) {
     metrics_.rejected_draining.fetch_add(1);
@@ -399,7 +422,7 @@ std::string Server::handle_submit(const util::json::Value& request) {
   auto job = std::make_shared<Job>();
   job->plan = std::move(plan);
   job->key = key;
-  job->enqueued_at_s = metrics_.uptime.seconds();
+  job->enqueued_at_s = metrics_.uptime.wall_s();
   std::future<std::string> result = job->result.get_future();
   if (!queue_->try_push(job)) {
     if (draining_.load()) {
@@ -438,9 +461,11 @@ std::string Server::handle_submit(const util::json::Value& request) {
 void Server::worker_loop() {
   while (auto popped = queue_->pop()) {
     const std::shared_ptr<Job>& job = *popped;
-    const double wait_s = metrics_.uptime.seconds() - job->enqueued_at_s;
+    const double wait_s = metrics_.uptime.wall_s() - job->enqueued_at_s;
     metrics_.wait_latency.record(wait_s);
     metrics_.jobs_active.fetch_add(1);
+    obs::Span span("service:execute");
+    span.arg("queue_wait_s", wait_s);
     const util::WallTimer exec;
     try {
       api::RunReport report = api::run(job->plan, generators_, analyses_);
@@ -460,11 +485,14 @@ void Server::worker_loop() {
       job->result.set_value(report_frame("miss",
                                          util::json::hash64(job->key), wait_s,
                                          execute_s, report_json));
+      obs::counter("service.jobs_completed").add();
     } catch (...) {
       // Exception isolation: the plan failed, the worker survives. The
       // connection thread turns this into an execution_failed frame.
       metrics_.execute_latency.record(exec.seconds());
       metrics_.jobs_failed.fetch_add(1);
+      obs::counter("service.jobs_failed").add();
+      util::log::warn("service", "job failed during execute");
       job->result.set_exception(std::current_exception());
     }
     metrics_.jobs_active.fetch_sub(1);
@@ -476,6 +504,9 @@ util::json::Value Server::stats_json() const {
   util::json::Value v = metrics_.to_json(queue_->size());
   v.set("cache_store", cache_.stats_json());
   v.set("jobs_replayed", jobs_replayed_.load());
+  // The process-wide obs registry rides along: analysis-layer counts
+  // (edges streamed, shards executed) the service metrics don't track.
+  v.set("counters", obs::CounterRegistry::instance().snapshot());
   util::json::Value cfg = util::json::Value::object();
   cfg.set("socket", opt_.socket_path);
   cfg.set("workers", opt_.workers);

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
-#include <iostream>
 
 #include "core/ops.hpp"
 #include "triangle/census.hpp"
+#include "util/log.hpp"
 
 namespace kronotri::triangle {
 
@@ -128,10 +128,13 @@ LabeledCensus labeled_census(const Graph& a, const Labeling& lab,
       1, per_worker_bytes > 0 ? max_accumulator_bytes / per_worker_bytes
                               : workers);
   if (workers > allowed) {
-    std::cerr << "labeled_census: clamping team " << workers << " -> "
-              << allowed << " workers (" << per_worker_bytes
-              << " accumulator bytes/worker, budget " << max_accumulator_bytes
-              << ")\n";
+    util::log::warn("labeled_census", "clamping worker team to memory budget",
+                    {{"workers", static_cast<std::uint64_t>(workers)},
+                     {"allowed", static_cast<std::uint64_t>(allowed)},
+                     {"bytes_per_worker",
+                      static_cast<std::uint64_t>(per_worker_bytes)},
+                     {"budget",
+                      static_cast<std::uint64_t>(max_accumulator_bytes)}});
     workers = allowed;
   }
   std::vector<Tls> tls(workers);

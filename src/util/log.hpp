@@ -1,0 +1,81 @@
+// Leveled structured logging: one writer, timestamped lines, level gated
+// by KRONOTRI_LOG (debug|info|warn|error|off; default warn so existing
+// output is unchanged). Replaces the ad-hoc std::cerr prints scattered
+// through runner/service/triangle — those interleave across threads and
+// carry no timestamp or severity, which makes a multi-worker stall
+// undebuggable.
+//
+// Line format (stderr, one write per line under a global mutex):
+//   2026-08-08T12:34:56.789Z INFO  [1234] runner: unit dispatched unit=3 pid=77
+//
+// Usage:
+//   util::log::info("runner", "unit dispatched", {{"unit", u}, {"pid", pid}});
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace kronotri::util::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Threshold from KRONOTRI_LOG, cached after the first call.
+[[nodiscard]] Level threshold();
+/// Override (tests); pass-through to the same cached state threshold() reads.
+void set_threshold(Level level);
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive);
+/// anything else → kWarn.
+[[nodiscard]] Level level_from(std::string_view text);
+
+[[nodiscard]] inline bool enabled(Level level) {
+  return static_cast<int>(level) >= static_cast<int>(threshold());
+}
+
+/// One key=value pair. The constructors cover what call sites actually
+/// pass; values render unquoted except strings containing spaces.
+struct Field {
+  std::string key;
+  std::string value;
+
+  Field(std::string_view k, std::string_view v) : key(k), value(v) {}
+  Field(std::string_view k, const std::string& v) : key(k), value(v) {}
+  Field(std::string_view k, const char* v) : key(k), value(v) {}
+  Field(std::string_view k, std::uint64_t v)
+      : key(k), value(std::to_string(v)) {}
+  Field(std::string_view k, std::int64_t v)
+      : key(k), value(std::to_string(v)) {}
+  Field(std::string_view k, int v) : key(k), value(std::to_string(v)) {}
+  Field(std::string_view k, unsigned v) : key(k), value(std::to_string(v)) {}
+  Field(std::string_view k, double v);
+};
+
+/// Formats one line WITHOUT writing it — the testable core.
+[[nodiscard]] std::string format_line(Level level, std::string_view component,
+                                      std::string_view message,
+                                      std::initializer_list<Field> fields);
+
+/// Writes to stderr iff `level` clears the threshold. One global mutex
+/// serializes writers so multi-thread lines never interleave.
+void write(Level level, std::string_view component, std::string_view message,
+           std::initializer_list<Field> fields = {});
+
+inline void debug(std::string_view component, std::string_view message,
+                  std::initializer_list<Field> fields = {}) {
+  write(Level::kDebug, component, message, fields);
+}
+inline void info(std::string_view component, std::string_view message,
+                 std::initializer_list<Field> fields = {}) {
+  write(Level::kInfo, component, message, fields);
+}
+inline void warn(std::string_view component, std::string_view message,
+                 std::initializer_list<Field> fields = {}) {
+  write(Level::kWarn, component, message, fields);
+}
+inline void error(std::string_view component, std::string_view message,
+                  std::initializer_list<Field> fields = {}) {
+  write(Level::kError, component, message, fields);
+}
+
+}  // namespace kronotri::util::log

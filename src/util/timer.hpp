@@ -1,29 +1,32 @@
-// Minimal wall-clock and process-CPU timing used by benchmark harnesses,
-// examples and the run-plan engine's stage timings.
+// Back-compat timing shims over obs::Stopwatch — the one clock
+// implementation (see src/obs/stopwatch.hpp). Benchmarks, examples and the
+// run-plan engine keep their WallTimer/CpuTimer call sites; the clocks they
+// read are now the same CLOCK_MONOTONIC / CLOCK_PROCESS_CPUTIME_ID pair the
+// flight recorder's spans use, so report timings and trace timings agree.
 #pragma once
 
-#include <chrono>
-#include <ctime>
+#include "obs/stopwatch.hpp"
 
 namespace kronotri::util {
 
 /// Monotonic wall-clock stopwatch. Starts on construction.
 class WallTimer {
  public:
-  WallTimer() noexcept : start_(clock::now()) {}
+  WallTimer() noexcept = default;
 
-  void reset() noexcept { start_ = clock::now(); }
+  void reset() noexcept { sw_.reset(); }
 
   /// Seconds elapsed since construction or the last reset().
-  [[nodiscard]] double seconds() const noexcept {
-    return std::chrono::duration<double>(clock::now() - start_).count();
-  }
+  [[nodiscard]] double seconds() const noexcept { return sw_.wall_s(); }
 
-  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+  [[nodiscard]] double millis() const noexcept { return sw_.wall_ms(); }
+
+  /// Start instant on the obs::now_us() axis — lets a caller pair a report
+  /// timing with a trace span without a second clock read.
+  [[nodiscard]] double start_us() const noexcept { return sw_.start_us(); }
 
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  obs::Stopwatch sw_;
 };
 
 /// Process-CPU stopwatch: the summed CPU seconds of every thread in the
@@ -32,21 +35,14 @@ class WallTimer {
 /// measure the work. Starts on construction.
 class CpuTimer {
  public:
-  CpuTimer() noexcept : start_(now()) {}
+  CpuTimer() noexcept = default;
 
-  void reset() noexcept { start_ = now(); }
+  void reset() noexcept { sw_.reset(); }
 
-  [[nodiscard]] double seconds() const noexcept { return now() - start_; }
+  [[nodiscard]] double seconds() const noexcept { return sw_.cpu_s(); }
 
  private:
-  static double now() noexcept {
-    timespec ts{};
-    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
-    return static_cast<double>(ts.tv_sec) +
-           static_cast<double>(ts.tv_nsec) * 1e-9;
-  }
-
-  double start_;
+  obs::Stopwatch sw_;
 };
 
 }  // namespace kronotri::util

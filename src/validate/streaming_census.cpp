@@ -6,6 +6,8 @@
 
 #include "kron/multi.hpp"
 #include "kron/view.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace kronotri::validate {
 
@@ -266,10 +268,15 @@ StreamingStats StreamingCensus::run_shards(std::size_t begin, std::size_t end,
   std::vector<count_t> vertex, edge;
   std::vector<esz> offsets;
   for (std::size_t s = begin; s < end; ++s) {
+    obs::Span span("validate:shard");
+    span.arg("shard", s);
     const ShardRange range = shards_[s];
     count_t checks = 0;
     process_shard(range, vertex, edge, offsets, checks);
     st.wedge_checks += checks;
+    span.arg("wedge_checks", checks);
+    obs::counter("validate.shards_executed").add();
+    obs::counter("validate.wedge_checks").add(checks);
     st.peak_accumulator_bytes =
         std::max(st.peak_accumulator_bytes,
                  vertex.size() * sizeof(count_t) +
