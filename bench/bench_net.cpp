@@ -1,0 +1,215 @@
+// Multi-node runner benchmark (BENCH_net.json): the same plan
+// bench_runner forks locally, executed over loopback `kronotri agent`
+// endpoints — pure remote, mixed local+remote, and remote under an
+// injected connection drop.
+//
+// Artifact contract (consumed by CI):
+//   * every mode's report must PASS;
+//   * every agents-mode report must be bit-identical to the in-process
+//     serial report under runner::comparable() — the binary exits
+//     non-zero on any merge divergence, failing the job;
+//   * the drop_conn mode must actually have recovered (>= 1 disconnect
+//     re-dispatched) — a fault that never fired gates the job too;
+//   * "agents_overhead" records agents2 wall / workers2 wall: the price
+//     of crossing a loopback socket instead of a pipe-less fork (frame
+//     encode + TCP + fragment in JSON instead of a tmp file).
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/plan.hpp"
+#include "api/pipeline.hpp"
+#include "common.hpp"
+#include "net/agent.hpp"
+#include "runner/runner.hpp"
+#include "util/runmeta.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace kronotri;
+
+// bench_runner's plan: a census base unit plus over-budget validate
+// shards — the parallelizable work the agents split.
+constexpr const char* kPlanText =
+    "kron:(hk:n=1500,m=4,p=0.6,seed=7)x(clique:n=5,loops=1) "
+    "census validate:mem_budget=1M";
+
+api::RunPlan bench_plan() {
+  api::RunPlan plan = api::RunPlan::parse(kPlanText);
+  plan.options.threads = 1;  // process-level parallelism is what we measure
+  return plan;
+}
+
+struct ModeResult {
+  std::string name;
+  unsigned workers = 0;
+  unsigned agents = 0;
+  std::string fault;
+  double wall_s = 0;
+  bool pass = false;
+  bool merge_identical = true;  // vs the serial reference
+  count_t edges = 0;
+  std::size_t events = 0;
+  std::size_t recoveries = 0;  // failed attempts re-dispatched
+  std::size_t remote_ok = 0;   // "ok" attempts that ran on an agent
+  std::string comparable_dump;
+};
+
+ModeResult run_mode(const std::string& name, unsigned workers,
+                    const std::vector<std::string>& agents,
+                    const std::string& fault = "") {
+  ModeResult r;
+  r.name = name;
+  r.workers = workers;
+  r.agents = static_cast<unsigned>(agents.size());
+  r.fault = fault;
+  runner::Options opt;
+  opt.workers = workers;
+  opt.agents = agents;
+  opt.fault_spec = fault;
+  opt.straggler_min_s = 60;  // measure the transport, not speculation
+  const util::WallTimer timer;
+  const api::RunReport report = runner::execute(bench_plan(), opt);
+  r.wall_s = timer.seconds();
+  r.pass = report.pass && report.error.empty();
+  r.edges = report.num_undirected_edges;
+  r.events = report.worker_events.size();
+  for (const api::WorkerEvent& e : report.worker_events) {
+    if (e.outcome == "ok") {
+      if (!e.host.empty()) ++r.remote_ok;
+    } else {
+      ++r.recoveries;
+    }
+  }
+  r.comparable_dump = runner::comparable(report.to_json()).dump_string(0);
+  return r;
+}
+
+std::vector<ModeResult> g_results;
+bool g_all_ok = true;
+
+const ModeResult& mode(const std::string& name) {
+  for (const ModeResult& r : g_results) {
+    if (r.name == name) return r;
+  }
+  throw std::logic_error("unknown bench mode " + name);
+}
+
+void print_artifact() {
+  kt_bench::banner("Multi-node runner (BENCH_net.json)",
+                   "loopback agents; mixed local+remote; drop_conn recovery");
+
+  net::AgentOptions aopt;
+  aopt.slots = 2;
+  net::Agent a1{aopt};
+  net::Agent a2{aopt};
+  std::string err;
+  if (!a1.start(&err) || !a2.start(&err)) {
+    std::cerr << "bench_net: cannot start loopback agents: " << err << "\n";
+    g_all_ok = false;
+    return;
+  }
+  const std::vector<std::string> agents = {a1.endpoint(), a2.endpoint()};
+
+  g_results.push_back(run_mode("in_process", 1, {}));
+  g_results.push_back(run_mode("workers2", 2, {}));
+  g_results.push_back(run_mode("agents2", 0, agents));
+  g_results.push_back(run_mode("mixed_1local_2agents", 1, agents));
+  g_results.push_back(
+      run_mode("agents2_drop", 0, agents, "drop_conn:shard=1:attempt=0"));
+  a1.stop();
+  a2.stop();
+
+  const ModeResult& serial = g_results[0];
+  for (ModeResult& r : g_results) {
+    r.merge_identical = r.comparable_dump == serial.comparable_dump;
+    g_all_ok = g_all_ok && r.pass && r.merge_identical;
+  }
+  // The remote modes must actually have run remotely, and the drop mode
+  // must have recovered from a real disconnect.
+  g_all_ok = g_all_ok && mode("agents2").remote_ok >= 1;
+  g_all_ok = g_all_ok && mode("agents2_drop").recoveries >= 1;
+
+  util::Table t({"mode", "workers", "agents", "fault", "wall s", "edges/s",
+                 "attempts", "remote ok", "recoveries", "verdict"});
+  for (const ModeResult& r : g_results) {
+    t.row({r.name, std::to_string(r.workers), std::to_string(r.agents),
+           r.fault.empty() ? "-" : r.fault, std::to_string(r.wall_s),
+           util::commas(static_cast<count_t>(
+               r.wall_s > 0 ? static_cast<double>(r.edges) / r.wall_s : 0)),
+           std::to_string(r.events), std::to_string(r.remote_ok),
+           std::to_string(r.recoveries),
+           r.pass && r.merge_identical ? "PASS" : "FAIL"});
+  }
+  t.print(std::cout);
+
+  const double agents_overhead =
+      mode("workers2").wall_s > 0
+          ? mode("agents2").wall_s / mode("workers2").wall_s
+          : 0.0;
+
+  util::json::Value j = util::json::Value::object();
+  j.set("plan", kPlanText);
+  util::json::Value modes = util::json::Value::array();
+  for (const ModeResult& r : g_results) {
+    util::json::Value m = util::json::Value::object();
+    m.set("name", r.name);
+    m.set("workers", r.workers);
+    m.set("agents", r.agents);
+    m.set("fault", r.fault);
+    m.set("wall_seconds", r.wall_s);
+    m.set("edges_per_second",
+          r.wall_s > 0 ? static_cast<double>(r.edges) / r.wall_s : 0.0);
+    m.set("pass", r.pass);
+    m.set("merge_identical_to_serial", r.merge_identical);
+    m.set("worker_attempts", r.events);
+    m.set("remote_ok_attempts", r.remote_ok);
+    m.set("recovered_attempts", r.recoveries);
+    modes.push_back(std::move(m));
+  }
+  j.set("modes", std::move(modes));
+  j.set("agents_overhead", agents_overhead);
+  j.set("all_pass", g_all_ok);
+  j.set("metadata", util::run_metadata(api::kDefaultBatchSize));
+  std::ofstream out("BENCH_net.json");
+  j.dump(out);
+  out << "\n";
+  std::cout << "\nwrote BENCH_net.json ("
+            << (g_all_ok ? "all modes PASS, merges bit-identical"
+                         : "FAILURE: divergent merge or failed mode")
+            << "; agents overhead " << agents_overhead << "x vs 2 local "
+            << "workers)\n";
+}
+
+void bm_net_agents(benchmark::State& state) {
+  net::AgentOptions aopt;
+  aopt.slots = static_cast<unsigned>(state.range(0));
+  net::Agent agent{aopt};
+  if (!agent.start(nullptr)) {
+    state.SkipWithError("cannot start loopback agent");
+    return;
+  }
+  runner::Options opt;
+  opt.workers = 0;
+  opt.agents = {agent.endpoint()};
+  opt.straggler_min_s = 60;
+  for (auto _ : state) {
+    const api::RunReport report = runner::execute(bench_plan(), opt);
+    benchmark::DoNotOptimize(report.pass);
+  }
+  agent.stop();
+}
+BENCHMARK(bm_net_agents)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = kt_bench::run(argc, argv, print_artifact);
+  if (rc != 0) return rc;
+  return g_all_ok ? 0 : 1;  // CI gates on merge identity
+}

@@ -77,10 +77,16 @@ struct WorkerEvent {
   /// kOomExitCode after the RLIMIT_AS guard tripped its allocation path) |
   /// "resumed" (unit reloaded from a journal, not re-executed) | "corrupt"
   /// (a journaled fragment failed CRC/digest verification on resume and
-  /// the unit was re-queued)
+  /// the unit was re-queued) | "disconnect" (the remote agent running the
+  /// attempt lost its connection or missed its heartbeat deadline — the
+  /// unit re-dispatches exactly like a SIGKILLed local child) | "garbled"
+  /// (a result frame from the agent failed its CRC and was rejected)
   std::string outcome;
   int detail = 0;  ///< exit code ("exit") or signal number ("signal"/…)
   double wall_s = 0;
+  /// Remote attempts only: the agent endpoint ("HOST:PORT") the attempt
+  /// ran on; empty for local fork/exec workers.
+  std::string host;
   /// Per-attempt resource accounting from the coordinator's wait4()
   /// rusage: the worker process's own peak RSS and split CPU time. All 0
   /// for attempts that never ran (spawn_failed, resumed) — and on the few

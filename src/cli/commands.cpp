@@ -18,6 +18,8 @@
 
 #include "api/plan.hpp"
 #include "api/registry.hpp"
+#include "net/agent.hpp"
+#include "net/socket.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "runner/runner.hpp"
@@ -142,7 +144,8 @@ void usage(std::ostream& out) {
          "commands:\n"
          "  run       --plan FILE|STRING [--json FILE] [--threads T]\n"
          "            [--batch N] [--out FILE] [--format text|binary]\n"
-         "            [--workers N] [--shard-timeout SECS] [--max-retries R]\n"
+         "            [--workers N|auto] [--shard-timeout SECS]\n"
+         "            [--max-retries R] [--agents HOST:PORT[,...]]\n"
          "            [--journal DIR [--resume]] [--trace FILE]\n"
          "            [--worker-mem-limit BYTES[K|M|G]|auto] [--list]\n"
          "            execute a declarative run plan (JSON document or the\n"
@@ -166,7 +169,21 @@ void usage(std::ostream& out) {
          "            is bit-identical to an uninterrupted run.\n"
          "            --worker-mem-limit installs an RLIMIT_AS guard in\n"
          "            each worker (auto = 8x the plan mem budget + 512M);\n"
-         "            a worker that trips it is classified oom and retried\n"
+         "            a worker that trips it is classified oom and retried.\n"
+         "            --agents adds remote `kronotri agent` endpoints as\n"
+         "            dispatch targets next to the local slots (--workers 0\n"
+         "            runs purely remote; --workers auto = all cores); a\n"
+         "            lost connection, garbled frame or missed heartbeat\n"
+         "            re-dispatches the agent's in-flight units, and the\n"
+         "            merged report stays bit-identical to a local run\n"
+         "  agent     [--listen HOST:PORT] [--slots N|auto]\n"
+         "            remote worker agent for `run --agents`: executes\n"
+         "            dispatched run units in sandboxed local worker\n"
+         "            processes (same RLIMIT_AS guard and fault-injection\n"
+         "            surface as local workers) and streams back fragment\n"
+         "            frames + trace buffers; default --listen\n"
+         "            127.0.0.1:0 prints the resolved ephemeral port;\n"
+         "            SIGINT/SIGTERM stops (children SIGKILLed)\n"
          "  serve     --socket PATH [--workers N] [--queue-depth D]\n"
          "            [--cache-bytes B[K|M|G]] [--mem-budget B[K|M|G]]\n"
          "            [--idle-timeout SECONDS] [--state DIR] [--trace FILE]\n"
@@ -539,8 +556,14 @@ int cmd_run(const util::Cli& flags, std::ostream& out, std::ostream& err) {
     plan.options.format = flags.get("format", plan.options.format);
   }
   if (flags.has("workers")) {
-    plan.options.workers = static_cast<unsigned>(
-        flags.get_uint("workers", plan.options.workers));
+    // "auto" resolves to the machine's hardware concurrency — the same
+    // resolution `agent --slots auto` uses; the resolved value is
+    // stamped into the report's metadata as runner_workers.
+    const std::string w = flags.get("workers", "");
+    plan.options.workers =
+        w == "auto" ? net::parse_slots(w)
+                    : static_cast<unsigned>(
+                          flags.get_uint("workers", plan.options.workers));
   }
   if (flags.has("shard-timeout")) {
     plan.options.shard_timeout_s =
@@ -553,6 +576,20 @@ int cmd_run(const util::Cli& flags, std::ostream& out, std::ostream& err) {
   if (flags.has("fault")) plan.options.fault = flags.get("fault", "");
 
   runner::Options ropt = runner::options_from(plan);
+  if (flags.has("agents")) {
+    // Comma-separated remote agent endpoints; each advertised slot is one
+    // more dispatch target next to the local --workers slots (--workers 0
+    // runs purely remote).
+    std::stringstream list(flags.get("agents", ""));
+    std::string ep;
+    while (std::getline(list, ep, ',')) {
+      if (!ep.empty()) ropt.agents.push_back(ep);
+    }
+    if (ropt.agents.empty()) {
+      err << "run: --agents requires HOST:PORT[,HOST:PORT...]\n";
+      return 2;
+    }
+  }
   ropt.journal_dir = flags.get("journal", "");
   ropt.resume = flags.has("resume");
   if (ropt.resume && ropt.journal_dir.empty()) {
@@ -574,8 +611,8 @@ int cmd_run(const util::Cli& flags, std::ostream& out, std::ostream& err) {
   // workers > 1 — or any durable run — routes through the fault-tolerant
   // multi-process runner; runner::execute itself degrades back to
   // api::run when it must.
-  const bool use_runner =
-      plan.options.workers > 1 || !ropt.journal_dir.empty();
+  const bool use_runner = plan.options.workers > 1 ||
+                          !ropt.journal_dir.empty() || !ropt.agents.empty();
   const api::RunReport report =
       use_runner ? runner::execute(plan, ropt) : run_plan(plan);
   report.print(out);
@@ -745,6 +782,47 @@ int cmd_serve(const util::Cli& flags, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int cmd_agent(const util::Cli& flags, std::ostream& out, std::ostream& err) {
+  net::AgentOptions opt;
+  try {
+    const net::Endpoint ep = net::parse_endpoint(flags.get("listen", "127.0.0.1:0"));
+    if (ep.kind != net::Endpoint::Kind::kTcp) {
+      err << "agent: --listen takes HOST:PORT (PORT 0 = ephemeral)\n";
+      return 2;
+    }
+    opt.host = ep.host;
+    opt.port = ep.port;
+    opt.slots = net::parse_slots(flags.get("slots", "auto"));
+  } catch (const std::invalid_argument& e) {
+    err << "agent: " << e.what() << "\n";
+    return 2;
+  }
+
+  net::Agent agent(opt);
+  std::string error;
+  if (!agent.start(&error)) {
+    err << "agent: " << error << "\n";
+    return 1;
+  }
+  // The resolved endpoint goes to stdout first thing so scripts starting
+  // an ephemeral-port agent can scrape the port.
+  out << "agent listening on " << agent.endpoint()
+      << " (slots=" << agent.slots() << ")" << std::endl;
+
+  g_serve_stop = 0;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  out << "agent: signal, stopping" << std::endl;
+  agent.stop();  // disconnects coordinators, SIGKILLs their children
+  return 0;
+}
+
 int cmd_submit(const util::Cli& flags, std::ostream& out, std::ostream& err) {
   const std::string socket_path = flags.get("socket", "");
   if (socket_path.empty()) {
@@ -810,6 +888,7 @@ int run(int argc, char** argv, std::ostream& out, std::ostream& err) {
   try {
     if (command == "run") return cmd_run(flags, out, err);
     if (command == "serve") return cmd_serve(flags, out, err);
+    if (command == "agent") return cmd_agent(flags, out, err);
     if (command == "submit") return cmd_submit(flags, out, err);
     if (command == "generate") return cmd_generate(flags, out, err);
     if (command == "census") return cmd_census(flags, out, err);

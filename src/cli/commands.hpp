@@ -33,6 +33,9 @@ int cmd_run(const util::Cli& flags, std::ostream& out, std::ostream& err);
 int cmd_serve(const util::Cli& flags, std::ostream& out, std::ostream& err);
 /// Client: submit a plan (or request stats) to a serving daemon.
 int cmd_submit(const util::Cli& flags, std::ostream& out, std::ostream& err);
+/// Remote worker agent: executes dispatched run units for a coordinator
+/// (`kronotri run --agents HOST:PORT,...`); returns on SIGINT/SIGTERM.
+int cmd_agent(const util::Cli& flags, std::ostream& out, std::ostream& err);
 int cmd_generate(const util::Cli& flags, std::ostream& out, std::ostream& err);
 int cmd_census(const util::Cli& flags, std::ostream& out, std::ostream& err);
 int cmd_validate(const util::Cli& flags, std::ostream& out, std::ostream& err);

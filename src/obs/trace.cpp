@@ -164,14 +164,34 @@ bool TraceRecorder::import_file(const std::string& path) {
   if (!in) return false;
   std::ostringstream text;
   text << in.rdbuf();
+  return import_text(text.str(), /*host=*/{});
+}
+
+bool TraceRecorder::import_text(const std::string& json_text,
+                                std::string_view host) {
+  if (!enabled()) return false;
   util::json::Value doc;
   try {
-    doc = util::json::Value::parse(text.str());
+    doc = util::json::Value::parse(json_text);
   } catch (const std::exception&) {
-    return false;  // killed worker → truncated file; tolerate
+    return false;  // killed worker → truncated buffer; tolerate
   }
   const util::json::Value* events = doc.find("traceEvents");
   if (!events || !events->is_array()) return false;
+  std::int64_t pid_band = 0;
+  if (!host.empty()) {
+    // Per-host pid band: a remote agent's worker pids can collide with
+    // local ones, so foreign pids are shifted into a disjoint range (one
+    // band per distinct host, stable for the recorder's lifetime) and the
+    // host name lands in the process_name metadata.
+    static std::mutex bands_mu;
+    static std::vector<std::string>* bands = new std::vector<std::string>;
+    const std::lock_guard<std::mutex> lock(bands_mu);
+    std::size_t idx = 0;
+    while (idx < bands->size() && (*bands)[idx] != host) ++idx;
+    if (idx == bands->size()) bands->emplace_back(host);
+    pid_band = static_cast<std::int64_t>(idx + 1) * 10'000'000;
+  }
   std::vector<TraceEvent> imported;
   imported.reserve(events->size());
   for (const util::json::Value& j : events->items()) {
@@ -181,6 +201,16 @@ bool TraceRecorder::import_file(const std::string& path) {
   ThreadBuffer& buf = local_buffer();
   for (TraceEvent& ev : imported) {
     if (ev.pid == 0) continue;  // refuse to masquerade as this process
+    if (pid_band != 0) {
+      ev.pid += pid_band;
+      if (ev.phase == 'M' && ev.name == "process_name" &&
+          ev.args.is_object()) {
+        if (const util::json::Value* n = ev.args.find("name");
+            n != nullptr && n->is_string()) {
+          ev.args.set("name", n->as_string() + " @" + std::string(host));
+        }
+      }
+    }
     buf.events.push_back(std::move(ev));
   }
   return true;

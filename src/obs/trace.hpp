@@ -76,6 +76,14 @@ class TraceRecorder {
   /// leaves no/truncated output, and stitching must not fail the run.
   bool import_file(const std::string& path);
 
+  /// Same adoption from an in-memory document — the remote-agent path,
+  /// where a worker's trace buffer crossed a socket instead of $TMPDIR.
+  /// A non-empty `host` keys the import: foreign pids are shifted into a
+  /// per-host band (remote pids may collide with local ones) and
+  /// " @host" is appended to imported process_name metadata, so the
+  /// stitched timeline reads host-by-host in Perfetto.
+  bool import_text(const std::string& json_text, std::string_view host);
+
   /// {"traceEvents":[...]} — local events get ::getpid(), imported events
   /// keep theirs. Call after workers/threads have quiesced.
   [[nodiscard]] util::json::Value export_json();

@@ -20,6 +20,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "net/framing.hpp"
+#include "net/remote.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "util/fault.hpp"
@@ -326,6 +328,7 @@ struct RunningAttempt {
   unsigned unit = 0;
   unsigned attempt = 0;
   pid_t pid = -1;
+  int agent = -1;           // index into the remote-agent table; -1 = local
   double start_s = 0;
   double start_us = 0;      // obs::now_us() at spawn, for the attempt span
   std::string out_path;
@@ -333,6 +336,20 @@ struct RunningAttempt {
   bool timed_out = false;   // we SIGKILLed it past its deadline
   bool superseded = false;  // another attempt of the unit already won
   bool aborted = false;     // run is failing, everything was killed
+};
+
+/// Coordinator-side state of one --agents endpoint. The connection is a
+/// cattle resource: dropped and re-dialed (with backoff) whenever the
+/// transport reports damage, while the unit bookkeeping stays in the
+/// same pending/running structures the local workers use.
+struct RemoteAgent {
+  std::string endpoint;
+  net::AgentClient client;
+  unsigned slots = 0;       // advertised by the welcome; 0 until then
+  bool welcomed = false;
+  double last_rx_s = 0;     // heartbeat/any-message arrival time
+  double next_dial_s = 0;   // reconnect backoff deadline
+  unsigned dial_failures = 0;
 };
 
 /// Trace track for one (unit, attempt) pair. Concurrent attempts all live
@@ -483,8 +500,13 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
   }
   // A journaled run goes through the worker machinery even at one worker —
   // durability needs the fragment/WAL protocol, not the in-process path.
-  if (opt.workers <= 1 && !journaled) return api::run(plan);
-  opt.workers = std::max(1u, opt.workers);
+  // Remote agents always do: their slots only exist in the dispatch loop.
+  if (opt.workers <= 1 && !journaled && opt.agents.empty()) {
+    return api::run(plan);
+  }
+  if (opt.agents.empty()) {
+    opt.workers = std::max(1u, opt.workers);
+  }
 
   if (opt.fault_spec.empty()) {
     if (const char* env = std::getenv("KRONOTRI_FAULT");
@@ -500,14 +522,19 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
   std::string exe =
       opt.worker_exe.empty() ? default_worker_exe() : opt.worker_exe;
   if (exe.empty() || ::access(exe.c_str(), X_OK) != 0) {
-    // Graceful degradation: no worker binary → in-process serial run,
-    // recorded as such instead of silently pretending to be parallel.
-    api::RunReport report = api::run(plan);
-    api::WorkerEvent e;
-    e.kind = "run";
-    e.outcome = "degraded";
-    report.worker_events.push_back(e);
-    return report;
+    if (opt.agents.empty()) {
+      // Graceful degradation: no worker binary → in-process serial run,
+      // recorded as such instead of silently pretending to be parallel.
+      api::RunReport report = api::run(plan);
+      api::WorkerEvent e;
+      e.kind = "run";
+      e.outcome = "degraded";
+      report.worker_events.push_back(e);
+      return report;
+    }
+    // Agents execute remotely with their own binaries; just never spawn
+    // a local worker from the missing one.
+    opt.workers = 0;
   }
 
   sweep_stale_tmp();
@@ -534,8 +561,13 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
   };
 
   const std::uint64_t identity = journaled ? plan_identity_hash(plan) : 0;
+  // Decomposition width must be decided before any agent connects (the
+  // journal pins it), so remote slots are assumed ~2 per agent; the
+  // actual advertised count only shapes scheduling, never the merge.
+  const unsigned assumed_width =
+      opt.workers + 2 * static_cast<unsigned>(opt.agents.size());
   unsigned units_per_validate =
-      opt.workers * std::max(1u, opt.units_per_worker);
+      std::max(1u, assumed_width) * std::max(1u, opt.units_per_worker);
   JournalState js;
   if (opt.resume) {
     js = load_journal(opt.journal_dir, identity);
@@ -635,12 +667,13 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
           ? opt.journal_dir + "/tmp." + std::to_string(::getpid()) + "."
           : tmp_dir() + "/kronotri." + std::to_string(::getpid()) + ".";
   std::vector<std::string> plan_files(units.size());
+  std::vector<std::string> plan_texts(units.size());  // remote dispatch body
   for (std::size_t i = 0; i < units.size(); ++i) {
     if (states[i].done) continue;  // resumed units never touch a worker
+    plan_texts[i] = units[i].plan.to_json().dump_string(0);
     plan_files[i] = prefix + "plan" + std::to_string(units[i].id) + ".json";
     std::ofstream out(plan_files[i], std::ios::trunc);
-    units[i].plan.to_json().dump(out);
-    out << "\n";
+    out << plan_texts[i] << "\n";
     if (!out) {
       throw std::runtime_error("runner: cannot write " + plan_files[i]);
     }
@@ -659,11 +692,69 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
   std::string error;
   bool any_spawned = false;
 
+  // Remote agents: one client per --agents endpoint, each advertised slot
+  // a dispatch target. Slot occupancy is derived from `running` (one
+  // source of truth), not counted separately.
+  std::vector<RemoteAgent> remotes;
+  {
+    net::AgentClientOptions aco;
+    aco.connect_timeout_s = opt.agent_connect_timeout_s;
+    for (const std::string& ep : opt.agents) {
+      RemoteAgent r;
+      r.endpoint = ep;
+      r.client = net::AgentClient(aco);
+      remotes.push_back(std::move(r));
+    }
+  }
+  const auto local_count = [&]() -> unsigned {
+    unsigned n = 0;
+    for (const RunningAttempt& ra : running) n += ra.agent < 0 ? 1 : 0;
+    return n;
+  };
+  const auto agent_busy = [&](int ai) -> unsigned {
+    unsigned n = 0;
+    for (const RunningAttempt& ra : running) n += ra.agent == ai ? 1 : 0;
+    return n;
+  };
+  const auto agent_free = [&](const RemoteAgent& r, int ai) -> bool {
+    return r.welcomed && r.client.connected() &&
+           agent_busy(ai) < r.slots;
+  };
+  const auto free_capacity = [&]() -> bool {
+    if (local_count() < opt.workers) return true;
+    for (std::size_t ai = 0; ai < remotes.size(); ++ai) {
+      if (agent_free(remotes[ai], static_cast<int>(ai))) return true;
+    }
+    return false;
+  };
+  // Remote slots fill before local ones (they are the scale-out), agents
+  // rotating round-robin so one fast welcome does not monopolize units.
+  std::size_t agent_rotation = 0;
+  const auto pick_agent = [&]() -> int {
+    for (std::size_t k = 0; k < remotes.size(); ++k) {
+      const std::size_t ai = (agent_rotation + k) % remotes.size();
+      if (agent_free(remotes[ai], static_cast<int>(ai))) {
+        agent_rotation = (ai + 1) % remotes.size();
+        return static_cast<int>(ai);
+      }
+    }
+    return -1;
+  };
+  const auto send_cancel = [&](const RunningAttempt& ra) {
+    if (ra.agent < 0 || !remotes[ra.agent].client.connected()) return;
+    Value c = Value::object();
+    c.set("type", "cancel");
+    c.set("unit", ra.unit);
+    c.set("attempt", ra.attempt);
+    (void)remotes[ra.agent].client.send(c);
+  };
+
   const auto dispatch = [&](unsigned unit_id) -> bool {
     UnitState& st = states[unit_id];
     RunningAttempt ra;
     ra.unit = unit_id;
     ra.attempt = st.next_attempt++;
+    ra.agent = remotes.empty() ? -1 : pick_agent();
     ra.out_path = prefix + "u" + std::to_string(unit_id) + ".a" +
                   std::to_string(ra.attempt) + ".frame";
     cleanup.push_back(ra.out_path);
@@ -676,6 +767,42 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
       rec.set("unit", unit_id);
       rec.set("attempt", ra.attempt);
       wal.append(rec.dump_string(0));
+    }
+    if (ra.agent >= 0) {
+      RemoteAgent& r = remotes[ra.agent];
+      Value d = Value::object();
+      d.set("type", "dispatch");
+      d.set("unit", unit_id);
+      d.set("attempt", ra.attempt);
+      d.set("plan", plan_texts[unit_id]);
+      if (!opt.fault_spec.empty()) d.set("fault", opt.fault_spec);
+      if (opt.worker_mem_limit_bytes > 0) {
+        d.set("mem_limit", opt.worker_mem_limit_bytes);
+      }
+      if (obs::TraceRecorder::instance().enabled()) d.set("trace", true);
+      ra.start_s = monotonic_s();
+      ra.start_us = obs::now_us();
+      if (!r.client.send(d)) {
+        // The connection died under the dispatch. Nothing ran, so nothing
+        // is charged: the unit goes straight back to pending and the
+        // agent into its redial backoff.
+        r.welcomed = false;
+        r.slots = 0;
+        r.next_dial_s =
+            monotonic_s() + opt.backoff.delay_s(std::min(r.dial_failures, 6u));
+        ++r.dial_failures;
+        pending.push_back({unit_id, 0.0});
+        return true;
+      }
+      any_spawned = true;
+      obs::counter("runner.remote_dispatches").add();
+      if (ra.attempt > 0) obs::counter("runner.retries").add();
+      util::log::debug("runner", "dispatched to agent",
+                       {{"unit", unit_id},
+                        {"attempt", ra.attempt},
+                        {"agent", r.endpoint}});
+      running.push_back(std::move(ra));
+      return true;
     }
     std::vector<std::string> args = {exe,
                                      "__worker",
@@ -739,9 +866,26 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
     util::log::error("runner", "unit exhausted its retry budget",
                      {{"unit", unit_id}, {"why", why}});
     pending.clear();
-    for (RunningAttempt& ra : running) {
-      ra.aborted = true;
-      ::kill(ra.pid, SIGKILL);
+    for (std::size_t i = 0; i < running.size();) {
+      RunningAttempt& ra = running[i];
+      if (ra.agent < 0) {
+        ra.aborted = true;
+        if (ra.pid > 0) ::kill(ra.pid, SIGKILL);
+        ++i;
+        continue;
+      }
+      // Remote attempts have no child to reap: cancel best-effort and
+      // record the abort now so the drain loop only waits on local pids.
+      send_cancel(ra);
+      api::WorkerEvent e;
+      e.unit = ra.unit;
+      e.kind = units[ra.unit].kind;
+      e.attempt = ra.attempt;
+      e.outcome = "aborted";
+      e.wall_s = monotonic_s() - ra.start_s;
+      e.host = remotes[ra.agent].endpoint;
+      events.push_back(e);
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
     }
   };
 
@@ -778,22 +922,377 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
     pending.push_back({ra.unit, monotonic_s() + delay_s});
   };
 
+  // Unit completion from a verified fragment — shared by the local reap
+  // and the remote result path. Persists into the journal, then
+  // supersedes every other in-flight attempt of the unit (first result
+  // wins, exactly as for local children).
+  const auto complete_ok = [&](const RunningAttempt& ra, Fragment&& frag) {
+    UnitState& st = states[ra.unit];
+    st.done = true;
+    if (wal.is_open()) {
+      // Persist-then-record: the fragment becomes DIR/unit<u>.frag by
+      // rename (never copied, never unlinked), THEN the done record
+      // lands in the WAL. A crash between the two re-executes the
+      // unit — wasteful, never wrong.
+      const std::string fpath = frag_path(opt.journal_dir, ra.unit);
+      Value rec = Value::object();
+      rec.set("type", "done");
+      rec.set("unit", ra.unit);
+      rec.set("attempt", ra.attempt);
+      rec.set("digest", journal::crc64(frag.payload));
+      rec.set("canon", util::json::hash64(frag.json.dump_canonical_string()));
+      if (units[ra.unit].kind == "validate") {
+        const api::RunReport fr = api::RunReport::from_json(frag.json);
+        rec.set("vfp",
+                validate::ValidationReport::from_json(fr.analyses.at(0).data)
+                    .fingerprint());
+      }
+      if (const util::fault::Action* torn =
+              inject.match("torn_write", ra.unit, ra.attempt)) {
+        // Injected coordinator crash mid-persist: write half the
+        // fragment frame, no fsync, but still journal the done record
+        // (the order a real crash between write and rename produces
+        // is covered by the plain re-execute path; THIS is the nastier
+        // inversion resume must catch by digest).
+        (void)torn;
+        const std::string frame = journal::encode_frame(frag.payload);
+        std::ofstream out(fpath, std::ios::binary | std::ios::trunc);
+        out.write(frame.data(),
+                  static_cast<std::streamsize>(frame.size() / 2));
+      } else {
+        journal::fsync_file_and_dir(ra.out_path);
+        if (::rename(ra.out_path.c_str(), fpath.c_str()) != 0) {
+          throw std::runtime_error("runner: cannot persist fragment " +
+                                   fpath);
+        }
+        journal::fsync_file_and_dir(fpath);
+      }
+      wal.append(rec.dump_string(0));
+    }
+    st.fragment = std::move(frag.json);
+    // First result wins: kill/cancel any other in-flight attempt.
+    for (RunningAttempt& other : running) {
+      if (other.unit == ra.unit && !other.superseded &&
+          !(other.attempt == ra.attempt && other.agent == ra.agent)) {
+        other.superseded = true;
+        if (other.agent < 0) {
+          if (other.pid > 0) ::kill(other.pid, SIGKILL);
+        } else {
+          send_cancel(other);
+        }
+      }
+    }
+  };
+
+  // Transport damage on one agent: drop the connection, schedule a
+  // backed-off redial, and classify every in-flight attempt of the agent.
+  // "disconnect"/"garbled" charge the unit's retry budget exactly like a
+  // SIGKILLed local child; superseded/done attempts are losses only.
+  const auto drop_agent = [&](int ai, const std::string& outcome) {
+    RemoteAgent& r = remotes[ai];
+    r.client.close();
+    r.welcomed = false;
+    r.slots = 0;
+    r.next_dial_s =
+        monotonic_s() + opt.backoff.delay_s(std::min(r.dial_failures, 6u));
+    ++r.dial_failures;
+    obs::counter(outcome == "garbled" ? "runner.garbled_frames"
+                                      : "runner.disconnects")
+        .add();
+    util::log::warn("runner", "agent connection lost",
+                    {{"agent", r.endpoint}, {"outcome", outcome}});
+    for (std::size_t i = 0; i < running.size();) {
+      if (running[i].agent != ai) {
+        ++i;
+        continue;
+      }
+      const RunningAttempt ra = running[i];
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+      UnitState& st = states[ra.unit];
+      const bool charged = !(ra.superseded || ra.aborted || st.done);
+      api::WorkerEvent e;
+      e.unit = ra.unit;
+      e.kind = units[ra.unit].kind;
+      e.attempt = ra.attempt;
+      e.wall_s = monotonic_s() - ra.start_s;
+      e.host = r.endpoint;
+      e.outcome = ra.aborted ? "aborted"
+                  : charged  ? outcome
+                             : "speculative_loss";
+      events.push_back(e);
+      if (obs::TraceRecorder::instance().enabled()) {
+        Value targs = Value::object();
+        targs.set("unit", e.unit);
+        targs.set("attempt", e.attempt);
+        targs.set("outcome", e.outcome);
+        targs.set("agent", r.endpoint);
+        obs::TraceRecorder::instance().complete_on(
+            attempt_tid(e.unit, e.attempt), "attempt", ra.start_us,
+            obs::now_us() - ra.start_us, std::move(targs));
+      }
+      if (charged) {
+        on_failure(ra, outcome == "garbled"
+                           ? "returned a garbled result frame"
+                           : "lost its agent connection");
+        // on_failure may have failed the run; fail_unit then already
+        // drained every remote attempt (including the rest of ours).
+        if (!error.empty()) break;
+        i = 0;  // fail-safe: rescan, indices may have shifted
+      }
+    }
+  };
+
+  // One message from an agent connection. Results are matched to their
+  // RunningAttempt by (unit, attempt, agent); a miss is a late/duplicate
+  // delivery after a reconnect — dropping it is what makes redelivery
+  // idempotent.
+  const auto handle_remote_msg = [&](int ai, const Value& m) {
+    RemoteAgent& r = remotes[ai];
+    const std::string type = m.get_string("type", "");
+    if (type == "welcome") {
+      r.slots = static_cast<unsigned>(m.get_uint("slots", 1));
+      r.welcomed = true;
+      r.dial_failures = 0;
+      util::log::info("runner", "agent connected",
+                      {{"agent", r.endpoint}, {"slots", r.slots}});
+      return;
+    }
+    if (type != "result") return;  // heartbeats only refresh last_rx_s
+    const unsigned unit = static_cast<unsigned>(m.get_uint("unit", ~0ull));
+    const unsigned attempt =
+        static_cast<unsigned>(m.get_uint("attempt", ~0ull));
+    std::size_t idx = running.size();
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      if (running[i].agent == ai && running[i].unit == unit &&
+          running[i].attempt == attempt) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == running.size()) {
+      obs::counter("runner.duplicate_results").add();
+      util::log::debug("runner", "ignoring late/duplicate result",
+                       {{"unit", unit}, {"attempt", attempt}});
+      return;
+    }
+    const RunningAttempt ra = running[idx];
+    running.erase(running.begin() + static_cast<std::ptrdiff_t>(idx));
+    UnitState& st = states[ra.unit];
+    api::WorkerEvent e;
+    e.unit = ra.unit;
+    e.kind = units[ra.unit].kind;
+    e.attempt = ra.attempt;
+    e.pid = static_cast<long>(m.get_uint("pid", 0));
+    e.wall_s = monotonic_s() - ra.start_s;
+    e.host = r.endpoint;
+    e.max_rss_bytes = static_cast<std::size_t>(m.get_uint("max_rss_bytes", 0));
+    if (const Value* v = m.find("cpu_user_s"); v && v->is_number()) {
+      e.cpu_user_s = v->as_double();
+    }
+    if (const Value* v = m.find("cpu_sys_s"); v && v->is_number()) {
+      e.cpu_sys_s = v->as_double();
+    }
+    const std::string outcome = m.get_string("outcome", "truncated");
+    e.detail = static_cast<int>(m.get_uint("detail", 0));
+    obs::TraceRecorder& trace = obs::TraceRecorder::instance();
+    if (trace.enabled()) {
+      // The worker's trace buffer crossed the socket instead of $TMPDIR;
+      // the agent endpoint keys the imported pids into their own band.
+      if (const Value* t = m.find("trace"); t && t->is_string()) {
+        trace.import_text(t->as_string(), r.endpoint);
+      }
+    }
+
+    if (ra.aborted) {
+      e.outcome = "aborted";
+      events.push_back(e);
+    } else if (ra.superseded || st.done) {
+      e.outcome = "speculative_loss";
+      events.push_back(e);
+    } else if (outcome == "cancelled") {
+      if (ra.timed_out) {
+        e.outcome = "timeout";
+        events.push_back(e);
+        on_failure(ra, "timed out");
+      } else {
+        e.outcome = "speculative_loss";
+        events.push_back(e);
+      }
+    } else if (outcome == "ok") {
+      Fragment frag;
+      bool parsed = false;
+      if (const Value* f = m.find("fragment"); f && f->is_string()) {
+        try {
+          frag.json = Value::parse(f->as_string());
+          frag.payload = f->as_string();
+          parsed = true;
+        } catch (const std::exception&) {
+        }
+      }
+      if (parsed) {
+        e.outcome = "ok";
+        events.push_back(e);
+        if (wal.is_open()) {
+          // complete_ok's persist path renames ra.out_path into the
+          // journal — materialize the remote fragment there first, as the
+          // same CRC64 frame a local worker would have written.
+          const std::string frame = journal::encode_frame(frag.payload);
+          std::ofstream out(ra.out_path, std::ios::binary | std::ios::trunc);
+          out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+          out.flush();
+          if (!out) {
+            events.back().outcome = "truncated";
+            on_failure(ra, "could not stage the remote fragment");
+            return;
+          }
+        }
+        complete_ok(ra, std::move(frag));
+      } else {
+        e.outcome = "truncated";
+        events.push_back(e);
+        on_failure(ra, "returned an unparsable fragment");
+      }
+    } else if (outcome == "signal") {
+      e.outcome = "signal";
+      events.push_back(e);
+      on_failure(ra, "died on signal " + std::to_string(e.detail));
+    } else if (outcome == "oom") {
+      e.outcome = "oom";
+      events.push_back(e);
+      on_failure(ra, "exceeded its memory guard (RLIMIT_AS)");
+    } else if (outcome == "exit") {
+      e.outcome = "exit";
+      events.push_back(e);
+      on_failure(ra, "exited with code " + std::to_string(e.detail));
+    } else if (outcome == "spawn_failed") {
+      e.outcome = "spawn_failed";
+      events.push_back(e);
+      on_failure(ra, "could not be spawned on its agent");
+    } else {
+      e.outcome = "truncated";
+      events.push_back(e);
+      on_failure(ra, "wrote a truncated result frame");
+    }
+    if (trace.enabled()) {
+      Value targs = Value::object();
+      targs.set("unit", e.unit);
+      targs.set("kind", e.kind);
+      targs.set("attempt", e.attempt);
+      targs.set("outcome", e.outcome);
+      targs.set("agent", r.endpoint);
+      trace.complete_on(attempt_tid(e.unit, e.attempt), "attempt",
+                        ra.start_us, obs::now_us() - ra.start_us,
+                        std::move(targs));
+    }
+    obs::gauge("runner.worker_max_rss_bytes")
+        .max_of(static_cast<double>(e.max_rss_bytes));
+    if (e.outcome == "ok") {
+      util::log::debug("runner", "remote attempt ok",
+                       {{"unit", e.unit},
+                        {"attempt", e.attempt},
+                        {"agent", r.endpoint},
+                        {"wall_s", e.wall_s}});
+    } else if (e.outcome != "speculative_loss" && e.outcome != "aborted") {
+      util::log::warn("runner", "remote attempt failed",
+                      {{"unit", e.unit},
+                       {"attempt", e.attempt},
+                       {"agent", r.endpoint},
+                       {"outcome", e.outcome},
+                       {"detail", e.detail}});
+    }
+  };
+
   while (!running.empty() || (!pending.empty() && error.empty())) {
     const double now = monotonic_s();
 
-    // Deadline enforcement: SIGKILL a worker past its per-attempt budget;
-    // the reap below classifies it as "timeout" and re-dispatches.
+    // Agent transport upkeep: (re)dial disconnected agents whose backoff
+    // elapsed, pump every live connection, and declare silent ones dead.
+    if (error.empty()) {
+      for (std::size_t ai = 0; ai < remotes.size(); ++ai) {
+        RemoteAgent& r = remotes[ai];
+        if (r.client.connected() || pending.empty() ||
+            now < r.next_dial_s) {
+          continue;
+        }
+        std::string derr;
+        if (r.client.connect(r.endpoint, &derr)) {
+          r.last_rx_s = monotonic_s();
+          continue;
+        }
+        r.next_dial_s =
+            monotonic_s() + opt.backoff.delay_s(std::min(r.dial_failures, 6u));
+        ++r.dial_failures;
+        util::log::debug("runner", "agent dial failed",
+                         {{"agent", r.endpoint}, {"error", derr}});
+      }
+      for (std::size_t ai = 0; ai < remotes.size(); ++ai) {
+        RemoteAgent& r = remotes[ai];
+        if (!r.client.connected()) continue;
+        std::vector<Value> msgs;
+        const net::AgentClient::Pump ps = r.client.pump(msgs);
+        if (!msgs.empty()) r.last_rx_s = monotonic_s();
+        for (const Value& m : msgs) {
+          handle_remote_msg(static_cast<int>(ai), m);
+        }
+        if (ps == net::AgentClient::Pump::kCorrupt) {
+          // A frame failed its CRC mid-stream. No resync is possible —
+          // drop the connection and re-dispatch whatever was in flight.
+          drop_agent(static_cast<int>(ai), "garbled");
+        } else if (ps == net::AgentClient::Pump::kClosed) {
+          drop_agent(static_cast<int>(ai), "disconnect");
+        } else if (opt.heartbeat_timeout_s > 0 &&
+                   monotonic_s() - r.last_rx_s > opt.heartbeat_timeout_s) {
+          drop_agent(static_cast<int>(ai), "disconnect");
+        }
+      }
+      // Pure-remote runs must not spin forever against a dead fleet: once
+      // every agent's dial budget mirrors the unit retry budget with no
+      // connection and nothing in flight, fail structurally.
+      if (error.empty() && opt.workers == 0 && !remotes.empty() &&
+          running.empty() && !pending.empty()) {
+        bool any_conn = false;
+        bool all_exhausted = true;
+        for (const RemoteAgent& r : remotes) {
+          any_conn = any_conn || r.client.connected();
+          all_exhausted = all_exhausted && r.dial_failures > opt.max_retries + 1;
+        }
+        if (!any_conn && all_exhausted) {
+          std::string list;
+          for (const std::string& ep : opt.agents) {
+            if (!list.empty()) list += ",";
+            list += ep;
+          }
+          error = "no reachable agents (" + list + ")";
+          util::log::error("runner", "no reachable agents",
+                           {{"agents", list}});
+          pending.clear();
+        }
+      }
+    }
+
+    // Deadline enforcement: SIGKILL a local worker past its per-attempt
+    // budget (the reap below classifies it "timeout"); a remote attempt
+    // is marked and cancelled, classified when the agent acknowledges —
+    // or when its connection drops.
     for (RunningAttempt& ra : running) {
       if (opt.shard_timeout_s > 0 && !ra.timed_out && !ra.aborted &&
           now - ra.start_s > opt.shard_timeout_s) {
         ra.timed_out = true;
-        ::kill(ra.pid, SIGKILL);
+        if (ra.agent < 0) {
+          ::kill(ra.pid, SIGKILL);
+        } else {
+          send_cancel(ra);
+        }
       }
     }
 
-    // Reap.
+    // Reap (local children only; remote attempts resolve via pump above).
     for (std::size_t i = 0; i < running.size();) {
       RunningAttempt& ra = running[i];
+      if (ra.agent >= 0) {
+        ++i;
+        continue;
+      }
       int status = 0;
       rusage ru{};
       // wait4 = waitpid + the child's rusage: per-attempt peak RSS and
@@ -852,57 +1351,7 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
       } else if (std::optional<Fragment> frag = read_fragment(ra.out_path)) {
         e.outcome = "ok";
         events.push_back(e);
-        st.done = true;
-        if (wal.is_open()) {
-          // Persist-then-record: the fragment becomes DIR/unit<u>.frag by
-          // rename (never copied, never unlinked), THEN the done record
-          // lands in the WAL. A crash between the two re-executes the
-          // unit — wasteful, never wrong.
-          const std::string fpath = frag_path(opt.journal_dir, ra.unit);
-          Value rec = Value::object();
-          rec.set("type", "done");
-          rec.set("unit", ra.unit);
-          rec.set("attempt", ra.attempt);
-          rec.set("digest", journal::crc64(frag->payload));
-          rec.set("canon",
-                  util::json::hash64(frag->json.dump_canonical_string()));
-          if (units[ra.unit].kind == "validate") {
-            const api::RunReport fr = api::RunReport::from_json(frag->json);
-            rec.set("vfp", validate::ValidationReport::from_json(
-                               fr.analyses.at(0).data)
-                               .fingerprint());
-          }
-          if (const util::fault::Action* torn =
-                  inject.match("torn_write", ra.unit, ra.attempt)) {
-            // Injected coordinator crash mid-persist: write half the
-            // fragment frame, no fsync, but still journal the done record
-            // (the order a real crash between write and rename produces
-            // is covered by the plain re-execute path; THIS is the nastier
-            // inversion resume must catch by digest).
-            (void)torn;
-            const std::string frame = journal::encode_frame(frag->payload);
-            std::ofstream out(fpath, std::ios::binary | std::ios::trunc);
-            out.write(frame.data(),
-                      static_cast<std::streamsize>(frame.size() / 2));
-          } else {
-            journal::fsync_file_and_dir(ra.out_path);
-            if (::rename(ra.out_path.c_str(), fpath.c_str()) != 0) {
-              throw std::runtime_error("runner: cannot persist fragment " +
-                                       fpath);
-            }
-            journal::fsync_file_and_dir(fpath);
-          }
-          wal.append(rec.dump_string(0));
-        }
-        st.fragment = std::move(frag->json);
-        // First result wins: kill any other in-flight attempt of the unit.
-        for (RunningAttempt& other : running) {
-          if (other.unit == ra.unit && other.pid != ra.pid &&
-              !other.superseded) {
-            other.superseded = true;
-            ::kill(other.pid, SIGKILL);
-          }
-        }
+        complete_ok(ra, std::move(*frag));
       } else {
         e.outcome = "truncated";
         events.push_back(e);
@@ -950,8 +1399,10 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
       continue;
     }
 
-    // Launch pending attempts whose backoff delay has elapsed.
-    for (std::size_t i = 0; i < pending.size() && running.size() < opt.workers;) {
+    // Launch pending attempts whose backoff delay has elapsed, onto
+    // whichever slot is free — a welcomed agent's advertised slots fill
+    // before local fork/exec slots.
+    for (std::size_t i = 0; i < pending.size() && free_capacity();) {
       if (pending[i].ready_at_s > now || states[pending[i].unit].done) {
         if (states[pending[i].unit].done) {
           pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
@@ -986,7 +1437,7 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
     // attempt has outlived the straggler threshold — re-issue its unit
     // once; whichever attempt finishes first wins.
     if (opt.speculate && pending.empty() && !running.empty() &&
-        running.size() < opt.workers && error.empty()) {
+        free_capacity() && error.empty()) {
       std::vector<double> walls;
       for (const api::WorkerEvent& ev : events) {
         if (ev.outcome == "ok") walls.push_back(ev.wall_s);
@@ -1073,6 +1524,17 @@ api::RunReport execute(const api::RunPlan& plan, Options opt) {
     }
   }
   report.counters = std::move(agg);
+  // Stamp the resolved execution topology (the --workers auto value and
+  // the agent fleet) into the run's metadata. comparable() strips
+  // metadata, so this never perturbs bit-identity checks.
+  if (report.metadata.is_object()) {
+    report.metadata.set("runner_workers", static_cast<std::uint64_t>(opt.workers));
+    if (!opt.agents.empty()) {
+      Value alist = Value::array();
+      for (const std::string& ep : opt.agents) alist.push_back(ep);
+      report.metadata.set("runner_agents", std::move(alist));
+    }
+  }
   util::log::info("runner", "coordinator done",
                   {{"pass", report.pass ? "yes" : "no"},
                    {"attempts", report.worker_events.size()},

@@ -45,6 +45,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "api/plan.hpp"
 #include "util/backoff.hpp"
@@ -53,7 +54,7 @@
 namespace kronotri::runner {
 
 struct Options {
-  unsigned workers = 1;       ///< concurrent worker processes
+  unsigned workers = 1;       ///< concurrent LOCAL worker processes
   double shard_timeout_s = 0; ///< per-attempt wall clock (0 = none)
   unsigned max_retries = 2;   ///< re-dispatches per unit beyond attempt 0
   /// Validate units per worker slot: U = workers * units_per_worker
@@ -88,6 +89,20 @@ struct Options {
   /// re-queue does not re-dispatch in lockstep (the service client keeps
   /// its separate documented no-jitter default).
   util::Backoff backoff{0.05, 2.0, 2.0, 0.5, 0x6b726f6e6f747269ULL};
+  /// Remote agent endpoints ("HOST:PORT" / "unix:PATH", the CLI's
+  /// --agents list). Every slot a connected `kronotri agent` advertises
+  /// becomes one more dispatch target next to the local worker slots —
+  /// same backoff, timeouts, speculation and journal records. workers=0
+  /// with agents set runs purely remote. A lost connection, a torn
+  /// result frame or a missed heartbeat turns the agent's in-flight
+  /// attempts into "disconnect"/"garbled" events, re-dispatched exactly
+  /// like a SIGKILLed local child.
+  std::vector<std::string> agents;
+  /// Per-attempt dial deadline for an agent connection (seconds).
+  double agent_connect_timeout_s = 1.0;
+  /// A connected agent silent for longer than this (agents heartbeat at
+  /// ~4 Hz) is declared dead and its attempts re-dispatched.
+  double heartbeat_timeout_s = 5.0;
 };
 
 /// Exit code a worker dies with when its RLIMIT_AS guard (or the `oom`

@@ -12,6 +12,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "net/socket.hpp"
 #include "service/protocol.hpp"
 
 namespace kronotri::service {
@@ -19,53 +20,15 @@ namespace kronotri::service {
 Client::~Client() { close(); }
 
 std::string Client::try_connect(const std::string& socket_path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    return std::string("socket: ") + std::strerror(errno);
-  }
-#ifdef SO_NOSIGPIPE
-  // BSD/macOS have no MSG_NOSIGNAL; suppress SIGPIPE at the socket level
-  // so a server hanging up mid-send surfaces as EPIPE, not a signal.
-  int on = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_NOSIGPIPE, &on, sizeof(on));
-#endif
-  const int flags = ::fcntl(fd_, F_GETFL, 0);
-  if (opt_.connect_timeout_s > 0 && flags >= 0) {
-    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
-  }
-  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  if (rc < 0 && errno == EINTR) rc = 0;  // resolved by the poll below
-  if (rc < 0 && (errno == EINPROGRESS || errno == EAGAIN)) {
-    // AF_UNIX connect can block on a full server backlog; bound the wait.
-    pollfd pfd{fd_, POLLOUT, 0};
-    const int timeout_ms = static_cast<int>(opt_.connect_timeout_s * 1000);
-    const int ready = ::poll(&pfd, 1, timeout_ms);
-    if (ready == 0) {
-      close();
-      return "connect timed out after " +
-             std::to_string(opt_.connect_timeout_s) + " s";
-    }
-    int err = 0;
-    socklen_t len = sizeof(err);
-    if (ready < 0 ||
-        ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
-      const std::string why = std::strerror(err != 0 ? err : errno);
-      close();
-      return "connect: " + why;
-    }
-    rc = 0;
-  }
-  if (rc < 0) {
-    const std::string why = std::strerror(errno);
-    close();
-    return "connect: " + why;
-  }
-  if (opt_.connect_timeout_s > 0 && flags >= 0) {
-    ::fcntl(fd_, F_SETFL, flags);  // back to blocking for send/read
-  }
+  // The bounded-time dial (non-blocking connect + poll + SO_ERROR) lives
+  // in net::dial — one implementation shared with the agent transport.
+  net::Endpoint ep;
+  ep.kind = net::Endpoint::Kind::kUnix;
+  ep.path = socket_path;
+  ep.text = socket_path;
+  net::DialResult r = net::dial(ep, opt_.connect_timeout_s);
+  if (!r.ok()) return std::move(r.error);
+  fd_ = r.fd;
   return {};
 }
 

@@ -1,5 +1,7 @@
 #include "service/protocol.hpp"
 
+#include "net/socket.hpp"
+
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -40,19 +42,9 @@ bool LineReader::next_line(std::string& line) {
 }
 
 bool write_all(int fd, std::string_view data) noexcept {
-  while (!data.empty()) {
-#ifdef MSG_NOSIGNAL
-    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-#else
-    const ssize_t n = ::write(fd, data.data(), data.size());
-#endif
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data.remove_prefix(static_cast<std::size_t>(n));
-  }
-  return true;
+  // One full-buffer send loop for the whole codebase (MSG_NOSIGNAL,
+  // EINTR retried, EAGAIN awaited) — shared with the agent transport.
+  return net::write_all(fd, data);
 }
 
 std::string frame(const util::json::Value& payload) {

@@ -11,13 +11,14 @@ namespace {
   throw std::invalid_argument(
       "fault spec: " + why +
       " (grammar: kind[:key=value]*, kinds "
-      "kill|exit|stall|truncate|oom|torn_write, "
+      "kill|exit|stall|truncate|oom|torn_write|drop_conn|garble_frame, "
       "keys shard|attempt|secs|code, comma-separated actions)");
 }
 
 bool known_kind(std::string_view kind) {
   return kind == "kill" || kind == "exit" || kind == "stall" ||
-         kind == "truncate" || kind == "oom" || kind == "torn_write";
+         kind == "truncate" || kind == "oom" || kind == "torn_write" ||
+         kind == "drop_conn" || kind == "garble_frame";
 }
 
 Action parse_action(std::string_view token) {

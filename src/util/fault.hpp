@@ -8,6 +8,7 @@
 //   spec    := action ( ',' action )*
 //   action  := kind ( ':' key '=' value )*
 //   kind    := kill | exit | stall | truncate | oom | torn_write
+//            | drop_conn | garble_frame
 //   keys    := shard=N     work-unit index the fault fires on (default any)
 //              attempt=N   0-based attempt it fires on (default every one)
 //              secs=F      stall duration (stall only; default 3600)
@@ -18,7 +19,13 @@
 // `torn_write` fires in the COORDINATOR: the journaled fragment of the
 // matched (unit, attempt) is written half-way and never synced, the
 // deterministic stand-in for a crash mid-write that resume must detect
-// by CRC and re-execute.
+// by CRC and re-execute. The network kinds fire in a remote AGENT
+// (`kronotri agent`): `drop_conn` hard-closes the coordinator connection
+// when the matched (unit, attempt) is dispatched to it — the injectable
+// partition the "disconnect" re-dispatch path must survive — and
+// `garble_frame` flips a byte inside that attempt's result frame so the
+// transport's CRC check, not luck, catches the damage ("garbled" event,
+// connection dropped, unit re-dispatched).
 //
 // Examples: "kill:shard=1:attempt=0" (the CI crash-injection smoke),
 // "stall:shard=2:secs=30", "truncate:shard=0:attempt=0,exit:shard=3",
